@@ -1,0 +1,126 @@
+// Ablation: dynamic data sharding design choices (DESIGN.md section 4).
+//   (a) shard size — the paper uses small shards (64/128/256 batches);
+//       larger shards make straggler mitigation and failure re-queuing
+//       coarser, smaller shards add dispatch overhead events;
+//   (b) data serving mode — dynamic sharding vs static partitioning under
+//       worker churn.
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "common/stats.h"
+#include "harness/reporting.h"
+#include "master/job_master.h"
+#include "ps/training_job.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+struct Outcome {
+  Duration jct = 0.0;
+  int restarts = 0;
+  bool completed = false;
+};
+
+Outcome RunJob(DataMode mode, uint64_t shard_batches, bool inject_faults,
+               uint64_t seed) {
+  Simulator sim;
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 20;
+  cluster_options.seed = seed;
+  Cluster cluster(&sim, cluster_options);
+
+  JobSpec spec;
+  spec.name = "ablate";
+  spec.model = ModelKind::kWideDeep;
+  spec.total_steps = 120000;
+  spec.data_mode = mode;
+  spec.use_flash_checkpoint = true;
+  spec.seed = seed * 31;
+
+  JobConfig config;
+  config.num_workers = 20;
+  config.num_ps = 4;
+  config.worker_cpu = 8.0;
+  config.ps_cpu = 6.0;
+  config.worker_memory = GiB(6);
+  config.ps_memory = GiB(12);
+
+  TrainingJob job(&sim, &cluster, spec, config);
+  // Note: shard size is a ShardQueue option; emulate per-size runs by
+  // capping every worker's shard request.
+  job.Start();
+  if (mode == DataMode::kDynamicSharding && shard_batches != 0) {
+    sim.ScheduleAfter(Seconds(1), [&] {
+      for (int i = 0; i < config.num_workers; ++i) {
+        (void)job.SetWorkerShardLimit(i, shard_batches);
+      }
+    });
+  }
+  JobMaster master(&sim, &job);
+  master.Start();
+
+  std::unique_ptr<FailureInjector> injector;
+  if (inject_faults) {
+    FailureInjectorOptions failures;
+    failures.daily_pod_failure_rate = 0.6;
+    failures.daily_straggler_rate = 0.4;
+    failures.seed = seed;
+    injector = std::make_unique<FailureInjector>(&sim, &cluster, failures);
+    injector->Start();
+  }
+  sim.RunUntil(Hours(12));
+  Outcome outcome;
+  outcome.completed = job.state() == JobState::kCompleted;
+  outcome.jct = outcome.completed ? job.stats().Jct() : Hours(12);
+  outcome.restarts = job.stats().full_restarts;
+  return outcome;
+}
+
+void Run() {
+  PrintBanner("Ablation (a): shard size under faults (dynamic sharding)");
+  TablePrinter sizes({"shard batches", "JCT", "completed"});
+  for (uint64_t batches : {32ull, 64ull, 128ull, 256ull, 1024ull}) {
+    RunningStat jct;
+    int done = 0;
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      const Outcome o =
+          RunJob(DataMode::kDynamicSharding, batches, true, seed);
+      if (o.completed) {
+        jct.Add(o.jct);
+        ++done;
+      }
+    }
+    sizes.AddRow({StrFormat("%llu", static_cast<unsigned long long>(batches)),
+                  FormatDuration(jct.mean()), StrFormat("%d/3", done)});
+  }
+  sizes.Print();
+
+  PrintBanner("Ablation (b): data serving mode under worker churn");
+  TablePrinter modes({"mode", "faults", "JCT", "restarts"});
+  for (bool faults : {false, true}) {
+    for (DataMode mode : {DataMode::kDynamicSharding,
+                          DataMode::kStaticPartition}) {
+      const Outcome o = RunJob(mode, 0, faults, 7);
+      modes.AddRow({mode == DataMode::kDynamicSharding ? "dynamic sharding"
+                                                       : "static partition",
+                    faults ? "yes" : "no", FormatDuration(o.jct),
+                    StrFormat("%d", o.restarts)});
+    }
+  }
+  modes.Print();
+  std::printf(
+      "\nshape check: without faults the modes tie; with churn, static\n"
+      "partitioning pays full restarts while dynamic sharding re-queues\n"
+      "shards and keeps going (paper Section 5.1).\n");
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

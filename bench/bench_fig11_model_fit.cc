@@ -1,0 +1,125 @@
+// Reproduces Fig 11: the throughput prediction model (Eqns 1-6) fitted with
+// NNLS against sampled training runs at varying (w, p, cpu_w, cpu_p). The
+// paper shows the fitted curves tracking the measured points closely and
+// reports the fitted coefficients. We sample the simulator's ground truth
+// (with noise), fit, report the coefficients, R^2/RMSLE, and an ablation:
+// the same fit *without* the embedding-lookup term (what a conventional
+// scheduler like Optimus models).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/reporting.h"
+#include "perfmodel/throughput_model.h"
+#include "ps/iteration_model.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+namespace {
+
+void Run() {
+  PrintBanner("Fig 11: throughput model fit (NNLS)");
+  const ModelProfile profile = GetModelProfile(ModelKind::kWideDeep);
+  const EnvironmentProfile env;
+  const uint64_t batch = 512;
+  Rng rng(42);
+
+  // Sample iteration times across the configuration grid, with the same
+  // multiplicative noise the simulator applies.
+  ThroughputModel model(profile.dense_param_bytes, profile.embedding_dim,
+                        env.network_bandwidth);
+  ThroughputModel blind(profile.dense_param_bytes, /*embedding_dim=*/0,
+                        env.network_bandwidth);
+  ModelFitter fitter(model);
+  ModelFitter blind_fitter(blind);
+  for (int w : {4, 8, 12, 16, 20, 28, 36}) {
+    for (int p : {1, 2, 4, 6, 8}) {
+      for (double lw : {4.0, 8.0, 12.0}) {
+        for (double lp : {2.0, 4.0, 8.0}) {
+          JobConfig config;
+          config.num_workers = w;
+          config.num_ps = p;
+          config.worker_cpu = lw;
+          config.ps_cpu = lp;
+          const double truth =
+              ComputeHealthyIteration(profile, env, batch, config).Total();
+          PerfObservation obs;
+          obs.batch_size = batch;
+          obs.workers = w;
+          obs.ps = p;
+          obs.worker_cpu = lw;
+          obs.ps_cpu = lp;
+          obs.iter_time = truth * rng.LogNormal(1.0, env.timing_noise_sigma);
+          fitter.AddObservation(obs);
+          blind_fitter.AddObservation(obs);
+        }
+      }
+    }
+  }
+
+  const auto params = fitter.Fit();
+  const auto blind_params = blind_fitter.Fit();
+  if (!params.ok() || !blind_params.ok()) {
+    std::printf("fit failed: %s\n", params.status().ToString().c_str());
+    return;
+  }
+  std::printf("fitted: %s\n", params->ToString().c_str());
+  std::printf("truth:  {a_grad=%.4g, a_upd=%.4g, a_sync=%.4g, a_emb=%.4g, "
+              "beta=%.4g}\n",
+              profile.alpha_grad, profile.alpha_upd,
+              profile.alpha_sync / env.network_bandwidth,
+              profile.alpha_emb,
+              profile.beta_grad + profile.beta_upd + profile.beta_sync +
+                  profile.beta_emb);
+  std::printf("fit quality: R^2=%.4f RMSLE=%.4f\n",
+              fitter.EvaluateRSquared(*params),
+              fitter.EvaluateRmsle(*params));
+  std::printf("lookup-blind ablation (no Eqn 5 term): R^2=%.4f RMSLE=%.4f\n",
+              blind_fitter.EvaluateRSquared(*blind_params),
+              blind_fitter.EvaluateRmsle(*blind_params));
+
+  // Fig 11's curves: predicted vs measured throughput while sweeping one
+  // variable at a time.
+  PrintBanner("predicted vs measured throughput (samples/s)");
+  TablePrinter table({"sweep", "value", "measured", "predicted", "error"});
+  auto sweep = [&](const char* name, JobConfig base,
+                   const std::vector<double>& values, int which) {
+    for (double v : values) {
+      JobConfig config = base;
+      if (which == 0) config.num_workers = static_cast<int>(v);
+      if (which == 1) config.num_ps = static_cast<int>(v);
+      if (which == 2) config.worker_cpu = v;
+      if (which == 3) config.ps_cpu = v;
+      const double truth_iter =
+          ComputeHealthyIteration(profile, env, batch, config).Total() *
+          rng.LogNormal(1.0, env.timing_noise_sigma);
+      const double measured =
+          config.num_workers * static_cast<double>(batch) / truth_iter;
+      const double predicted =
+          model.PredictThroughput(*params, batch, config);
+      table.AddRow({name, StrFormat("%.0f", v), StrFormat("%.0f", measured),
+                    StrFormat("%.0f", predicted),
+                    StrFormat("%+.1f%%",
+                              (predicted / measured - 1.0) * 100.0)});
+    }
+  };
+  JobConfig base;
+  base.num_workers = 16;
+  base.num_ps = 4;
+  base.worker_cpu = 8.0;
+  base.ps_cpu = 4.0;
+  sweep("workers", base, {4, 8, 16, 24, 32, 40}, 0);
+  sweep("ps", base, {1, 2, 4, 6, 8}, 1);
+  sweep("cpu_w", base, {2, 4, 8, 12, 16}, 2);
+  sweep("cpu_p", base, {2, 4, 8, 12}, 3);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

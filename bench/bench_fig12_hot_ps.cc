@@ -1,0 +1,69 @@
+// Reproduces Fig 12: a parameter server degraded to 3% of its tuned CPU
+// mid-run ("hot PS"), handled three ways:
+//   no intervention      — training limps along at the degraded rate;
+//   traditional migration — detect, checkpoint to RDS, stop-and-restart;
+//   DLRover-RM           — seamless migration + flash-checkpoint.
+// Paper shape: DLRover-RM cuts JCT by 36.4% vs no-intervention and 27.6%
+// vs traditional migration; seamless overlap saves ~5 minutes of restart
+// wait and flash-checkpoint ~3 minutes of save/load.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+void Run() {
+  PrintBanner("Fig 12: hot PS handling (PS degraded to 3% CPU at t=10min)");
+  const std::vector<SchedulerKind> strategies = {
+      SchedulerKind::kNoIntervention, SchedulerKind::kTraditional,
+      SchedulerKind::kDlrover};
+
+  TablePrinter table({"strategy", "JCT", "ckpt save/load", "pod wait",
+                      "repartition", "recovery time"});
+  std::map<SchedulerKind, double> jct;
+  for (SchedulerKind strategy : strategies) {
+    SingleJobScenario scenario;
+    scenario.scheduler = strategy;
+    scenario.model = ModelKind::kWideDeep;
+    scenario.total_steps = 200000;
+    scenario.seed = 9;
+    scenario.injection.kind = ScenarioInjection::Kind::kHotPs;
+    scenario.injection.at = Minutes(10);
+    scenario.injection.speed = 0.03;
+    // The DLRover job here starts well-tuned so the comparison isolates the
+    // instability-handling mechanism, as in the paper's experiment.
+    scenario.initial = WellTunedConfig(scenario.model);
+    const SingleJobResult result = RunSingleJob(scenario);
+    jct[strategy] = result.jct;
+    table.AddRow(
+        {SchedulerKindName(strategy), FormatDuration(result.jct),
+         FormatDuration(result.stats.downtime_checkpoint),
+         FormatDuration(result.stats.downtime_waiting_pods),
+         FormatDuration(result.stats.downtime_repartition),
+         result.recovery_time >= 0.0 ? FormatDuration(result.recovery_time)
+                                     : "never"});
+  }
+  table.Print();
+
+  const double none = jct[SchedulerKind::kNoIntervention];
+  const double traditional = jct[SchedulerKind::kTraditional];
+  const double dlrover = jct[SchedulerKind::kDlrover];
+  std::printf(
+      "\nDLRover-RM JCT reduction: %.1f%% vs no-intervention (paper 36.4%%)"
+      ", %.1f%% vs traditional migration (paper 27.6%%)\n",
+      (1.0 - dlrover / none) * 100.0,
+      (1.0 - dlrover / traditional) * 100.0);
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

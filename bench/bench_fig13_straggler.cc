@@ -1,0 +1,73 @@
+// Reproduces Fig 13: a worker degraded to 3% of its tuned CPU mid-run
+// (straggler), handled three ways:
+//   no intervention       — the static partition owned by the straggler
+//                           gates the whole job;
+//   traditional handling  — detect, stop-and-restart with a fresh pod;
+//   DLRover-RM            — dynamic data sharding redistributes the
+//                           straggler's work and shrinks its shards.
+// Paper shape: DLRover-RM shortens JCT by 48.5% vs no-intervention and 37%
+// vs traditional handling, recovering within about a minute without any
+// restart.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+void Run() {
+  PrintBanner(
+      "Fig 13: worker straggler handling (worker at 3% CPU from t=10min)");
+  const std::vector<SchedulerKind> strategies = {
+      SchedulerKind::kNoIntervention, SchedulerKind::kTraditional,
+      SchedulerKind::kDlrover};
+
+  TablePrinter table({"strategy", "JCT", "ckpt save/load", "pod wait",
+                      "repartition", "recovery", "restarts", "mitigated"});
+  std::map<SchedulerKind, double> jct;
+  for (SchedulerKind strategy : strategies) {
+    SingleJobScenario scenario;
+    scenario.scheduler = strategy;
+    scenario.model = ModelKind::kWideDeep;
+    scenario.total_steps = 200000;
+    scenario.seed = 9;
+    scenario.injection.kind = ScenarioInjection::Kind::kWorkerStraggler;
+    scenario.injection.at = Minutes(10);
+    scenario.injection.speed = 0.03;
+    scenario.initial = WellTunedConfig(scenario.model);
+    const SingleJobResult result = RunSingleJob(scenario);
+    jct[strategy] = result.jct;
+    table.AddRow(
+        {SchedulerKindName(strategy), FormatDuration(result.jct),
+         FormatDuration(result.stats.downtime_checkpoint),
+         FormatDuration(result.stats.downtime_waiting_pods),
+         FormatDuration(result.stats.downtime_repartition),
+         result.recovery_time >= 0.0 ? FormatDuration(result.recovery_time)
+                                     : "never",
+         StrFormat("%d", result.stats.full_restarts +
+                             result.stats.migrations),
+         StrFormat("%d", result.stats.stragglers_mitigated)});
+  }
+  table.Print();
+
+  const double none = jct[SchedulerKind::kNoIntervention];
+  const double traditional = jct[SchedulerKind::kTraditional];
+  const double dlrover = jct[SchedulerKind::kDlrover];
+  std::printf(
+      "\nDLRover-RM JCT reduction: %.1f%% vs no-intervention (paper 48.5%%)"
+      ", %.1f%% vs traditional handling (paper 37%%)\n",
+      (1.0 - dlrover / none) * 100.0,
+      (1.0 - dlrover / traditional) * 100.0);
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Fig 15: cluster-level JCT distributions before and after
+// DLRover-RM, overall and for the two pathological job classes the paper
+// calls out. Paper shape:
+//   all jobs:                 median JCT -31%, p90 -35.7%;
+//   hot-PS jobs (~13%):       median -21%, p90 -28.6%;
+//   PS-CPU-starved jobs (~6%): median -57%, p90 -28.7%.
+// Also includes the rho ablation for the weighted-greedy priority (Eqn 14).
+
+#include <cstdio>
+
+#include "brain/objectives.h"
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+Distribution Filtered(const FleetResult& result,
+                      const std::function<bool(const FleetJobOutcome&)>& keep) {
+  Distribution dist;
+  for (const FleetJobOutcome& job : result.jobs) {
+    if (job.completed && keep(job)) dist.Add(job.jct);
+  }
+  return dist;
+}
+
+void PrintDelta(const char* label, const Distribution& before,
+                const Distribution& after, double paper_median,
+                double paper_p90) {
+  if (before.count() < 3 || after.count() < 3) {
+    std::printf("%-24s insufficient samples (%zu before / %zu after)\n",
+                label, before.count(), after.count());
+    return;
+  }
+  std::printf(
+      "%-24s median %s -> %s (%+.1f%%; paper %.1f%%)   p90 %s -> %s "
+      "(%+.1f%%; paper %.1f%%)\n",
+      label, FormatDuration(before.Median()).c_str(),
+      FormatDuration(after.Median()).c_str(),
+      (after.Median() / before.Median() - 1.0) * 100.0, paper_median,
+      FormatDuration(before.Percentile(90)).c_str(),
+      FormatDuration(after.Percentile(90)).c_str(),
+      (after.Percentile(90) / before.Percentile(90) - 1.0) * 100.0,
+      paper_p90);
+}
+
+void Run() {
+  PrintBanner("Fig 15: cluster-level JCT, w/o vs w/ DLRover-RM");
+  FleetScenario scenario;
+  scenario.workload.num_jobs = 72;
+  scenario.workload.arrival_span = Hours(10);
+  scenario.horizon = Hours(40);
+  scenario.failures.daily_straggler_rate = 0.25;
+  scenario.seed = 77;
+
+  scenario.dlrover_fraction = 0.0;
+  const FleetResult before = RunFleet(scenario);
+  scenario.dlrover_fraction = 1.0;
+  const FleetResult after = RunFleet(scenario);
+
+  auto all = [](const FleetJobOutcome&) { return true; };
+  auto hot = [](const FleetJobOutcome& job) { return job.hot_ps; };
+  auto starved = [](const FleetJobOutcome& job) {
+    return job.misconfig == MisconfigKind::kStarvedPsCpu;
+  };
+  PrintDelta("all jobs", Filtered(before, all), Filtered(after, all), -31.0,
+             -35.7);
+  PrintDelta("hot-PS jobs", Filtered(before, hot), Filtered(after, hot),
+             -21.0, -28.6);
+  PrintDelta("PS-CPU-starved jobs", Filtered(before, starved),
+             Filtered(after, starved), -57.0, -28.7);
+
+  PrintBanner("JCT CDF (completed jobs, minutes)");
+  TablePrinter cdf({"percentile", "w/o DLRover", "w/ DLRover"});
+  const Distribution b = Filtered(before, all);
+  const Distribution a = Filtered(after, all);
+  for (double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    cdf.AddRow({StrFormat("p%.0f", pct),
+                FormatDuration(b.Percentile(pct)),
+                FormatDuration(a.Percentile(pct))});
+  }
+  cdf.Print();
+
+  PrintBanner("ablation: weighted-greedy priority exponent rho (Eqn 14)");
+  // WG(A) ranks jobs by remaining time; sweep rho and show how the weight
+  // separates a short job from a long one.
+  TablePrinter rho_table({"rho", "WG(short 10min)", "WG(long 3h)",
+                          "short/long ratio"});
+  for (double rho : {0.0, 1.0, 2.5, 4.0}) {
+    WeightOptions options;
+    options.rho = rho;
+    const double short_weight = PriorityWeight(600.0 * 50000.0, 50000.0,
+                                               options);
+    const double long_weight =
+        PriorityWeight(3.0 * 3600.0 * 50000.0, 50000.0, options);
+    rho_table.AddRow({StrFormat("%.1f", rho),
+                      StrFormat("%.3g", short_weight),
+                      StrFormat("%.3g", long_weight),
+                      StrFormat("%.3g", short_weight / long_weight)});
+  }
+  rho_table.Print();
+  std::printf("\nAntGroup uses rho=2.5: short jobs finish first and release "
+              "resources.\n");
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Fig 1(a): the proportion of iteration time spent in embedding
+// lookups across DLRM training jobs. The paper reports lookups consuming
+// 30-48% of the training duration; we sweep realistic configurations of the
+// three models and report the per-operator breakdown.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/reporting.h"
+#include "ps/iteration_model.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+namespace {
+
+void Run() {
+  PrintBanner("Fig 1(a): operator time proportions across DLRM jobs");
+  EnvironmentProfile env;
+  const uint64_t batch = 512;
+
+  TablePrinter table({"job", "model", "w", "p", "cpu_w", "cpu_p", "T_iter(s)",
+                      "grad", "update", "sync", "lookup"});
+  double min_lookup = 1.0;
+  double max_lookup = 0.0;
+  int job_id = 0;
+  for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
+                         ModelKind::kDcn}) {
+    const ModelProfile profile = GetModelProfile(kind);
+    struct Shape {
+      int w, p;
+      double lw, lp;
+    };
+    // Realistic configurations users run with, from lean to generous.
+    const std::vector<Shape> shapes = {
+        {12, 2, 6, 4}, {16, 2, 8, 6}, {20, 4, 8, 4},
+        {28, 4, 8, 6}, {32, 6, 10, 6},
+    };
+    for (const Shape& shape : shapes) {
+      JobConfig config;
+      config.num_workers = shape.w;
+      config.num_ps = shape.p;
+      config.worker_cpu = shape.lw;
+      config.ps_cpu = shape.lp;
+      const IterationBreakdown iter =
+          ComputeHealthyIteration(profile, env, batch, config);
+      const double total = iter.Total();
+      min_lookup = std::min(min_lookup, iter.t_emb / total);
+      max_lookup = std::max(max_lookup, iter.t_emb / total);
+      table.AddRow({StrFormat("job-%d", ++job_id), ModelKindName(kind),
+                    StrFormat("%d", shape.w), StrFormat("%d", shape.p),
+                    StrFormat("%.0f", shape.lw), StrFormat("%.0f", shape.lp),
+                    StrFormat("%.3f", total),
+                    FormatPercent(iter.t_grad / total),
+                    FormatPercent(iter.t_upd / total),
+                    FormatPercent(iter.t_sync / total),
+                    FormatPercent(iter.t_emb / total)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nlookup fraction range across jobs: %.1f%% .. %.1f%% "
+      "(paper: 30%%-48%%)\n",
+      min_lookup * 100.0, max_lookup * 100.0);
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

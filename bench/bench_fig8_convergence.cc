@@ -1,0 +1,124 @@
+// Reproduces Fig 8: elastic operations under DLRover-RM do not compromise
+// model convergence. We train the *real* mini-DLRM (all three
+// architectures) on synthetic Criteo with async-PS semantics under three
+// regimes:
+//   baseline     — static partitioning, no elastic events (= well-tuned);
+//   DLRover      — dynamic data sharding with scale-out/scale-in, a worker
+//                  crash and a straggler injected mid-run;
+//   naive elastic — the same events under conventional static
+//                  re-partitioning (duplicates and skips batches).
+// Shape to verify: DLRover's loss/AUC curves track the baseline; the naive
+// scheme drifts (and loses/duplicates data).
+
+#include <cstdio>
+
+#include "dlrm/async_trainer.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+AsyncTrainerOptions BaseOptions(uint64_t seed) {
+  AsyncTrainerOptions options;
+  options.num_workers = 8;
+  options.batch_size = 96;
+  options.total_batches = 2400;
+  options.learning_rate = 0.12;
+  options.shard_batches = 16;
+  options.eval_every_batches = 400;
+  // CTR evaluation: the test window is the *future* right after the
+  // training range — under concept drift the most recent data matters most.
+  options.eval_start = options.total_batches * options.batch_size;
+  options.eval_size = 4096;
+  options.seed = seed;
+  return options;
+}
+
+// Concept-drift horizon: the teacher rotates meaningfully over one
+// training run, like production CTR distributions drifting intra-day.
+constexpr double kDriftSamples = 120000.0;
+
+std::vector<ElasticEvent> Faults() {
+  return {
+      {400, ElasticEvent::Kind::kAddWorkers, 4, 0.0},
+      // Early straggler: it accumulates a large backlog of *late* data
+      // that naive static re-partitioning silently drops.
+      {700, ElasticEvent::Kind::kMakeStraggler, 1, 0.05},
+      {900, ElasticEvent::Kind::kCrashWorker, 1, 0.0},
+      {1800, ElasticEvent::Kind::kRemoveWorkers, 3, 0.0},
+  };
+}
+
+void Run() {
+  PrintBanner("Fig 8: convergence under elasticity (real mini-DLRM)");
+  for (ModelKind arch : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
+                         ModelKind::kDcn}) {
+    MiniDlrmConfig model_config;
+    model_config.arch = arch;
+    model_config.emb_dim = 8;
+    model_config.hash_buckets = 4096;
+    model_config.mlp_hidden = {32, 16};
+    model_config.seed = 77;
+    CriteoSynth data(1234, kDriftSamples);
+
+    auto train = [&](DataMode mode, bool events) {
+      MiniDlrm model(model_config);
+      AsyncTrainerOptions options = BaseOptions(55);
+      options.data_mode = mode;
+      if (events) options.events = Faults();
+      AsyncPsTrainer trainer(&model, &data, options);
+      return trainer.Run();
+    };
+
+    const TrainResult baseline =
+        train(DataMode::kStaticPartition, /*events=*/false);
+    const TrainResult dlrover =
+        train(DataMode::kDynamicSharding, /*events=*/true);
+    const TrainResult naive =
+        train(DataMode::kStaticPartition, /*events=*/true);
+
+    std::printf("\n-- %s --\n", ModelKindName(arch).c_str());
+    TablePrinter table({"batches", "baseline logloss", "DLRover logloss",
+                        "naive logloss", "baseline AUC", "DLRover AUC",
+                        "naive AUC"});
+    const size_t points =
+        std::min({baseline.curve.size(), dlrover.curve.size(),
+                  naive.curve.size()});
+    for (size_t i = 0; i < points; ++i) {
+      table.AddRow({StrFormat("%llu", static_cast<unsigned long long>(
+                                          baseline.curve[i].batches)),
+                    StrFormat("%.4f", baseline.curve[i].test_logloss),
+                    StrFormat("%.4f", dlrover.curve[i].test_logloss),
+                    StrFormat("%.4f", naive.curve[i].test_logloss),
+                    StrFormat("%.4f", baseline.curve[i].test_auc),
+                    StrFormat("%.4f", dlrover.curve[i].test_auc),
+                    StrFormat("%.4f", naive.curve[i].test_auc)});
+    }
+    table.Print();
+    std::printf(
+        "data accounting: DLRover duplicated=%llu skipped=%llu | naive "
+        "duplicated=%llu skipped=%llu\n",
+        static_cast<unsigned long long>(dlrover.batches_duplicated),
+        static_cast<unsigned long long>(dlrover.batches_skipped),
+        static_cast<unsigned long long>(naive.batches_duplicated),
+        static_cast<unsigned long long>(naive.batches_skipped));
+    std::printf(
+        "final: baseline logloss %.4f / AUC %.4f | DLRover %.4f / %.4f "
+        "(gap %.4f) | naive %.4f / %.4f\n",
+        baseline.final_logloss, baseline.final_auc, dlrover.final_logloss,
+        dlrover.final_auc, dlrover.final_logloss - baseline.final_logloss,
+        naive.final_logloss, naive.final_auc);
+  }
+  std::printf(
+      "\nshape check: DLRover's curves track the baseline (exactly-once "
+      "consumption), the naive scheme trains some data twice and drops "
+      "some entirely.\n");
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Fig 9 (warm-starting ablation): DLRover-RM's stage-1
+// allocation sits close to the configuration the job eventually converges
+// to. The paper reports ~92% (workers) / ~85% (PS) accuracy of initial vs
+// final configuration, and a 26% reduction in scaling time vs cold start.
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+double Accuracy(double initial, double final_value) {
+  if (final_value <= 0.0) return 0.0;
+  return 1.0 - std::fabs(initial - final_value) / final_value;
+}
+
+void Run() {
+  PrintBanner("Fig 9: warm-start initial vs final configuration");
+
+  TablePrinter table({"model", "seed", "init w", "final w", "init ps",
+                      "final ps", "worker acc", "ps acc"});
+  RunningStat worker_acc;
+  RunningStat ps_acc;
+  RunningStat warm_time_to_stable;
+  RunningStat cold_time_to_stable;
+
+  for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
+                         ModelKind::kDcn}) {
+    for (uint64_t seed : {5ull, 9ull, 13ull}) {
+      for (bool warm : {true, false}) {
+        SingleJobScenario scenario;
+        scenario.scheduler = SchedulerKind::kDlrover;
+        scenario.model = kind;
+        scenario.total_steps = 200000;
+        scenario.warm_start = warm;
+        scenario.seed = seed;
+        const SingleJobResult result = RunSingleJob(scenario);
+        if (result.final_state != JobState::kCompleted) continue;
+
+        // Scaling time: from first training until the configuration last
+        // changed (the tail of the run is stable).
+        double last_change = result.stats.first_training_time;
+        JobConfig prev = result.history.empty() ? result.final_config
+                                                : result.history[0].config;
+        for (const ThroughputSample& sample : result.history) {
+          if (!(sample.config == prev)) {
+            last_change = sample.time;
+            prev = sample.config;
+          }
+        }
+        const double scaling_time =
+            last_change - result.stats.first_training_time;
+        if (warm) {
+          warm_time_to_stable.Add(scaling_time);
+          const JobConfig initial =
+              result.history.empty() ? result.final_config
+                                     : result.history[0].config;
+          const double wa = Accuracy(initial.num_workers,
+                                     result.final_config.num_workers);
+          const double pa =
+              Accuracy(initial.num_ps, result.final_config.num_ps);
+          worker_acc.Add(wa);
+          ps_acc.Add(pa);
+          table.AddRow({ModelKindName(kind), StrFormat("%llu",
+                            static_cast<unsigned long long>(seed)),
+                        StrFormat("%d", initial.num_workers),
+                        StrFormat("%d", result.final_config.num_workers),
+                        StrFormat("%d", initial.num_ps),
+                        StrFormat("%d", result.final_config.num_ps),
+                        FormatPercent(wa), FormatPercent(pa)});
+        } else {
+          cold_time_to_stable.Add(scaling_time);
+        }
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nmean accuracy of initial vs final config: workers %.0f%% "
+      "(paper ~92%%), PS %.0f%% (paper ~85%%)\n",
+      worker_acc.mean() * 100.0, ps_acc.mean() * 100.0);
+  if (cold_time_to_stable.mean() > 0.0) {
+    std::printf(
+        "scaling time (first dispatch -> last plan change): warm %s vs "
+        "cold %s  (reduction %.0f%%; paper ~26%%)\n",
+        FormatDuration(warm_time_to_stable.mean()).c_str(),
+        FormatDuration(cold_time_to_stable.mean()).c_str(),
+        (1.0 - warm_time_to_stable.mean() / cold_time_to_stable.mean()) *
+            100.0);
+  }
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// OOM prevention demo (paper Section 5.3): a DLRM job whose embedding
+// tables outgrow the PS memory limit. Without protection the PS is
+// OOM-killed and the job crash-loops; with the predictor the job is
+// seamlessly migrated to bigger (or more) PSes before the limit is hit.
+//
+// Build & run:  ./build/examples/oom_prevention
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "harness/reporting.h"
+#include "master/job_master.h"
+#include "ps/training_job.h"
+#include "sim/simulator.h"
+
+using namespace dlrover;  // NOLINT: example code
+
+namespace {
+
+void RunOne(bool prevention) {
+  Simulator sim;
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 20;
+  Cluster cluster(&sim, cluster_options);
+
+  JobSpec spec;
+  spec.name = prevention ? "guarded" : "unguarded";
+  spec.model = ModelKind::kWideDeep;
+  spec.total_steps = 160000;
+  spec.data_mode = DataMode::kDynamicSharding;
+  spec.use_flash_checkpoint = true;
+
+  JobConfig config;
+  config.num_workers = 16;
+  config.num_ps = 2;
+  config.worker_cpu = 8.0;
+  config.ps_cpu = 6.0;
+  config.worker_memory = GiB(6);
+  config.ps_memory = GiB(5);  // far too small for the final tables
+
+  TrainingJob job(&sim, &cluster, spec, config);
+  job.Start();
+  JobMasterOptions master_options;
+  master_options.oom_prevention = prevention;
+  JobMaster master(&sim, &job, master_options);
+  master.Start();
+
+  // Trace the memory race: usage vs limit every 10 minutes.
+  std::printf("\n--- %s (OOM prevention %s) ---\n", spec.name.c_str(),
+              prevention ? "ON" : "OFF");
+  PeriodicTask tracer(&sim, Minutes(10), [&] {
+    if (job.finished()) return;
+    std::printf("t=%5.1f min  ps_mem used %6.2f GiB / limit %6.2f GiB  "
+                "(ps=%d)  ooms=%d\n",
+                sim.Now() / 60.0, ToGiB(job.MaxPsMemory()),
+                ToGiB(job.config().ps_memory), job.config().num_ps,
+                job.stats().oom_events);
+  });
+  tracer.Start();
+
+  sim.RunUntil(Hours(10));
+  std::printf("result: %s, OOM kills: %d, migrations: %d, JCT: %s\n",
+              JobStateName(job.state()).c_str(), job.stats().oom_events,
+              job.stats().migrations,
+              job.finished() ? FormatDuration(job.stats().Jct()).c_str()
+                             : "-");
+}
+
+}  // namespace
+
+int main() {
+  RunOne(/*prevention=*/false);
+  RunOne(/*prevention=*/true);
+  std::printf(
+      "\nThe predictor extrapolates the embedding-growth trend and "
+      "pre-scales PS memory through cheap seamless migrations, so the "
+      "guarded job never hits the limit.\n");
+  return 0;
+}

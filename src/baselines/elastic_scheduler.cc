@@ -1,0 +1,67 @@
+#include "baselines/elastic_scheduler.h"
+
+#include <algorithm>
+
+namespace dlrover {
+
+std::optional<ResourcePlan> ElasticSchedulerPolicy::Propose(TrainingJob& job) {
+  if (job.state() != JobState::kRunning) return std::nullopt;
+  const double throughput = job.SmoothedThroughput();
+  if (throughput <= 0.0) return std::nullopt;
+
+  PerJobState& state = states_[&job];
+  const int workers = job.config().num_workers;
+
+  auto make_plan = [&](int new_workers) -> std::optional<ResourcePlan> {
+    new_workers =
+        std::clamp(new_workers, options_.min_workers, options_.max_workers);
+    if (new_workers == workers) return std::nullopt;
+    ResourcePlan plan;
+    plan.config = job.config();
+    plan.config.num_workers = new_workers;
+    plan.mode = MigrationMode::kSeamless;
+    state.last_throughput = throughput;
+    state.last_workers = workers;
+    state.rounds_since_change = 0;
+    return plan;
+  };
+
+  if (state.last_workers == 0) {
+    // First observation: probe upward.
+    return make_plan(workers + options_.step);
+  }
+
+  ++state.rounds_since_change;
+  if (state.stalled) {
+    if (state.rounds_since_change >= options_.reprobe_rounds) {
+      state.stalled = false;
+      state.direction = +1;
+      return make_plan(workers + options_.step);
+    }
+    return std::nullopt;
+  }
+
+  const double improvement =
+      (throughput - state.last_throughput) /
+      std::max(1e-9, state.last_throughput);
+  const bool grew = workers > state.last_workers;
+  const bool shrank = workers < state.last_workers;
+
+  if ((grew && improvement >= options_.improve_threshold) ||
+      (shrank && improvement >= -options_.improve_threshold / 2)) {
+    // The move paid off (or shrinking was ~free): continue this direction.
+    return make_plan(workers + state.direction * options_.step);
+  }
+  if (grew) {
+    // Growth stopped paying: give the resources back and stall.
+    state.stalled = true;
+    state.direction = -1;
+    return make_plan(workers - options_.step);
+  }
+  // Shrinking hurt: grow back and stall there.
+  state.stalled = true;
+  state.direction = +1;
+  return make_plan(workers + options_.step);
+}
+
+}  // namespace dlrover

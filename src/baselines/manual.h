@@ -1,0 +1,49 @@
+#ifndef DLROVER_BASELINES_MANUAL_H_
+#define DLROVER_BASELINES_MANUAL_H_
+
+#include "brain/scaling_policy.h"
+#include "common/rng.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+
+/// Baseline: manual configuration ("w/o DLRover-RM" in the paper) — the
+/// Kubeflow-style workflow where a user picks a fixed allocation up front
+/// and nothing ever adjusts it.
+class ManualPolicy : public ScalingPolicy {
+ public:
+  std::string name() const override { return "manual"; }
+  std::optional<ResourcePlan> Propose(TrainingJob&) override {
+    return std::nullopt;
+  }
+};
+
+/// The hand-tuned near-optimal allocation for each model on the small
+/// cluster (what the paper reaches after "re-running the job more than 10
+/// times"). Benches use this as the well-tuned reference.
+JobConfig WellTunedConfig(ModelKind kind);
+
+/// A plausible first-guess allocation a careful user submits before any
+/// tuning: roughly half the converged optimum on both tiers. Baseline
+/// schedulers (ES, Optimus) start here — they have no warm-starting stage.
+JobConfig TypicalUserStart(ModelKind kind);
+
+/// The flavour of user mistake a misconfigured job carries.
+enum class MisconfigKind : int {
+  kOverProvisioned = 0,        // wasteful (the common case)
+  kStarvedPsCpu = 1,           // hot PSes, long lookups
+  kStarvedPsMemory = 2,        // OOM risk as embeddings grow
+  kUnderProvisionedWorkers = 3,  // too few/weak workers: slow training
+};
+
+/// A typical *user* misconfiguration, drawn from the trial-and-error
+/// behaviour Section 2.2 describes: mostly over-provisioned (to dodge
+/// failures), sometimes under-provisioned on PS CPU or memory.
+/// `rng` drives which flavour of mistake is made; `kind_out` (optional)
+/// reports which one was drawn.
+JobConfig UserMisconfiguredConfig(ModelKind kind, Rng& rng,
+                                  MisconfigKind* kind_out = nullptr);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_BASELINES_MANUAL_H_

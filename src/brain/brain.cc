@@ -1,0 +1,306 @@
+#include "brain/brain.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dlrover {
+
+ClusterBrain::ClusterBrain(Simulator* sim, const BrainOptions& options)
+    : sim_(sim), options_(options) {
+  round_task_ = std::make_unique<PeriodicTask>(
+      sim_, options_.round_interval, [this] { RunRound(); });
+}
+
+JobConfig ClusterBrain::WarmStart(const JobMetadata& meta) const {
+  return WarmStartConfig(config_db_, meta, options_.warm_start);
+}
+
+void ClusterBrain::Manage(TrainingJob* job, const JobMetadata& meta) {
+  auto managed = std::make_unique<ManagedJob>();
+  managed->job = job;
+  managed->meta = meta;
+  const ModelProfile& profile = job->model_profile();
+  // Structural constants (dense size, embedding dim, bandwidth) are known
+  // from the model graph and the fabric; the alphas/betas are NOT taken
+  // from the profile — they must be learned from runtime observations.
+  managed->model = std::make_unique<ThroughputModel>(
+      profile.dense_param_bytes, profile.embedding_dim,
+      job->environment().network_bandwidth);
+  managed->fitter = std::make_unique<ModelFitter>(*managed->model);
+  jobs_.push_back(std::move(managed));
+}
+
+void ClusterBrain::Start() { round_task_->Start(); }
+void ClusterBrain::Stop() { round_task_->Stop(); }
+
+void ClusterBrain::IngestProfiles(ManagedJob& managed) {
+  const auto& history = managed.job->history();
+  for (; managed.history_cursor < history.size(); ++managed.history_cursor) {
+    const ThroughputSample& sample = history[managed.history_cursor];
+    if (sample.observed_iter_time <= 0.0 || sample.active_workers <= 0) {
+      continue;
+    }
+    PerfObservation obs;
+    obs.batch_size = managed.job->spec().batch_size;
+    obs.workers = sample.active_workers;
+    obs.ps = sample.config.num_ps;
+    obs.worker_cpu = sample.config.worker_cpu;
+    obs.ps_cpu = sample.config.ps_cpu;
+    obs.iter_time = sample.observed_iter_time;
+    managed.fitter->AddObservation(obs);
+  }
+  // Sliding window: drop stale observations so the fit tracks the present.
+  if (managed.fitter->observation_count() > options_.fitter_window) {
+    std::vector<PerfObservation> recent(
+        managed.fitter->observations().end() -
+            static_cast<long>(options_.fitter_window),
+        managed.fitter->observations().end());
+    managed.fitter->Clear();
+    for (const auto& obs : recent) managed.fitter->AddObservation(obs);
+  }
+}
+
+void ClusterBrain::HandleInstability(ManagedJob& managed) {
+  TrainingJob& job = *managed.job;
+  // Straggling workers: shrink their shards (dynamic data sharding).
+  job.MitigateStragglers();
+  // Predicted OOM: pre-scale PS memory via seamless migration.
+  job.MaybePreventOom();
+
+  // Hot PS / interference: measured throughput far below what the fitted
+  // model predicts for this configuration, persistently. A seamless
+  // migration replaces pods and rebalances parameter shares (DeepRec-style
+  // even redistribution).
+  if (job.state() != JobState::kRunning) return;
+  const double predicted =
+      managed.fitted ? managed.model->PredictThroughput(
+                           managed.params, job.spec().batch_size,
+                           job.config())
+                     : 0.0;
+  const double measured = job.SmoothedThroughput();
+  // Two degradation signals: (a) far below the fitted model's prediction
+  // for this configuration; (b) far below the job's own demonstrated best
+  // (robust even when degraded samples have already polluted the fit).
+  const bool below_model = managed.fitted && predicted > 0.0 &&
+                           measured > 0.0 &&
+                           measured < options_.degraded_ratio * predicted;
+  const bool below_best =
+      managed.best_throughput > 0.0 && measured > 0.0 &&
+      measured < 0.5 * managed.best_throughput;
+  if (below_model || below_best) {
+    ++managed.degraded_rounds;
+    // Severe collapse (a PS at a few % of its speed) is unambiguous:
+    // escalate immediately instead of waiting a confirmation round.
+    if (measured < 0.35 * std::max(predicted, managed.best_throughput)) {
+      ++managed.degraded_rounds;
+    }
+  } else {
+    managed.degraded_rounds = 0;
+    managed.best_throughput = std::max(managed.best_throughput, measured);
+  }
+  if (managed.degraded_rounds >= 2) {
+    managed.degraded_rounds = 0;
+    ++rebalances_;
+    DLROVER_LOG_STREAM(Info)
+        << job.spec().name << ": degraded throughput (" << measured << " vs "
+        << predicted << " predicted), seamless rebalance";
+    const Status status =
+        job.ApplyPlan(job.config(), MigrationMode::kSeamless);
+    if (!status.ok()) {
+      DLROVER_LOG_STREAM(Warning)
+          << job.spec().name << ": rebalance rejected: " << status;
+    } else {
+      // Re-learn the healthy level on the fresh deployment.
+      managed.best_throughput = 0.0;
+    }
+  }
+}
+
+void ClusterBrain::RecordFinished(ManagedJob& managed) {
+  if (managed.recorded) return;
+  managed.recorded = true;
+  JobRecord record;
+  record.meta = managed.meta;
+  record.final_config = managed.job->config();
+  record.final_throughput = managed.job->MeasuredThroughput();
+  record.jct = managed.job->stats().Jct();
+  record.completed = managed.job->state() == JobState::kCompleted;
+  config_db_.Insert(record);
+}
+
+void ClusterBrain::RunRound() {
+  // Per-job: ingest profiles, fit, handle instability; collect plan
+  // requests from jobs healthy enough to scale.
+  std::vector<JobPlanRequest> requests;
+  std::vector<ManagedJob*> by_id;
+  for (auto& managed_ptr : jobs_) {
+    ManagedJob& managed = *managed_ptr;
+    TrainingJob& job = *managed.job;
+    if (job.finished()) {
+      RecordFinished(managed);
+      continue;
+    }
+    IngestProfiles(managed);
+    if (managed.fitter->ReadyToFit()) {
+      auto fitted = managed.fitter->Fit();
+      if (fitted.ok()) {
+        managed.params = *fitted;
+        managed.fitted = true;
+      }
+    }
+    HandleInstability(managed);
+    const bool exploring = managed.explore_step < 4;
+    if ((!managed.fitted || exploring) &&
+        job.state() == JobState::kRunning &&
+        managed.fitter->observation_count() >= 2) {
+      // Bootstrap exploration: the NNLS fit needs observations across
+      // configuration shapes — and each decision variable the optimizer is
+      // allowed to move must have been observed at >= 2 values. Probe
+      // workers, PSes, and per-pod CPUs seamlessly; visible as the
+      // stepwise early growth in the paper's Fig 10 cold-start curves.
+      JobConfig probe = job.config();
+      switch (managed.explore_step % 4) {
+        case 0: {
+          const int cap = std::min(options_.plan.space.max_workers,
+                                   managed.meta.max_workers_quota);
+          const int up = std::min(
+              std::max(probe.num_workers + 2, probe.num_workers * 3 / 2),
+              cap);
+          // At the ceiling, probe downward instead: diversity is what the
+          // fit needs, not growth per se.
+          probe.num_workers =
+              up != probe.num_workers ? up
+                                      : std::max(2, probe.num_workers - 4);
+          break;
+        }
+        case 1: {
+          const int up =
+              std::min(probe.num_ps + 1, options_.plan.space.max_ps);
+          probe.num_ps =
+              up != probe.num_ps ? up : std::max(1, probe.num_ps - 1);
+          break;
+        }
+        case 2: {
+          const Cores up = std::min(probe.worker_cpu + 2.0,
+                                    options_.plan.space.max_worker_cpu);
+          probe.worker_cpu =
+              up != probe.worker_cpu ? up
+                                     : std::max(1.0, probe.worker_cpu - 2.0);
+          break;
+        }
+        default: {
+          const Cores up = std::min(probe.ps_cpu + 2.0,
+                                    options_.plan.space.max_ps_cpu);
+          probe.ps_cpu =
+              up != probe.ps_cpu ? up : std::max(1.0, probe.ps_cpu - 2.0);
+          break;
+        }
+      }
+      ++managed.explore_step;
+      if (!(probe == job.config())) {
+        (void)job.ApplyPlan(probe, MigrationMode::kSeamless);
+      }
+      continue;
+    }
+    if (!managed.fitted || job.state() != JobState::kRunning) continue;
+    if (managed.degraded_rounds > 0) continue;  // wait for a clean window
+    ++managed.rounds_since_plan;
+    if (managed.rounds_since_plan <= options_.plan_cooldown_rounds) continue;
+
+    // Trust region: the fitted model is only trustworthy near observed
+    // configurations. Restrict each decision variable to a modest expansion
+    // of its observed support (and freeze it entirely when only one value
+    // was ever observed) — applying a plan then extends the support, so the
+    // region grows organically round over round.
+    PlanSearchSpace space = options_.plan.space;
+    space.max_workers = std::min(space.max_workers,
+                                 managed.meta.max_workers_quota);
+    {
+      std::set<int> ws, ps;
+      std::set<double> lws, lps;
+      for (const PerfObservation& obs : managed.fitter->observations()) {
+        ws.insert(obs.workers);
+        ps.insert(obs.ps);
+        lws.insert(obs.worker_cpu);
+        lps.insert(obs.ps_cpu);
+      }
+      auto bound_int = [](const std::set<int>& seen, int current, int* lo,
+                          int* hi) {
+        if (seen.size() < 2) {
+          *lo = *hi = current;
+          return;
+        }
+        *lo = std::max(*lo, std::max(1, *seen.begin() - 2));
+        *hi = std::min(*hi, *seen.rbegin() * 2);
+      };
+      auto bound_cores = [](const std::set<double>& seen, double current,
+                            Cores* lo, Cores* hi) {
+        if (seen.size() < 2) {
+          *lo = *hi = current;
+          return;
+        }
+        *lo = std::max(*lo, std::max(1.0, *seen.begin() * 0.75));
+        *hi = std::min(*hi, *seen.rbegin() * 1.5);
+      };
+      bound_int(ws, job.config().num_workers, &space.min_workers,
+                &space.max_workers);
+      bound_int(ps, job.config().num_ps, &space.min_ps, &space.max_ps);
+      bound_cores(lws, job.config().worker_cpu, &space.min_worker_cpu,
+                  &space.max_worker_cpu);
+      bound_cores(lps, job.config().ps_cpu, &space.min_ps_cpu,
+                  &space.max_ps_cpu);
+    }
+
+    PlanGenerator generator(options_.plan);
+    JobPlanRequest request;
+    request.job_id = static_cast<uint64_t>(by_id.size());
+    request.current = job.config();
+    request.candidates = generator.Generate(
+        *managed.model, managed.params, job.spec().batch_size, job.config(),
+        job.SmoothedThroughput(),
+        static_cast<double>(job.RemainingSamples()), job.ModelBytes(),
+        &space);
+    // Hysteresis: drop marginal plans.
+    const double floor_gain =
+        options_.min_relative_gain * std::max(1.0, job.SmoothedThroughput());
+    request.candidates.erase(
+        std::remove_if(request.candidates.begin(), request.candidates.end(),
+                       [&](const PlanCandidate& c) {
+                         return c.throughput_gain < floor_gain;
+                       }),
+        request.candidates.end());
+    if (!request.candidates.empty()) {
+      requests.push_back(std::move(request));
+      by_id.push_back(&managed);
+    }
+  }
+  if (requests.empty()) return;
+
+  const auto selected = GreedySelector::Select(requests, options_.budget);
+  for (const auto& [id, plan] : selected) {
+    ManagedJob& managed = *by_id[id];
+    const Status status = managed.job->ApplyPlan(
+        plan.config, options_.plan.mode);
+    if (status.ok()) {
+      ++plans_applied_;
+      managed.rounds_since_plan = 0;
+    } else {
+      DLROVER_LOG_STREAM(Warning) << managed.job->spec().name
+                                  << ": plan rejected: " << status;
+    }
+  }
+}
+
+std::vector<ClusterBrain::ManagedJobView> ClusterBrain::managed_jobs() const {
+  std::vector<ManagedJobView> views;
+  views.reserve(jobs_.size());
+  for (const auto& managed : jobs_) {
+    views.push_back({managed->job, managed->fitted, managed->params,
+                     managed->fitter->observation_count()});
+  }
+  return views;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,117 @@
+#ifndef DLROVER_BRAIN_BRAIN_H_
+#define DLROVER_BRAIN_BRAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "brain/config_db.h"
+#include "brain/greedy_selector.h"
+#include "brain/plan_generator.h"
+#include "brain/warm_start.h"
+#include "perfmodel/throughput_model.h"
+#include "ps/training_job.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+
+struct BrainOptions {
+  /// Scheduling round interval (the paper adjusts every 3 minutes in the
+  /// auto-scaling ablation).
+  Duration round_interval = Minutes(3);
+  /// Total resource budget S available to DLRM training (Eqn 13).
+  ResourceSpec budget{640.0, TiB(3.75)};
+  PlanGeneratorOptions plan;
+  WarmStartOptions warm_start;
+  /// Plans must beat the current throughput by this relative margin to be
+  /// applied (hysteresis against churn).
+  double min_relative_gain = 0.05;
+  /// Measured/predicted throughput ratio below which a job is considered
+  /// degraded (hot PS / interference); two consecutive degraded rounds
+  /// trigger a seamless rebalancing migration.
+  double degraded_ratio = 0.55;
+  /// Sliding window of profiler observations kept per job.
+  size_t fitter_window = 240;
+  /// Rounds to wait after applying a plan before proposing another for the
+  /// same job (lets the new configuration produce clean measurements).
+  int plan_cooldown_rounds = 3;
+};
+
+/// The cluster brain (paper Fig 4): receives runtime profiles from job
+/// masters, fits each job's resource-performance model online, generates
+/// Pareto plan candidates with NSGA-II, selects cluster-wide plans with
+/// weighted greedy under the budget, and drives instability handling
+/// (straggler mitigation, OOM prevention, hot-PS rebalancing). Implements
+/// the full three-stage algorithm:
+///   stage 1  WarmStart()   — pre-scaling, from the config DB
+///   stage 2  RunRound()    — auto-scaling while the job runs
+///   stage 3  (within RunRound) — post-scaling instability handling
+class ClusterBrain {
+ public:
+  ClusterBrain(Simulator* sim, const BrainOptions& options);
+
+  /// Stage 1: produces a warm-start configuration for a new job.
+  JobConfig WarmStart(const JobMetadata& meta) const;
+
+  /// Puts a job under management. The brain does not own the job; the
+  /// caller must keep it alive and must not destroy it mid-simulation.
+  void Manage(TrainingJob* job, const JobMetadata& meta);
+
+  /// Starts periodic scheduling rounds.
+  void Start();
+  void Stop();
+
+  /// One scheduling round (public so tests and benches can step manually).
+  void RunRound();
+
+  ConfigDb& config_db() { return config_db_; }
+  const BrainOptions& options() const { return options_; }
+
+  /// Introspection for tests/benches.
+  struct ManagedJobView {
+    const TrainingJob* job;
+    bool fitted;
+    PerfModelParams params;
+    size_t observations;
+  };
+  std::vector<ManagedJobView> managed_jobs() const;
+
+  /// Total number of plans applied across all rounds.
+  int plans_applied() const { return plans_applied_; }
+  int rebalances_triggered() const { return rebalances_; }
+
+ private:
+  struct ManagedJob {
+    TrainingJob* job = nullptr;
+    JobMetadata meta;
+    std::unique_ptr<ThroughputModel> model;
+    std::unique_ptr<ModelFitter> fitter;
+    size_t history_cursor = 0;
+    PerfModelParams params;
+    bool fitted = false;
+    int degraded_rounds = 0;
+    int rounds_since_plan = 1000;  // large: no plan applied yet
+    double best_throughput = 0.0;
+    int explore_step = 0;
+    bool recorded = false;
+  };
+
+  void IngestProfiles(ManagedJob& managed);
+  void HandleInstability(ManagedJob& managed);
+  void RecordFinished(ManagedJob& managed);
+
+  Simulator* sim_;
+  BrainOptions options_;
+  ConfigDb config_db_;
+  std::vector<std::unique_ptr<ManagedJob>> jobs_;
+  std::unique_ptr<PeriodicTask> round_task_;
+  int plans_applied_ = 0;
+  int rebalances_ = 0;
+  uint64_t next_job_id_ = 1;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_BRAIN_BRAIN_H_

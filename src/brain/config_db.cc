@@ -1,0 +1,56 @@
+#include "brain/config_db.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlrover {
+
+double ConfigDb::Similarity(const JobMetadata& a, const JobMetadata& b) {
+  double score = 0.0;
+  // Model architecture is the strongest predictor of resource shape.
+  score += (a.model == b.model) ? 0.40 : 0.0;
+  // Same user tends to mean same data sources and pipelines.
+  score += (a.user == b.user) ? 0.20 : 0.0;
+  // Batch size, step budget and declared model size compared on log scale.
+  auto ratio_score = [](double x, double y) {
+    if (x <= 0.0 || y <= 0.0) return 0.0;
+    const double r = std::fabs(std::log(x / y));
+    return std::max(0.0, 1.0 - r);  // 1 when equal, 0 at e x difference
+  };
+  score += 0.10 * ratio_score(static_cast<double>(a.batch_size),
+                              static_cast<double>(b.batch_size));
+  score += 0.10 * ratio_score(static_cast<double>(a.total_steps),
+                              static_cast<double>(b.total_steps));
+  score += 0.20 * ratio_score(a.declared_model_bytes, b.declared_model_bytes);
+  // Quota is part of the job's metadata: a 10-worker job should copy other
+  // small jobs (which run wider per-pod CPU), not a 40-worker giant.
+  score += 0.15 * ratio_score(static_cast<double>(a.max_workers_quota),
+                              static_cast<double>(b.max_workers_quota));
+  return score;
+}
+
+std::vector<JobRecord> ConfigDb::TopKSimilar(const JobMetadata& query,
+                                             int k) const {
+  std::vector<std::pair<double, const JobRecord*>> scored;
+  scored.reserve(records_.size());
+  for (const JobRecord& record : records_) {
+    if (!record.completed) continue;
+    scored.emplace_back(Similarity(query, record.meta), &record);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.first > y.first;
+                   });
+  const size_t take = std::min<size_t>(static_cast<size_t>(std::max(0, k)),
+                                       scored.size());
+  // Ordered least-similar first so exponential smoothing ends on the most
+  // similar job (paper Algorithm 1: A^{k-1} has the highest similarity).
+  std::vector<JobRecord> out;
+  out.reserve(take);
+  for (size_t i = take; i-- > 0;) {
+    out.push_back(*scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,60 @@
+#ifndef DLROVER_BRAIN_CONFIG_DB_H_
+#define DLROVER_BRAIN_CONFIG_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "ps/job_config.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+
+/// Metadata features describing a job before it runs; the warm-start
+/// similarity search matches new jobs against these.
+struct JobMetadata {
+  std::string user;
+  ModelKind model = ModelKind::kWideDeep;
+  uint64_t batch_size = 512;
+  uint64_t total_steps = 200000;
+  /// User-declared estimate of the model size (dense + embeddings).
+  Bytes declared_model_bytes = GiB(1);
+  /// The user's worker-count quota for this job (not part of similarity).
+  int max_workers_quota = 40;
+};
+
+/// One historical trace entry: what a finished job looked like and the
+/// allocation it converged to.
+struct JobRecord {
+  JobMetadata meta;
+  JobConfig final_config;
+  double final_throughput = 0.0;  // samples/sec at convergence
+  Duration jct = 0.0;
+  bool completed = true;
+};
+
+/// The cluster brain's configuration database (paper Fig 4): stores
+/// historical job traces and answers top-k similarity queries for
+/// warm-starting.
+class ConfigDb {
+ public:
+  void Insert(const JobRecord& record) { records_.push_back(record); }
+  size_t size() const { return records_.size(); }
+  const std::vector<JobRecord>& records() const { return records_; }
+
+  /// Similarity in [0, 1]: weighted agreement over user, model type, batch
+  /// size, step budget and declared model size (log-scaled ratios).
+  static double Similarity(const JobMetadata& a, const JobMetadata& b);
+
+  /// Returns up to k most similar completed records, ordered from least to
+  /// most similar (so that Algorithm 1's smoothing ends on the best match).
+  std::vector<JobRecord> TopKSimilar(const JobMetadata& query, int k) const;
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_BRAIN_CONFIG_DB_H_

@@ -1,0 +1,54 @@
+#include "brain/greedy_selector.h"
+
+#include <algorithm>
+
+namespace dlrover {
+
+std::map<uint64_t, PlanCandidate> GreedySelector::Select(
+    const std::vector<JobPlanRequest>& requests, ResourceSpec budget) {
+  // Start from the budget left after everyone's *current* allocation: a
+  // selected plan consumes (new - current) of the free pool; plans that
+  // shrink a job release resources back into it.
+  ResourceSpec free_pool = budget;
+  for (const JobPlanRequest& request : requests) {
+    free_pool -= request.current.TotalResources();
+  }
+  free_pool.cpu = std::max(0.0, free_pool.cpu);
+  free_pool.memory = std::max(0.0, free_pool.memory);
+
+  struct Entry {
+    const JobPlanRequest* request;
+    const PlanCandidate* candidate;
+    double score;
+  };
+  std::vector<Entry> entries;
+  for (const JobPlanRequest& request : requests) {
+    for (const PlanCandidate& candidate : request.candidates) {
+      if (candidate.throughput_gain <= 0.0) continue;
+      entries.push_back({&request, &candidate,
+                         candidate.resource_efficiency * candidate.weight});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.score > b.score;
+                   });
+
+  std::map<uint64_t, PlanCandidate> selected;
+  for (const Entry& entry : entries) {
+    const uint64_t id = entry.request->job_id;
+    if (selected.count(id) > 0) continue;  // one plan per job per round
+    const ResourceSpec delta = entry.candidate->config.TotalResources() -
+                               entry.request->current.TotalResources();
+    const ResourceSpec needed{std::max(0.0, delta.cpu),
+                              std::max(0.0, delta.memory)};
+    if (!needed.FitsIn(free_pool)) continue;
+    free_pool -= delta;  // shrinking plans grow the pool
+    free_pool.cpu = std::max(0.0, free_pool.cpu);
+    free_pool.memory = std::max(0.0, free_pool.memory);
+    selected[id] = *entry.candidate;
+  }
+  return selected;
+}
+
+}  // namespace dlrover

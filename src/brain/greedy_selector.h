@@ -1,0 +1,38 @@
+#ifndef DLROVER_BRAIN_GREEDY_SELECTOR_H_
+#define DLROVER_BRAIN_GREEDY_SELECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "brain/objectives.h"
+#include "cluster/resources.h"
+#include "ps/job_config.h"
+
+namespace dlrover {
+
+/// One job's input to the cluster-level selection round.
+struct JobPlanRequest {
+  uint64_t job_id = 0;
+  JobConfig current;
+  /// Pareto candidates from the PlanGenerator, pre-scored.
+  std::vector<PlanCandidate> candidates;
+};
+
+/// Cluster-level weighted greedy selection (paper Eqns 12-13): choose at
+/// most one candidate per job maximizing sum RE(A^j) * WG(A^j) subject to
+/// sum A^j <= S, where S is the DLRM system's resource budget. Jobs without
+/// a selected candidate keep their current allocation (which is always
+/// assumed to fit, since those pods already run).
+class GreedySelector {
+ public:
+  /// `budget` is the total resources available to all jobs (current
+  /// allocations included). Returns job_id -> selected new config; jobs not
+  /// in the map keep their current config.
+  static std::map<uint64_t, PlanCandidate> Select(
+      const std::vector<JobPlanRequest>& requests, ResourceSpec budget);
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_BRAIN_GREEDY_SELECTOR_H_

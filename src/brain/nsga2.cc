@@ -1,0 +1,241 @@
+#include "brain/nsga2.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace dlrover {
+
+Nsga2::Nsga2(std::vector<DecisionBounds> bounds, ObjectiveFn objective,
+             const Nsga2Options& options)
+    : bounds_(std::move(bounds)),
+      objective_(std::move(objective)),
+      options_(options),
+      rng_(options.seed) {
+  assert(!bounds_.empty());
+  if (options_.mutation_prob <= 0.0) {
+    options_.mutation_prob = 1.0 / static_cast<double>(bounds_.size());
+  }
+}
+
+bool Nsga2::Dominates(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::vector<size_t>> Nsga2::NonDominatedSort(
+    const std::vector<std::vector<double>>& objectives) {
+  const size_t n = objectives.size();
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<size_t>> dominated_by(n);
+  std::vector<std::vector<size_t>> fronts;
+  std::vector<size_t> current;
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (Dominates(objectives[i], objectives[j])) {
+        dominated_by[i].push_back(j);
+      } else if (Dominates(objectives[j], objectives[i])) {
+        ++domination_count[i];
+      }
+    }
+    if (domination_count[i] == 0) current.push_back(i);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<size_t> next;
+    for (size_t i : current) {
+      for (size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> Nsga2::CrowdingDistances(
+    const std::vector<std::vector<double>>& objectives,
+    const std::vector<size_t>& front) {
+  const size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const size_t num_objectives = objectives[front[0]].size();
+  std::vector<size_t> order(n);
+  for (size_t obj = 0; obj < num_objectives; ++obj) {
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return objectives[front[a]][obj] < objectives[front[b]][obj];
+    });
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    const double span = objectives[front[order.back()]][obj] -
+                        objectives[front[order.front()]][obj];
+    if (span <= 0.0) continue;
+    for (size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] += (objectives[front[order[i + 1]]][obj] -
+                             objectives[front[order[i - 1]]][obj]) /
+                            span;
+    }
+  }
+  return distance;
+}
+
+std::vector<double> Nsga2::RandomVector() {
+  std::vector<double> x(bounds_.size());
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    x[i] = rng_.Uniform(bounds_[i].lo, bounds_[i].hi);
+  }
+  Clamp(x);
+  return x;
+}
+
+void Nsga2::Clamp(std::vector<double>& x) const {
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    x[i] = std::clamp(x[i], bounds_[i].lo, bounds_[i].hi);
+    if (bounds_[i].integer) x[i] = std::round(x[i]);
+  }
+}
+
+void Nsga2::Evaluate(Nsga2Individual& ind) const {
+  ind.objectives = objective_(ind.x);
+}
+
+void Nsga2::AssignRankAndCrowding(std::vector<Nsga2Individual>& pop) const {
+  std::vector<std::vector<double>> objs;
+  objs.reserve(pop.size());
+  for (const auto& ind : pop) objs.push_back(ind.objectives);
+  const auto fronts = NonDominatedSort(objs);
+  for (size_t r = 0; r < fronts.size(); ++r) {
+    const auto crowding = CrowdingDistances(objs, fronts[r]);
+    for (size_t i = 0; i < fronts[r].size(); ++i) {
+      pop[fronts[r][i]].rank = static_cast<int>(r);
+      pop[fronts[r][i]].crowding = crowding[i];
+    }
+  }
+}
+
+size_t Nsga2::TournamentPick(const std::vector<Nsga2Individual>& pop) {
+  const size_t a = rng_.UniformInt(pop.size());
+  const size_t b = rng_.UniformInt(pop.size());
+  if (pop[a].rank != pop[b].rank) return pop[a].rank < pop[b].rank ? a : b;
+  return pop[a].crowding >= pop[b].crowding ? a : b;
+}
+
+void Nsga2::SbxCrossover(const std::vector<double>& p1,
+                         const std::vector<double>& p2,
+                         std::vector<double>& c1, std::vector<double>& c2) {
+  c1 = p1;
+  c2 = p2;
+  if (!rng_.Bernoulli(options_.crossover_prob)) return;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (!rng_.Bernoulli(0.5)) continue;
+    const double u = rng_.Uniform();
+    const double eta = options_.eta_crossover;
+    const double beta =
+        u <= 0.5 ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                 : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+    const double x1 = p1[i];
+    const double x2 = p2[i];
+    c1[i] = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+    c2[i] = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+  }
+  Clamp(c1);
+  Clamp(c2);
+}
+
+void Nsga2::PolynomialMutation(std::vector<double>& x) {
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (!rng_.Bernoulli(options_.mutation_prob)) continue;
+    const double span = bounds_[i].hi - bounds_[i].lo;
+    if (span <= 0.0) continue;
+    const double u = rng_.Uniform();
+    const double eta = options_.eta_mutation;
+    const double delta =
+        u < 0.5 ? std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0
+                 : 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+    x[i] += delta * span;
+  }
+  Clamp(x);
+}
+
+std::vector<Nsga2Individual> Nsga2::Run() {
+  std::vector<Nsga2Individual> pop(static_cast<size_t>(options_.population));
+  for (auto& ind : pop) {
+    ind.x = RandomVector();
+    Evaluate(ind);
+  }
+  AssignRankAndCrowding(pop);
+
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    std::vector<Nsga2Individual> offspring;
+    offspring.reserve(pop.size());
+    while (offspring.size() < pop.size()) {
+      const auto& p1 = pop[TournamentPick(pop)];
+      const auto& p2 = pop[TournamentPick(pop)];
+      Nsga2Individual c1;
+      Nsga2Individual c2;
+      SbxCrossover(p1.x, p2.x, c1.x, c2.x);
+      PolynomialMutation(c1.x);
+      PolynomialMutation(c2.x);
+      Evaluate(c1);
+      Evaluate(c2);
+      offspring.push_back(std::move(c1));
+      if (offspring.size() < pop.size()) offspring.push_back(std::move(c2));
+    }
+
+    // Environmental selection over the combined population.
+    std::vector<Nsga2Individual> combined;
+    combined.reserve(pop.size() + offspring.size());
+    for (auto& ind : pop) combined.push_back(std::move(ind));
+    for (auto& ind : offspring) combined.push_back(std::move(ind));
+    std::vector<std::vector<double>> objs;
+    objs.reserve(combined.size());
+    for (const auto& ind : combined) objs.push_back(ind.objectives);
+    const auto fronts = NonDominatedSort(objs);
+
+    std::vector<Nsga2Individual> next;
+    next.reserve(pop.size());
+    for (const auto& front : fronts) {
+      if (next.size() >= pop.size()) break;
+      if (next.size() + front.size() <= pop.size()) {
+        for (size_t i : front) next.push_back(std::move(combined[i]));
+      } else {
+        const auto crowding = CrowdingDistances(objs, front);
+        std::vector<size_t> order(front.size());
+        for (size_t i = 0; i < front.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return crowding[a] > crowding[b];
+        });
+        for (size_t i : order) {
+          if (next.size() >= pop.size()) break;
+          next.push_back(std::move(combined[front[i]]));
+        }
+      }
+    }
+    pop = std::move(next);
+    AssignRankAndCrowding(pop);
+  }
+
+  // Collect the final non-dominated front, deduplicated by decision vector.
+  std::vector<Nsga2Individual> front;
+  std::map<std::vector<double>, bool> seen;
+  for (auto& ind : pop) {
+    if (ind.rank != 0) continue;
+    if (seen.count(ind.x) > 0) continue;
+    seen[ind.x] = true;
+    front.push_back(std::move(ind));
+  }
+  return front;
+}
+
+}  // namespace dlrover

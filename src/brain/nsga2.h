@@ -1,0 +1,92 @@
+#ifndef DLROVER_BRAIN_NSGA2_H_
+#define DLROVER_BRAIN_NSGA2_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dlrover {
+
+/// Bounds of one decision variable. Integer variables are rounded to the
+/// nearest integer after every variation operator.
+struct DecisionBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool integer = false;
+};
+
+struct Nsga2Options {
+  int population = 48;
+  int generations = 40;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.0;  // 0 = use 1/num_vars
+  double eta_crossover = 15.0; // SBX distribution index
+  double eta_mutation = 20.0;  // polynomial mutation index
+  uint64_t seed = 7;
+};
+
+/// A candidate solution with its objective vector (all minimized).
+struct Nsga2Individual {
+  std::vector<double> x;
+  std::vector<double> objectives;
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// NSGA-II (Deb et al.) implemented from scratch: fast non-dominated
+/// sorting, crowding-distance diversity preservation, binary tournament
+/// selection, simulated binary crossover, polynomial mutation. The paper
+/// uses NSGA-II to generate the Pareto frontier of job resource plans over
+/// the (ResourceCost, 1/ThroughputGain) objectives.
+class Nsga2 {
+ public:
+  /// Objective function: maps a decision vector to objective values, all to
+  /// be minimized. Must be deterministic.
+  using ObjectiveFn =
+      std::function<std::vector<double>(const std::vector<double>&)>;
+
+  Nsga2(std::vector<DecisionBounds> bounds, ObjectiveFn objective,
+        const Nsga2Options& options);
+
+  /// Runs the evolution and returns the final first (non-dominated) front,
+  /// deduplicated by decision vector.
+  std::vector<Nsga2Individual> Run();
+
+  /// Fast non-dominated sort. Returns fronts of indices into `objectives`,
+  /// best front first. Exposed for tests.
+  static std::vector<std::vector<size_t>> NonDominatedSort(
+      const std::vector<std::vector<double>>& objectives);
+
+  /// Crowding distance of each member of one front (larger = lonelier).
+  /// Exposed for tests.
+  static std::vector<double> CrowdingDistances(
+      const std::vector<std::vector<double>>& objectives,
+      const std::vector<size_t>& front);
+
+  /// True if objective vector `a` Pareto-dominates `b` (<= everywhere,
+  /// < somewhere).
+  static bool Dominates(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+ private:
+  std::vector<double> RandomVector();
+  void Clamp(std::vector<double>& x) const;
+  void Evaluate(Nsga2Individual& ind) const;
+  size_t TournamentPick(const std::vector<Nsga2Individual>& pop);
+  void SbxCrossover(const std::vector<double>& p1,
+                    const std::vector<double>& p2, std::vector<double>& c1,
+                    std::vector<double>& c2);
+  void PolynomialMutation(std::vector<double>& x);
+  void AssignRankAndCrowding(std::vector<Nsga2Individual>& pop) const;
+
+  std::vector<DecisionBounds> bounds_;
+  ObjectiveFn objective_;
+  Nsga2Options options_;
+  Rng rng_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_BRAIN_NSGA2_H_

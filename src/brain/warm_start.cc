@@ -1,0 +1,58 @@
+#include "brain/warm_start.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlrover {
+
+namespace {
+
+/// Continuous view of a config for smoothing arithmetic.
+struct SmoothConfig {
+  double workers, ps, worker_cpu, ps_cpu, worker_mem, ps_mem;
+
+  static SmoothConfig From(const JobConfig& c) {
+    return {static_cast<double>(c.num_workers), static_cast<double>(c.num_ps),
+            c.worker_cpu, c.ps_cpu, c.worker_memory, c.ps_memory};
+  }
+  JobConfig Round() const {
+    JobConfig c;
+    c.num_workers = std::max(1, static_cast<int>(std::lround(workers)));
+    c.num_ps = std::max(1, static_cast<int>(std::lround(ps)));
+    c.worker_cpu = std::max(1.0, std::round(worker_cpu * 2.0) / 2.0);
+    c.ps_cpu = std::max(1.0, std::round(ps_cpu * 2.0) / 2.0);
+    c.worker_memory = std::max(GiB(1), worker_mem);
+    c.ps_memory = std::max(GiB(1), ps_mem);
+    return c;
+  }
+};
+
+SmoothConfig Blend(double mu, const SmoothConfig& a, const SmoothConfig& b) {
+  // mu * a + (1 - mu) * b.
+  return {mu * a.workers + (1 - mu) * b.workers,
+          mu * a.ps + (1 - mu) * b.ps,
+          mu * a.worker_cpu + (1 - mu) * b.worker_cpu,
+          mu * a.ps_cpu + (1 - mu) * b.ps_cpu,
+          mu * a.worker_mem + (1 - mu) * b.worker_mem,
+          mu * a.ps_mem + (1 - mu) * b.ps_mem};
+}
+
+}  // namespace
+
+JobConfig WarmStartConfig(const ConfigDb& db, const JobMetadata& query,
+                          const WarmStartOptions& options) {
+  const std::vector<JobRecord> similar =
+      db.TopKSimilar(query, options.top_k);
+  if (similar.empty()) return options.default_config;
+
+  // Algorithm 1: A-bar^0 = A^0 (least similar of the top-k); then
+  // A-bar^i = mu * A^i + (1-mu) * A-bar^{i-1}, ending on the most similar.
+  SmoothConfig smoothed = SmoothConfig::From(similar[0].final_config);
+  for (size_t i = 1; i < similar.size(); ++i) {
+    smoothed = Blend(options.mu, SmoothConfig::From(similar[i].final_config),
+                     smoothed);
+  }
+  return smoothed.Round();
+}
+
+}  // namespace dlrover

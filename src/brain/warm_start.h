@@ -1,0 +1,31 @@
+#ifndef DLROVER_BRAIN_WARM_START_H_
+#define DLROVER_BRAIN_WARM_START_H_
+
+#include "brain/config_db.h"
+#include "ps/job_config.h"
+
+namespace dlrover {
+
+struct WarmStartOptions {
+  /// Number of similar historical jobs to smooth over (Algorithm 1's k).
+  int top_k = 5;
+  /// Exponential smoothing factor mu in (0, 1); higher weights the more
+  /// similar job of each step.
+  double mu = 0.5;
+  /// Fallback used when the database has no usable history (cold start).
+  JobConfig default_config;
+};
+
+/// Pre-scaling stage: warm-starting (paper Algorithm 1).
+///
+/// Retrieves the top-k most similar historical jobs and blends their final
+/// configurations with exponential smoothing, ending on the most similar
+/// one: A-bar^i = mu * A^i + (1 - mu) * A-bar^{i-1}. Counts are rounded at
+/// the end; the result is a start-up allocation close to the eventual
+/// optimum, which shrinks the number of later scaling operations.
+JobConfig WarmStartConfig(const ConfigDb& db, const JobMetadata& query,
+                          const WarmStartOptions& options);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_BRAIN_WARM_START_H_

@@ -1,0 +1,73 @@
+#include "cluster/background_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlrover {
+
+BackgroundLoad::BackgroundLoad(Simulator* sim, Cluster* cluster,
+                               const BackgroundLoadOptions& options)
+    : sim_(sim), cluster_(cluster), options_(options), rng_(options.seed) {
+  task_ = std::make_unique<PeriodicTask>(sim_, options_.reconcile_interval,
+                                         [this] { Reconcile(); });
+}
+
+void BackgroundLoad::Start() { task_->Start(); }
+
+void BackgroundLoad::Stop() {
+  task_->Stop();
+  for (PodId id : pods_) cluster_->KillPod(id);
+  pods_.clear();
+}
+
+double BackgroundLoad::TargetFraction() const {
+  const double phase = 2.0 * M_PI * sim_->Now() / options_.period;
+  const double diurnal = std::max(0.0, std::sin(phase));
+  return std::clamp(options_.base_fraction + options_.peak_fraction * diurnal,
+                    0.0, 0.95);
+}
+
+void BackgroundLoad::Reconcile() {
+  // Drop references to pods that terminated (preempted pods of ours cannot
+  // exist — we are top priority — but owner kills can race).
+  std::vector<PodId> alive;
+  for (PodId id : pods_) {
+    const Pod* pod = cluster_->GetPod(id);
+    if (pod != nullptr && !pod->terminal()) alive.push_back(id);
+  }
+  pods_ = std::move(alive);
+
+  const double jitter = 1.0 + 0.05 * rng_.Normal();
+  const double target_cpu =
+      TargetFraction() * jitter * cluster_->TotalCapacity().cpu;
+  const double have_cpu =
+      static_cast<double>(pods_.size()) * options_.pod_size.cpu;
+
+  if (have_cpu < target_cpu - options_.pod_size.cpu) {
+    const int to_add = static_cast<int>(
+        (target_cpu - have_cpu) / options_.pod_size.cpu);
+    for (int i = 0; i < to_add; ++i) {
+      PodSpec spec;
+      spec.name = "bg-service";
+      spec.request = options_.pod_size;
+      spec.priority = options_.priority;
+      const PodId id = cluster_->CreatePod(
+          std::move(spec),
+          [this](Pod& pod) {
+            // Online service pods run hot: report near-full usage.
+            pod.usage = pod.spec.request * 0.8;
+          },
+          [](Pod&, PodStopReason) {});
+      pods_.push_back(id);
+    }
+  } else if (have_cpu > target_cpu + options_.pod_size.cpu) {
+    int to_remove = static_cast<int>(
+        (have_cpu - target_cpu) / options_.pod_size.cpu);
+    while (to_remove-- > 0 && !pods_.empty()) {
+      cluster_->KillPod(pods_.back());
+      pods_.pop_back();
+    }
+  }
+}
+
+}  // namespace dlrover

@@ -1,0 +1,61 @@
+#ifndef DLROVER_CLUSTER_BACKGROUND_LOAD_H_
+#define DLROVER_CLUSTER_BACKGROUND_LOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+
+/// Options for the co-located high-priority workload (online serving, stream
+/// processing) that shares the cluster with DLRM training. Spikes in this
+/// load preempt training pods — the paper's main source of cloud
+/// instability.
+struct BackgroundLoadOptions {
+  /// Baseline fraction of cluster CPU held by high-priority services.
+  double base_fraction = 0.18;
+  /// Peak additional fraction during diurnal peaks.
+  double peak_fraction = 0.12;
+  /// Diurnal period (one simulated day by default).
+  Duration period = Days(1);
+  /// Size of each background pod.
+  ResourceSpec pod_size{8.0, GiB(32)};
+  /// How often the controller reconciles toward the target load.
+  Duration reconcile_interval = Minutes(10);
+  PriorityClass priority = PriorityClass::kOnline;
+  uint64_t seed = 4242;
+};
+
+/// Drives a diurnal high-priority workload: target share =
+/// base + peak * max(0, sin(2*pi*t/period)) plus noise; the controller adds
+/// or removes pods to track it. Because these pods outrank training pods,
+/// rising load preempts training workers exactly as in the paper's cloud.
+class BackgroundLoad {
+ public:
+  BackgroundLoad(Simulator* sim, Cluster* cluster,
+                 const BackgroundLoadOptions& options);
+
+  void Start();
+  void Stop();
+
+  /// Current target fraction of cluster CPU.
+  double TargetFraction() const;
+  size_t ActivePods() const { return pods_.size(); }
+
+ private:
+  void Reconcile();
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  BackgroundLoadOptions options_;
+  Rng rng_;
+  std::vector<PodId> pods_;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_CLUSTER_BACKGROUND_LOAD_H_

@@ -1,0 +1,360 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dlrover {
+
+std::string ResourceSpec::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{cpu=%.2f, mem=%.1fGiB}", cpu, ToGiB(memory));
+  return buf;
+}
+
+std::string PriorityClassName(PriorityClass p) {
+  switch (p) {
+    case PriorityClass::kBestEffort:
+      return "best-effort";
+    case PriorityClass::kTraining:
+      return "training";
+    case PriorityClass::kStream:
+      return "stream";
+    case PriorityClass::kOnline:
+      return "online";
+  }
+  return "unknown";
+}
+
+std::string PodPhaseName(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending:
+      return "Pending";
+    case PodPhase::kStarting:
+      return "Starting";
+    case PodPhase::kRunning:
+      return "Running";
+    case PodPhase::kSucceeded:
+      return "Succeeded";
+    case PodPhase::kFailed:
+      return "Failed";
+    case PodPhase::kPreempted:
+      return "Preempted";
+    case PodPhase::kKilled:
+      return "Killed";
+  }
+  return "Unknown";
+}
+
+std::string PodStopReasonName(PodStopReason reason) {
+  switch (reason) {
+    case PodStopReason::kCompleted:
+      return "completed";
+    case PodStopReason::kCrash:
+      return "crash";
+    case PodStopReason::kOomKill:
+      return "oom-kill";
+    case PodStopReason::kPreemption:
+      return "preemption";
+    case PodStopReason::kOwnerKill:
+      return "owner-kill";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
+    : sim_(sim), options_(options), rng_(options.seed) {
+  nodes_.reserve(static_cast<size_t>(options.num_nodes));
+  for (int i = 0; i < options.num_nodes; ++i) {
+    Node node;
+    node.id = static_cast<NodeId>(i);
+    node.capacity = options.node_capacity;
+    node.speed_factor =
+        options.heterogeneity_sigma > 0.0
+            ? rng_.LogNormal(1.0, options.heterogeneity_sigma)
+            : 1.0;
+    nodes_.push_back(node);
+  }
+  pump_task_ = std::make_unique<PeriodicTask>(
+      sim_, options.reschedule_interval, [this] { PumpPendingQueue(); });
+  pump_task_->Start();
+}
+
+PodId Cluster::CreatePod(PodSpec spec, std::function<void(Pod&)> on_running,
+                         std::function<void(Pod&, PodStopReason)> on_stopped) {
+  auto pod = std::make_unique<Pod>();
+  pod->id = next_pod_id_++;
+  pod->spec = std::move(spec);
+  pod->submit_time = sim_->Now();
+  pod->on_running = std::move(on_running);
+  pod->on_stopped = std::move(on_stopped);
+  const PodId id = pod->id;
+  Pod& ref = *pod;
+  pods_[id] = std::move(pod);
+  ++counters_.pods_created;
+
+  if (!TryPlace(ref)) {
+    // Hold the pending queue off while preempting: the capacity freed for
+    // this (higher-priority) pod must not be grabbed by a lower-priority
+    // pending pod via the Terminate->pump path.
+    const bool was_pumping = pumping_;
+    pumping_ = true;
+    const bool placed = TryPreemptFor(ref) && TryPlace(ref);
+    pumping_ = was_pumping;
+    if (!placed) pending_.push_back(id);
+    if (!was_pumping && repump_) {
+      repump_ = false;
+      PumpPendingQueue();
+    }
+  }
+  return id;
+}
+
+bool Cluster::TryPlace(Pod& pod) {
+  // Best-fit: choose the healthy node with the least remaining CPU that
+  // still fits the request (packs tightly, leaving large holes for big pods).
+  int best = -1;
+  double best_left = std::numeric_limits<double>::infinity();
+  for (const Node& node : nodes_) {
+    if (!node.healthy) continue;
+    if (!pod.spec.request.FitsIn(node.Available())) continue;
+    const double left = node.Available().cpu - pod.spec.request.cpu;
+    if (left < best_left) {
+      best_left = left;
+      best = static_cast<int>(node.id);
+    }
+  }
+  if (best < 0) return false;
+
+  Node& node = nodes_[static_cast<size_t>(best)];
+  node.allocated += pod.spec.request;
+  node.pods.push_back(pod.id);
+  pod.node = node.id;
+  pod.phase = PodPhase::kStarting;
+  pod.speed_factor = node.speed_factor;
+  ++counters_.placements;
+
+  Duration startup = rng_.Uniform(options_.min_pod_startup,
+                                  options_.max_pod_startup);
+  if (UnderScarcity()) startup *= options_.scarcity_startup_factor;
+  const PodId id = pod.id;
+  sim_->ScheduleAfter(startup, [this, id] { FinishStartup(id); });
+  return true;
+}
+
+bool Cluster::TryPreemptFor(Pod& pod) {
+  // Only higher-priority pods may preempt. Find a node where evicting the
+  // cheapest set of strictly lower-priority pods frees enough room.
+  for (Node& node : nodes_) {
+    if (!node.healthy) continue;
+    ResourceSpec would_free = node.Available();
+    std::vector<PodId> victims;
+    // Evict lowest priority first.
+    std::vector<PodId> candidates = node.pods;
+    std::sort(candidates.begin(), candidates.end(),
+              [this](PodId a, PodId b) {
+                return static_cast<int>(pods_[a]->spec.priority) <
+                       static_cast<int>(pods_[b]->spec.priority);
+              });
+    for (PodId vid : candidates) {
+      if (pod.spec.request.FitsIn(would_free)) break;
+      Pod& victim = *pods_[vid];
+      if (static_cast<int>(victim.spec.priority) >=
+          static_cast<int>(pod.spec.priority)) {
+        continue;
+      }
+      would_free += victim.spec.request;
+      victims.push_back(vid);
+    }
+    if (pod.spec.request.FitsIn(would_free)) {
+      for (PodId vid : victims) {
+        ++counters_.pods_preempted;
+        Terminate(*pods_[vid], PodPhase::kPreempted,
+                  PodStopReason::kPreemption);
+      }
+      return !victims.empty();
+    }
+  }
+  return false;
+}
+
+void Cluster::FinishStartup(PodId id) {
+  auto it = pods_.find(id);
+  if (it == pods_.end()) return;
+  Pod& pod = *it->second;
+  if (pod.phase != PodPhase::kStarting) return;  // killed while starting
+  pod.phase = PodPhase::kRunning;
+  pod.start_time = sim_->Now();
+  if (pod.on_running) pod.on_running(pod);
+}
+
+void Cluster::KillPod(PodId id, bool graceful_success) {
+  auto it = pods_.find(id);
+  if (it == pods_.end()) return;
+  Pod& pod = *it->second;
+  if (pod.terminal()) return;
+  Terminate(pod, graceful_success ? PodPhase::kSucceeded : PodPhase::kKilled,
+            graceful_success ? PodStopReason::kCompleted
+                             : PodStopReason::kOwnerKill);
+}
+
+void Cluster::FailPod(PodId id, PodStopReason reason) {
+  auto it = pods_.find(id);
+  if (it == pods_.end()) return;
+  Pod& pod = *it->second;
+  if (pod.phase != PodPhase::kRunning && pod.phase != PodPhase::kStarting) {
+    return;
+  }
+  ++counters_.pods_failed;
+  Terminate(pod, PodPhase::kFailed, reason);
+}
+
+void Cluster::DegradePod(PodId id, double speed_factor) {
+  Pod* pod = GetMutablePod(id);
+  if (pod == nullptr || pod->terminal()) return;
+  pod->speed_factor = speed_factor;
+}
+
+void Cluster::FailNode(NodeId id) {
+  Node& node = nodes_[id];
+  node.healthy = false;
+  const std::vector<PodId> victims = node.pods;
+  for (PodId pid : victims) {
+    FailPod(pid, PodStopReason::kCrash);
+  }
+}
+
+void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
+  // Idempotent: preemption collects victims up front, and a victim's stop
+  // callback can transitively kill other pods in that victim list (a job
+  // restarting tears down all of its pods). The second Terminate on such a
+  // pod must be a no-op — in particular it must not fire callbacks again.
+  if (pod.terminal()) return;
+  const bool was_pending = pod.phase == PodPhase::kPending;
+  if (pod.phase == PodPhase::kStarting || pod.phase == PodPhase::kRunning) {
+    ReleaseFromNode(pod);
+  }
+  if (was_pending) {
+    auto it = std::find(pending_.begin(), pending_.end(), pod.id);
+    if (it != pending_.end()) pending_.erase(it);
+  }
+  pod.phase = phase;
+  pod.end_time = sim_->Now();
+  pod.usage = {};
+  if (pod.on_stopped) pod.on_stopped(pod, reason);
+  // Freed capacity may unblock pending pods.
+  PumpPendingQueue();
+}
+
+void Cluster::ReleaseFromNode(Pod& pod) {
+  Node& node = nodes_[pod.node];
+  node.allocated -= pod.spec.request;
+  node.allocated.cpu = std::max(0.0, node.allocated.cpu);
+  node.allocated.memory = std::max(0.0, node.allocated.memory);
+  auto it = std::find(node.pods.begin(), node.pods.end(), pod.id);
+  if (it != node.pods.end()) node.pods.erase(it);
+}
+
+void Cluster::PumpPendingQueue() {
+  // Placement triggers pod-stop callbacks (preemption) which re-enter the
+  // cluster arbitrarily (jobs kill/create pods, which calls back in here).
+  // Guard against recursion and iterate over a snapshot: nested calls just
+  // request another pass.
+  if (pumping_) {
+    repump_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    repump_ = false;
+    if (pending_.empty()) break;
+    // Highest priority first, FIFO within a class.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [this](PodId a, PodId b) {
+                       return static_cast<int>(pods_[a]->spec.priority) >
+                              static_cast<int>(pods_[b]->spec.priority);
+                     });
+    const std::vector<PodId> snapshot(pending_.begin(), pending_.end());
+    pending_.clear();  // nested CreatePod may add fresh ids meanwhile
+    std::deque<PodId> still_pending;
+    for (PodId id : snapshot) {
+      Pod* pod = GetMutablePod(id);
+      if (pod == nullptr || pod->phase != PodPhase::kPending) continue;
+      if (!TryPlace(*pod)) {
+        if (!TryPreemptFor(*pod) || !TryPlace(*pod)) {
+          still_pending.push_back(id);
+        }
+      }
+    }
+    for (PodId id : pending_) still_pending.push_back(id);
+    pending_ = std::move(still_pending);
+  } while (repump_);
+  pumping_ = false;
+}
+
+const Pod* Cluster::GetPod(PodId id) const {
+  auto it = pods_.find(id);
+  return it == pods_.end() ? nullptr : it->second.get();
+}
+
+Pod* Cluster::GetMutablePod(PodId id) {
+  auto it = pods_.find(id);
+  return it == pods_.end() ? nullptr : it->second.get();
+}
+
+void Cluster::VisitPods(const std::function<void(const Pod&)>& fn) const {
+  for (const auto& [id, pod] : pods_) fn(*pod);
+}
+
+ResourceSpec Cluster::TotalCapacity() const {
+  ResourceSpec total;
+  for (const Node& node : nodes_) {
+    if (node.healthy) total += node.capacity;
+  }
+  return total;
+}
+
+ResourceSpec Cluster::TotalAllocated() const {
+  ResourceSpec total;
+  for (const Node& node : nodes_) {
+    if (node.healthy) total += node.allocated;
+  }
+  return total;
+}
+
+ResourceSpec Cluster::TotalUsage() const {
+  ResourceSpec total;
+  for (const auto& [id, pod] : pods_) {
+    if (pod->phase == PodPhase::kRunning) total += pod->usage;
+  }
+  return total;
+}
+
+ClusterUsage Cluster::Usage() const {
+  const ResourceSpec cap = TotalCapacity();
+  const ResourceSpec alloc = TotalAllocated();
+  const ResourceSpec used = TotalUsage();
+  ClusterUsage u;
+  if (cap.cpu > 0) {
+    u.cpu_allocated_fraction = alloc.cpu / cap.cpu;
+    u.cpu_used_fraction = used.cpu / cap.cpu;
+  }
+  if (cap.memory > 0) {
+    u.mem_allocated_fraction = alloc.memory / cap.memory;
+    u.mem_used_fraction = used.memory / cap.memory;
+  }
+  if (alloc.cpu > 0) u.cpu_used_of_allocated = used.cpu / alloc.cpu;
+  if (alloc.memory > 0) u.mem_used_of_allocated = used.memory / alloc.memory;
+  return u;
+}
+
+bool Cluster::UnderScarcity() const {
+  const ResourceSpec cap = TotalCapacity();
+  if (cap.cpu <= 0) return true;
+  const double free_frac = 1.0 - TotalAllocated().cpu / cap.cpu;
+  return free_frac < options_.scarcity_threshold;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,145 @@
+#ifndef DLROVER_CLUSTER_CLUSTER_H_
+#define DLROVER_CLUSTER_CLUSTER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/pod.h"
+#include "cluster/resources.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+
+/// A physical machine in the simulated cluster.
+struct Node {
+  NodeId id = 0;
+  ResourceSpec capacity;
+  ResourceSpec allocated;  // sum of requests of pods placed here
+  /// Hardware speed multiplier; heterogeneous clusters draw this around 1.0.
+  double speed_factor = 1.0;
+  bool healthy = true;
+  std::vector<PodId> pods;
+
+  ResourceSpec Available() const { return capacity - allocated; }
+};
+
+/// Tunables for the cluster substrate.
+struct ClusterOptions {
+  int num_nodes = 20;
+  ResourceSpec node_capacity{32.0, GiB(192)};
+  /// Stddev of node speed factors (log-space); 0 = homogeneous.
+  double heterogeneity_sigma = 0.0;
+  /// Pod startup = image pull + container boot, sampled uniformly.
+  Duration min_pod_startup = Seconds(25);
+  Duration max_pod_startup = Seconds(60);
+  /// Extra multiplier on startup during resource scarcity (the paper reports
+  /// >30 minutes under daytime scarcity).
+  double scarcity_startup_factor = 3.0;
+  /// Fraction of free cluster CPU below which scarcity mode is assumed.
+  double scarcity_threshold = 0.10;
+  /// Retry interval for the pending queue.
+  Duration reschedule_interval = Seconds(15);
+  uint64_t seed = 17;
+};
+
+/// Aggregate utilisation sample used by experiment reporting.
+struct ClusterUsage {
+  double cpu_allocated_fraction = 0.0;  // allocated / capacity
+  double cpu_used_fraction = 0.0;       // usage / capacity
+  double mem_allocated_fraction = 0.0;
+  double mem_used_fraction = 0.0;
+  double cpu_used_of_allocated = 0.0;  // usage / allocated (job efficiency)
+  double mem_used_of_allocated = 0.0;
+};
+
+/// A Kubernetes-like cluster: owns nodes and pods, places pods by best-fit
+/// bin packing, keeps a priority-aware pending queue, and supports
+/// preemption of lower-priority pods by higher-priority requests.
+///
+/// The DLRM system (per the paper, Section 2.1) has no control over the
+/// cluster: it can only request pods and observe their lifecycle, which is
+/// exactly the interface exposed here.
+class Cluster {
+ public:
+  Cluster(Simulator* sim, const ClusterOptions& options);
+
+  /// Submits a pod. The pod starts Pending; placement is attempted
+  /// immediately and retried periodically. Returns the pod id.
+  PodId CreatePod(PodSpec spec, std::function<void(Pod&)> on_running,
+                  std::function<void(Pod&, PodStopReason)> on_stopped);
+
+  /// Owner-initiated deletion (scale-down / migration / job completion).
+  /// `graceful_success` marks the pod Succeeded instead of Killed.
+  void KillPod(PodId id, bool graceful_success = false);
+
+  /// Crashes a running pod (failure injection / OOM). No-op if not running.
+  void FailPod(PodId id, PodStopReason reason);
+
+  /// Degrades a running pod's speed factor (straggler injection).
+  void DegradePod(PodId id, double speed_factor);
+
+  /// Marks a node unhealthy and fails everything on it.
+  void FailNode(NodeId id);
+
+  const Pod* GetPod(PodId id) const;
+  Pod* GetMutablePod(PodId id);
+  /// Visits every pod (including terminal ones) in id order.
+  void VisitPods(const std::function<void(const Pod&)>& fn) const;
+  const Node& GetNode(NodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Total cluster capacity across healthy nodes.
+  ResourceSpec TotalCapacity() const;
+  /// Sum of requests of placed (Starting/Running) pods.
+  ResourceSpec TotalAllocated() const;
+  /// Sum of live usage reported by running pods.
+  ResourceSpec TotalUsage() const;
+  ClusterUsage Usage() const;
+
+  /// Number of pods waiting in the pending queue.
+  size_t PendingCount() const { return pending_.size(); }
+
+  /// True when free CPU is below the scarcity threshold (startup slows down).
+  bool UnderScarcity() const;
+
+  Simulator* sim() { return sim_; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Lifetime counters for experiment reporting.
+  struct Counters {
+    uint64_t pods_created = 0;
+    uint64_t pods_preempted = 0;
+    uint64_t pods_failed = 0;
+    uint64_t placements = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  bool TryPlace(Pod& pod);
+  bool TryPreemptFor(Pod& pod);
+  void FinishStartup(PodId id);
+  void Terminate(Pod& pod, PodPhase phase, PodStopReason reason);
+  void ReleaseFromNode(Pod& pod);
+  void PumpPendingQueue();
+
+  Simulator* sim_;
+  ClusterOptions options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::map<PodId, std::unique_ptr<Pod>> pods_;
+  std::deque<PodId> pending_;
+  bool pumping_ = false;
+  bool repump_ = false;
+  PodId next_pod_id_ = 1;
+  Counters counters_;
+  std::unique_ptr<PeriodicTask> pump_task_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_CLUSTER_CLUSTER_H_

@@ -1,0 +1,52 @@
+#include "cluster/failure_injector.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dlrover {
+
+FailureInjector::FailureInjector(Simulator* sim, Cluster* cluster,
+                                 const FailureInjectorOptions& options)
+    : sim_(sim), cluster_(cluster), options_(options), rng_(options.seed) {
+  task_ = std::make_unique<PeriodicTask>(sim_, options_.sweep_interval,
+                                         [this] { Sweep(); });
+}
+
+void FailureInjector::Start() { task_->Start(); }
+void FailureInjector::Stop() { task_->Stop(); }
+
+void FailureInjector::Sweep() {
+  // Convert daily rates to a per-sweep hazard assuming a Poisson process:
+  // p_sweep = 1 - exp(-rate * dt). Valid for any rate >= 0 (rates above
+  // 1/day simply mean multiple expected events per pod-day).
+  const double dt_days = options_.sweep_interval / Days(1);
+  const double p_fail =
+      1.0 - std::exp(-options_.daily_pod_failure_rate * dt_days);
+  const double p_straggle =
+      1.0 - std::exp(-options_.daily_straggler_rate * dt_days);
+
+  // Collect victims first: injecting inside the visit would mutate the pod
+  // map mid-iteration (terminations can create replacement pods).
+  std::vector<PodId> to_crash;
+  std::vector<PodId> to_degrade;
+  cluster_->VisitPods([&](const Pod& pod) {
+    if (pod.phase != PodPhase::kRunning) return;
+    if (pod.spec.priority != options_.target_priority) return;
+    if (rng_.Bernoulli(p_fail)) {
+      to_crash.push_back(pod.id);
+    } else if (p_straggle > 0.0 && pod.speed_factor >= 0.5 &&
+               rng_.Bernoulli(p_straggle)) {
+      to_degrade.push_back(pod.id);
+    }
+  });
+  for (PodId id : to_crash) {
+    ++crashes_;
+    cluster_->FailPod(id, PodStopReason::kCrash);
+  }
+  for (PodId id : to_degrade) {
+    ++stragglers_;
+    cluster_->DegradePod(id, options_.straggler_speed_factor);
+  }
+}
+
+}  // namespace dlrover

@@ -1,0 +1,59 @@
+#ifndef DLROVER_CLUSTER_FAILURE_INJECTOR_H_
+#define DLROVER_CLUSTER_FAILURE_INJECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+
+/// Tunables for cloud-instability injection. Defaults reproduce the paper's
+/// observed rates: 1.5% daily per-pod failure probability and straggler
+/// pods degraded to 3% of nominal speed.
+struct FailureInjectorOptions {
+  /// Poisson rate of failures per pod per day (the paper observes 1.5%
+  /// daily for a single pod; fleet benches compress exposure upward).
+  double daily_pod_failure_rate = 0.015;
+  /// Poisson rate of straggler onsets per pod per day.
+  double daily_straggler_rate = 0.0;
+  /// Speed factor applied to straggler pods (paper: 3% of tuned CPU).
+  double straggler_speed_factor = 0.03;
+  /// Check interval for injection sweeps.
+  Duration sweep_interval = Minutes(1);
+  /// Restrict injection to pods of this priority class (training pods).
+  PriorityClass target_priority = PriorityClass::kTraining;
+  uint64_t seed = 97;
+};
+
+/// Periodically sweeps running pods and injects crashes / stragglers with
+/// per-sweep probabilities derived from the configured daily rates, modeling
+/// the memoryless failure process of a shared cloud.
+class FailureInjector {
+ public:
+  FailureInjector(Simulator* sim, Cluster* cluster,
+                  const FailureInjectorOptions& options);
+
+  void Start();
+  void Stop();
+
+  uint64_t crashes_injected() const { return crashes_; }
+  uint64_t stragglers_injected() const { return stragglers_; }
+
+ private:
+  void Sweep();
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  FailureInjectorOptions options_;
+  Rng rng_;
+  uint64_t crashes_ = 0;
+  uint64_t stragglers_ = 0;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_CLUSTER_FAILURE_INJECTOR_H_

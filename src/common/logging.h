@@ -1,0 +1,62 @@
+#ifndef DLROVER_COMMON_LOGGING_H_
+#define DLROVER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dlrover {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level: messages below it are dropped. Default kWarning so
+/// that tests and benches stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: collects a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// A sink that swallows everything (used when the level is filtered out).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define DLROVER_LOG(level)                                                   \
+  (static_cast<int>(::dlrover::LogLevel::k##level) <                         \
+   static_cast<int>(::dlrover::GetLogLevel()))                               \
+      ? (void)0                                                              \
+      : (void)(::dlrover::internal_logging::LogMessage(                      \
+                   ::dlrover::LogLevel::k##level, __FILE__, __LINE__)        \
+                   .stream())
+
+// Stream form: DLROVER_LOG_STREAM(Info) << "x=" << x;
+#define DLROVER_LOG_STREAM(level)                                        \
+  ::dlrover::internal_logging::LogMessage(::dlrover::LogLevel::k##level, \
+                                          __FILE__, __LINE__)            \
+      .stream()
+
+}  // namespace dlrover
+
+#endif  // DLROVER_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+#ifndef DLROVER_COMMON_UNITS_H_
+#define DLROVER_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace dlrover {
+
+/// Simulated time in seconds since the start of the simulation.
+using SimTime = double;
+
+/// Duration in (simulated) seconds.
+using Duration = double;
+
+inline constexpr Duration Seconds(double s) { return s; }
+inline constexpr Duration Minutes(double m) { return m * 60.0; }
+inline constexpr Duration Hours(double h) { return h * 3600.0; }
+inline constexpr Duration Days(double d) { return d * 86400.0; }
+
+/// CPU capacity measured in cores (fractional cores allowed, as with
+/// Kubernetes millicores).
+using Cores = double;
+
+/// Memory in bytes, kept as double: embedding tables reach terabytes and we
+/// only ever do arithmetic, never addressing.
+using Bytes = double;
+
+inline constexpr Bytes KiB(double v) { return v * 1024.0; }
+inline constexpr Bytes MiB(double v) { return v * 1024.0 * 1024.0; }
+inline constexpr Bytes GiB(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+inline constexpr Bytes TiB(double v) { return v * 1024.0 * 1024.0 * 1024.0 * 1024.0; }
+
+inline constexpr double ToGiB(Bytes b) { return b / (1024.0 * 1024.0 * 1024.0); }
+inline constexpr double ToTiB(Bytes b) { return b / (1024.0 * 1024.0 * 1024.0 * 1024.0); }
+
+/// Network bandwidth in bytes per second.
+using Bandwidth = double;
+
+inline constexpr Bandwidth GiBps(double v) { return GiB(v); }
+inline constexpr Bandwidth MiBps(double v) { return MiB(v); }
+
+}  // namespace dlrover
+
+#endif  // DLROVER_COMMON_UNITS_H_

@@ -1,0 +1,265 @@
+#include "dlrm/async_trainer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dlrm/metrics.h"
+
+namespace dlrover {
+
+AsyncPsTrainer::AsyncPsTrainer(MiniDlrm* model, const CriteoSynth* data,
+                               const AsyncTrainerOptions& options)
+    : model_(model), data_(data), options_(options), rng_(options.seed) {
+  result_.times_trained.assign(options_.total_batches, 0);
+  if (options_.data_mode == DataMode::kDynamicSharding) {
+    ShardQueueOptions qopts;
+    qopts.total_batches = options_.total_batches;
+    qopts.default_shard_batches = options_.shard_batches;
+    qopts.min_shard_batches = std::max<uint64_t>(1, options_.shard_batches / 8);
+    queue_ = std::make_unique<ShardQueue>(qopts);
+  }
+  for (int i = 0; i < options_.num_workers; ++i) {
+    Worker w;
+    w.id = next_worker_id_++;
+    workers_.push_back(std::move(w));
+  }
+  if (options_.data_mode == DataMode::kStaticPartition) RepartitionStatic();
+
+  eval_batch_ = data_->Batch(options_.eval_start, options_.eval_size);
+  eval_labels_.reserve(eval_batch_.size());
+  for (const auto& s : eval_batch_.samples) eval_labels_.push_back(s.label);
+
+  // Sort events so FireEvents can walk them with a cursor.
+  std::sort(options_.events.begin(), options_.events.end(),
+            [](const ElasticEvent& a, const ElasticEvent& b) {
+              return a.at_batches < b.at_batches;
+            });
+}
+
+void AsyncPsTrainer::RepartitionStatic() {
+  // Naive re-partitioning, as conventional frameworks do on scale events:
+  // training resumes from the *global step counter* and the remaining data
+  // is re-split from there. Scattered batches below that offset that were
+  // never trained (a straggler's backlog, in-flight work) are silently
+  // lost, and batches above it that were already trained get trained again
+  // — the "disrupted data sequence" of paper Section 2.2.
+  std::vector<Worker*> active;
+  for (Worker& w : workers_) {
+    if (w.active) active.push_back(&w);
+  }
+  if (active.empty()) return;
+  const uint64_t start = std::min(committed_, options_.total_batches);
+  for (size_t i = 0; i < active.size(); ++i) {
+    Worker* w = active[i];
+    w->part_cursor = start + i;
+    w->part_stride = active.size();
+    w->shard.reset();
+    w->batch.reset();
+    w->snapshot.reset();
+    w->progress = 0.0;
+  }
+}
+
+bool AsyncPsTrainer::FetchWork(Worker& worker) {
+  if (options_.data_mode == DataMode::kDynamicSharding) {
+    if (!worker.shard.has_value() ||
+        worker.shard_pos >= worker.shard->batches()) {
+      if (worker.shard.has_value()) {
+        const Status s = queue_->ReportCompleted(*worker.shard);
+        assert(s.ok());
+        (void)s;
+        worker.shard.reset();
+      }
+      auto shard = queue_->NextShard();
+      if (!shard.ok()) return false;
+      worker.shard = *shard;
+      worker.shard_pos = 0;
+    }
+    StartBatch(worker, worker.shard->start_batch + worker.shard_pos);
+    return true;
+  }
+  if (worker.part_stride == 0 ||
+      worker.part_cursor >= options_.total_batches) {
+    return false;
+  }
+  StartBatch(worker, worker.part_cursor);
+  return true;
+}
+
+void AsyncPsTrainer::StartBatch(Worker& worker, uint64_t batch_index) {
+  worker.batch_index = batch_index;
+  worker.batch = data_->Batch(batch_index * options_.batch_size,
+                              options_.batch_size);
+  // Pull: the parameters this gradient will be computed against. Slow
+  // workers take many ticks to finish, so by push time this is stale.
+  worker.snapshot = model_->TakeSnapshot(*worker.batch);
+}
+
+void AsyncPsTrainer::FinishBatch(Worker& worker) {
+  DlrmGradients grads;
+  model_->ForwardBackward(*worker.batch, *worker.snapshot, &grads);
+  model_->ApplyGradients(grads, options_.learning_rate);
+
+  if (worker.batch_index < result_.times_trained.size()) {
+    uint8_t& times = result_.times_trained[worker.batch_index];
+    if (times < 255) ++times;
+    if (times > 1) ++result_.batches_duplicated;
+  }
+  ++committed_;
+  if (options_.data_mode == DataMode::kDynamicSharding) {
+    ++worker.shard_pos;
+  } else {
+    worker.part_cursor += worker.part_stride;
+  }
+  worker.batch.reset();
+  worker.snapshot.reset();
+}
+
+void AsyncPsTrainer::FireEvents() {
+  while (next_event_ < options_.events.size() &&
+         options_.events[next_event_].at_batches <= committed_) {
+    const ElasticEvent& event = options_.events[next_event_++];
+    switch (event.kind) {
+      case ElasticEvent::Kind::kAddWorkers: {
+        for (int i = 0; i < event.count; ++i) {
+          Worker w;
+          w.id = next_worker_id_++;
+          workers_.push_back(std::move(w));
+        }
+        if (options_.data_mode == DataMode::kStaticPartition) {
+          RepartitionStatic();
+        }
+        break;
+      }
+      case ElasticEvent::Kind::kRemoveWorkers: {
+        int removed = 0;
+        for (auto it = workers_.rbegin();
+             it != workers_.rend() && removed < event.count; ++it) {
+          if (!it->active) continue;
+          it->active = false;
+          if (options_.data_mode == DataMode::kDynamicSharding &&
+              it->shard.has_value()) {
+            // Exactly-once: return the unfinished remainder to the queue.
+            const Status s =
+                queue_->ReportFailed(*it->shard, it->shard_pos);
+            assert(s.ok());
+            (void)s;
+            it->shard.reset();
+          }
+          ++removed;
+        }
+        if (options_.data_mode == DataMode::kStaticPartition) {
+          RepartitionStatic();
+        }
+        break;
+      }
+      case ElasticEvent::Kind::kCrashWorker: {
+        for (Worker& w : workers_) {
+          if (!w.active || w.speed < 1.0) continue;  // crash a healthy one
+          w.active = false;
+          if (options_.data_mode == DataMode::kDynamicSharding) {
+            if (w.shard.has_value()) {
+              const Status s = queue_->ReportFailed(*w.shard, w.shard_pos);
+              assert(s.ok());
+              (void)s;
+            }
+          } else {
+            // Conventional frameworks lose the crashed worker's in-flight
+            // window (the paper's "workers might miss specific data
+            // batches"): the replacement resumes past the prefetch buffer.
+            w.part_cursor += w.part_stride * options_.shard_batches / 4;
+          }
+          // Replacement worker joins.
+          Worker fresh;
+          fresh.id = next_worker_id_++;
+          if (options_.data_mode == DataMode::kStaticPartition) {
+            fresh.part_cursor = w.part_cursor;
+            fresh.part_stride = w.part_stride;
+            w.part_cursor = 0;
+            w.part_stride = 0;
+          }
+          workers_.push_back(std::move(fresh));
+          break;
+        }
+        break;
+      }
+      case ElasticEvent::Kind::kMakeStraggler: {
+        for (Worker& w : workers_) {
+          if (w.active && w.speed >= 1.0) {
+            w.speed = event.speed;
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void AsyncPsTrainer::Evaluate(TrainResult* result) {
+  const std::vector<double> probs = model_->Predict(eval_batch_);
+  EvalPoint point;
+  point.batches = committed_;
+  point.test_logloss = LogLoss(probs, eval_labels_);
+  point.test_auc = Auc(probs, eval_labels_);
+  result->curve.push_back(point);
+}
+
+TrainResult AsyncPsTrainer::Run() {
+  uint64_t last_eval = 0;
+  Evaluate(&result_);
+
+  auto work_remains = [&]() {
+    if (options_.data_mode == DataMode::kDynamicSharding) {
+      return !queue_->AllDone();
+    }
+    for (const Worker& w : workers_) {
+      if (w.active && w.part_stride > 0 &&
+          w.part_cursor < options_.total_batches) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Tick loop: each tick every active worker advances by `speed`; one unit
+  // of progress completes one batch.
+  uint64_t guard = 0;
+  const uint64_t max_ticks = options_.total_batches * 2000;
+  while (work_remains() && guard++ < max_ticks) {
+    bool anyone_working = false;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = workers_[i];
+      if (!w.active) continue;
+      if (!w.batch.has_value()) {
+        if (!FetchWork(w)) continue;
+      }
+      anyone_working = true;
+      w.progress += w.speed;
+      if (w.progress >= 1.0) {
+        w.progress -= 1.0;
+        FinishBatch(w);
+        FireEvents();
+        if (committed_ - last_eval >= options_.eval_every_batches) {
+          last_eval = committed_;
+          Evaluate(&result_);
+        }
+      }
+    }
+    if (!anyone_working) break;  // stranded data (static-mode skips)
+  }
+
+  Evaluate(&result_);
+  result_.batches_committed = committed_;
+  // Ground-truth data accounting from the multiplicity histogram.
+  uint64_t never_trained = 0;
+  for (uint8_t times : result_.times_trained) {
+    if (times == 0) ++never_trained;
+  }
+  result_.batches_skipped = never_trained;
+  result_.final_logloss = result_.curve.back().test_logloss;
+  result_.final_auc = result_.curve.back().test_auc;
+  return std::move(result_);
+}
+
+}  // namespace dlrover

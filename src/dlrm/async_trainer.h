@@ -1,0 +1,123 @@
+#ifndef DLROVER_DLRM_ASYNC_TRAINER_H_
+#define DLROVER_DLRM_ASYNC_TRAINER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dlrm/criteo_synth.h"
+#include "dlrm/mini_dlrm.h"
+#include "elastic/shard_queue.h"
+#include "ps/training_job.h"
+
+namespace dlrover {
+
+/// A scripted elasticity/instability event, triggered when the global
+/// number of committed batches reaches `at_batches`.
+struct ElasticEvent {
+  enum class Kind : int {
+    kAddWorkers = 0,
+    kRemoveWorkers = 1,
+    kCrashWorker = 2,
+    kMakeStraggler = 3,
+  };
+  uint64_t at_batches = 0;
+  Kind kind = Kind::kAddWorkers;
+  int count = 1;
+  double speed = 0.05;  // straggler speed factor
+};
+
+struct AsyncTrainerOptions {
+  int num_workers = 8;
+  uint64_t batch_size = 128;
+  uint64_t total_batches = 2000;
+  double learning_rate = 0.1;
+  uint64_t shard_batches = 16;
+  /// kDynamicSharding consumes via a ShardQueue with exactly-once
+  /// semantics; kStaticPartition emulates the conventional frameworks the
+  /// paper criticizes — elastic events re-partition naively, duplicating
+  /// already-trained batches, and crashes skip in-flight data.
+  DataMode data_mode = DataMode::kDynamicSharding;
+  std::vector<ElasticEvent> events;
+  uint64_t eval_every_batches = 250;
+  /// Test set: indices [eval_start, eval_start + eval_size), disjoint from
+  /// the training range (the paper holds out 10% of Criteo).
+  uint64_t eval_start = 50'000'000;
+  uint64_t eval_size = 4096;
+  uint64_t seed = 11;
+};
+
+struct EvalPoint {
+  uint64_t batches = 0;
+  double test_logloss = 0.0;
+  double test_auc = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EvalPoint> curve;
+  uint64_t batches_committed = 0;
+  uint64_t batches_duplicated = 0;  // trained more than once (static mode)
+  uint64_t batches_skipped = 0;     // never trained (static-mode crashes)
+  double final_logloss = 0.0;
+  double final_auc = 0.0;
+  /// Histogram sanity: per-batch training multiplicity (tests assert
+  /// all-ones under dynamic sharding).
+  std::vector<uint8_t> times_trained;
+};
+
+/// Trains a MiniDlrm with asynchronous parameter-server semantics:
+/// each logical worker pulls a parameter snapshot, computes gradients for
+/// one batch over several ticks (slow workers take longer, so their
+/// gradients are staler), and pushes the update. Data is served through
+/// DLRover's dynamic data sharding or a conventional static partitioning,
+/// with scripted elastic/instability events — this is the machinery behind
+/// the Fig 8 "elasticity preserves convergence" experiment.
+class AsyncPsTrainer {
+ public:
+  AsyncPsTrainer(MiniDlrm* model, const CriteoSynth* data,
+                 const AsyncTrainerOptions& options);
+
+  TrainResult Run();
+
+ private:
+  struct Worker {
+    int id = 0;
+    bool active = true;
+    double speed = 1.0;
+    double progress = 0.0;  // accumulated ticks toward the current batch
+    std::optional<DataShard> shard;
+    uint64_t shard_pos = 0;  // batches completed within the shard
+    std::optional<ParamSnapshot> snapshot;
+    std::optional<CriteoBatch> batch;
+    uint64_t batch_index = 0;
+    // Static-partition mode: strided ownership (worker trains batches
+    // cursor, cursor+stride, ... — how file-sharded input pipelines split a
+    // time-ordered log). stride == 0 means no assignment.
+    uint64_t part_cursor = 0;
+    uint64_t part_stride = 0;
+  };
+
+  bool FetchWork(Worker& worker);
+  void StartBatch(Worker& worker, uint64_t batch_index);
+  void FinishBatch(Worker& worker);
+  void FireEvents();
+  void Evaluate(TrainResult* result);
+  void RepartitionStatic();
+
+  MiniDlrm* model_;
+  const CriteoSynth* data_;
+  AsyncTrainerOptions options_;
+  Rng rng_;
+  std::vector<Worker> workers_;
+  std::unique_ptr<ShardQueue> queue_;
+  uint64_t committed_ = 0;
+  size_t next_event_ = 0;
+  int next_worker_id_ = 0;
+  TrainResult result_;
+  CriteoBatch eval_batch_;
+  std::vector<float> eval_labels_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_DLRM_ASYNC_TRAINER_H_

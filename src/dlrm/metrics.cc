@@ -1,0 +1,59 @@
+#include "dlrm/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dlrover {
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<float>& labels) {
+  assert(scores.size() == labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midrank assignment for ties.
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5f) {
+      positive_rank_sum += ranks[k];
+      ++positives;
+    }
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  return (positive_rank_sum -
+          static_cast<double>(positives) *
+              (static_cast<double>(positives) + 1.0) / 2.0) /
+         (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<float>& labels) {
+  assert(probs.size() == labels.size() && !probs.empty());
+  const double eps = 1e-12;
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double y = labels[i];
+    loss += -(y * std::log(probs[i] + eps) +
+              (1.0 - y) * std::log(1.0 - probs[i] + eps));
+  }
+  return loss / static_cast<double>(probs.size());
+}
+
+}  // namespace dlrover

@@ -1,0 +1,19 @@
+#ifndef DLROVER_DLRM_METRICS_H_
+#define DLROVER_DLRM_METRICS_H_
+
+#include <vector>
+
+namespace dlrover {
+
+/// Area under the ROC curve via the rank statistic (ties get midranks).
+/// Returns 0.5 when either class is absent.
+double Auc(const std::vector<double>& scores,
+           const std::vector<float>& labels);
+
+/// Mean binary cross-entropy of probabilities against labels.
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<float>& labels);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_DLRM_METRICS_H_

@@ -1,0 +1,475 @@
+#include "dlrm/mini_dlrm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dlrover {
+
+namespace {
+
+constexpr int kNumCat = CriteoSynth::kNumCategorical;
+constexpr int kNumDense = CriteoSynth::kNumDense;
+
+uint64_t HashKey(uint64_t seed, int feature, uint64_t bucket) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(feature + 1) * 0x9e3779b97f4a7c15ull) ^
+               (bucket * 0xc4ceb9fe1a85ec53ull);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+DenseParams MakeDenseParams(const MiniDlrmConfig& config, int n0,
+                            bool zero, Rng* rng) {
+  DenseParams p;
+  const double s = config.init_scale;
+  auto val = [&]() { return zero ? 0.0 : rng->Normal(0.0, s); };
+
+  p.dense_proj = Matrix(static_cast<size_t>(config.emb_dim), kNumDense);
+  for (auto& v : p.dense_proj.data()) v = val();
+
+  std::vector<int> sizes;
+  sizes.push_back(n0);
+  for (int h : config.mlp_hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Matrix w(static_cast<size_t>(sizes[l + 1]), static_cast<size_t>(sizes[l]));
+    for (auto& v : w.data()) v = val();
+    p.mlp_w.push_back(std::move(w));
+    p.mlp_b.emplace_back(static_cast<size_t>(sizes[l + 1]), 0.0);
+  }
+
+  if (config.arch == ModelKind::kDcn) {
+    for (int l = 0; l < config.cross_layers; ++l) {
+      std::vector<double> w(static_cast<size_t>(n0));
+      std::vector<double> b(static_cast<size_t>(n0), 0.0);
+      for (auto& v : w) v = val();
+      p.cross_w.push_back(std::move(w));
+      p.cross_b.push_back(std::move(b));
+    }
+    p.cross_out_w.assign(static_cast<size_t>(n0), 0.0);
+    for (auto& v : p.cross_out_w) v = val();
+  }
+  if (config.arch == ModelKind::kXDeepFm) {
+    for (int h = 0; h < config.fm_maps; ++h) {
+      std::vector<double> a(static_cast<size_t>(config.emb_dim));
+      for (auto& v : a) v = zero ? 0.0 : rng->Normal(0.0, 0.3);
+      p.fm_proj.push_back(std::move(a));
+    }
+    p.fm_w.assign(static_cast<size_t>(config.fm_maps), 0.0);
+    for (auto& v : p.fm_w) v = val();
+  }
+  p.bias = 0.0;
+  return p;
+}
+
+}  // namespace
+
+struct MiniDlrm::SampleCache {
+  std::vector<std::vector<double>> fields;  // 27 x emb_dim
+  std::vector<double> x0;
+  std::vector<std::vector<double>> mlp_pre;   // pre-activation per layer
+  std::vector<std::vector<double>> mlp_post;  // post-activation per layer
+  std::vector<std::vector<double>> cross_x;   // x_0 .. x_L
+  std::vector<double> cross_s;                // s_l = w_l . x_l
+  std::vector<std::vector<double>> fm_t;      // fm_maps x 27
+  std::vector<double> fm_f;                   // fm_maps
+  std::vector<double> fm_s;                   // fm_maps
+  double logit = 0.0;
+};
+
+MiniDlrm::MiniDlrm(const MiniDlrmConfig& config)
+    : config_(config), init_rng_(config.seed) {
+  n0_ = (1 + kNumCat) * config_.emb_dim;
+  params_ = MakeDenseParams(config_, n0_, /*zero=*/false, &init_rng_);
+  live_rows_.emb.resize(kNumCat);
+  live_rows_.wide.resize(kNumCat);
+}
+
+const std::vector<double>& MiniDlrm::LiveEmbRow(int feature,
+                                                uint64_t bucket) const {
+  auto& table = live_rows_.emb[static_cast<size_t>(feature)];
+  auto it = table.find(bucket);
+  if (it != table.end()) return it->second;
+  // Deterministic per-(feature,bucket) init: materialization order cannot
+  // change values, keeping elastic runs bit-reproducible.
+  Rng rng(HashKey(config_.seed, feature, bucket));
+  std::vector<double> row(static_cast<size_t>(config_.emb_dim));
+  for (auto& v : row) v = rng.Normal(0.0, config_.init_scale);
+  return table.emplace(bucket, std::move(row)).first->second;
+}
+
+double MiniDlrm::LiveWideWeight(int feature, uint64_t bucket) const {
+  auto& table = live_rows_.wide[static_cast<size_t>(feature)];
+  auto it = table.find(bucket);
+  if (it != table.end()) return it->second;
+  table.emplace(bucket, 0.0);
+  return 0.0;
+}
+
+ParamSnapshot MiniDlrm::TakeSnapshot(const CriteoBatch& batch) const {
+  ParamSnapshot snap;
+  snap.dense = params_;
+  snap.rows.emb.resize(kNumCat);
+  snap.rows.wide.resize(kNumCat);
+  for (const CriteoSample& sample : batch.samples) {
+    for (int f = 0; f < kNumCat; ++f) {
+      const uint64_t bucket = Bucket(f, sample.cats[f]);
+      auto& table = snap.rows.emb[static_cast<size_t>(f)];
+      if (table.count(bucket) == 0) {
+        table.emplace(bucket, LiveEmbRow(f, bucket));
+      }
+      if (config_.arch == ModelKind::kWideDeep) {
+        auto& wide = snap.rows.wide[static_cast<size_t>(f)];
+        if (wide.count(bucket) == 0) {
+          wide.emplace(bucket, LiveWideWeight(f, bucket));
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+double MiniDlrm::ForwardSample(const CriteoSample& sample,
+                               const DenseParams& dense,
+                               const SparseRows& rows,
+                               SampleCache* cache) const {
+  const int d = config_.emb_dim;
+  cache->fields.assign(1 + kNumCat, std::vector<double>(d, 0.0));
+
+  // Field 0: projected dense features.
+  for (int r = 0; r < d; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < kNumDense; ++c) {
+      acc += dense.dense_proj(static_cast<size_t>(r),
+                              static_cast<size_t>(c)) *
+             sample.dense[static_cast<size_t>(c)];
+    }
+    cache->fields[0][static_cast<size_t>(r)] = acc;
+  }
+  // Fields 1..26: embedding rows.
+  double wide_logit = 0.0;
+  for (int f = 0; f < kNumCat; ++f) {
+    const uint64_t bucket = Bucket(f, sample.cats[f]);
+    const auto& table = rows.emb[static_cast<size_t>(f)];
+    const auto it = table.find(bucket);
+    assert(it != table.end() && "snapshot missing an embedding row");
+    cache->fields[static_cast<size_t>(f + 1)] = it->second;
+    if (config_.arch == ModelKind::kWideDeep) {
+      const auto& wide = rows.wide[static_cast<size_t>(f)];
+      const auto wit = wide.find(bucket);
+      if (wit != wide.end()) wide_logit += wit->second;
+    }
+  }
+
+  // x0: concatenated fields.
+  cache->x0.resize(static_cast<size_t>(n0_));
+  for (int f = 0; f <= kNumCat; ++f) {
+    for (int r = 0; r < d; ++r) {
+      cache->x0[static_cast<size_t>(f * d + r)] =
+          cache->fields[static_cast<size_t>(f)][static_cast<size_t>(r)];
+    }
+  }
+
+  // MLP tower.
+  cache->mlp_pre.clear();
+  cache->mlp_post.clear();
+  std::vector<double> act = cache->x0;
+  for (size_t l = 0; l < dense.mlp_w.size(); ++l) {
+    std::vector<double> pre = dense.mlp_w[l].Apply(act);
+    for (size_t i = 0; i < pre.size(); ++i) pre[i] += dense.mlp_b[l][i];
+    cache->mlp_pre.push_back(pre);
+    const bool last = l + 1 == dense.mlp_w.size();
+    if (!last) {
+      for (auto& v : pre) v = std::max(0.0, v);  // ReLU
+    }
+    cache->mlp_post.push_back(pre);
+    act = std::move(pre);
+  }
+  double logit = act[0] + dense.bias;
+
+  // Architecture head.
+  if (config_.arch == ModelKind::kWideDeep) {
+    logit += wide_logit;
+  } else if (config_.arch == ModelKind::kDcn) {
+    cache->cross_x.clear();
+    cache->cross_s.clear();
+    cache->cross_x.push_back(cache->x0);
+    for (size_t l = 0; l < dense.cross_w.size(); ++l) {
+      const std::vector<double>& xl = cache->cross_x.back();
+      double s = 0.0;
+      for (size_t i = 0; i < xl.size(); ++i) s += dense.cross_w[l][i] * xl[i];
+      cache->cross_s.push_back(s);
+      std::vector<double> next(xl.size());
+      for (size_t i = 0; i < xl.size(); ++i) {
+        next[i] = cache->x0[i] * s + dense.cross_b[l][i] + xl[i];
+      }
+      cache->cross_x.push_back(std::move(next));
+    }
+    const std::vector<double>& xl = cache->cross_x.back();
+    for (size_t i = 0; i < xl.size(); ++i) {
+      logit += dense.cross_out_w[i] * xl[i];
+    }
+  } else if (config_.arch == ModelKind::kXDeepFm) {
+    const int fields = 1 + kNumCat;
+    cache->fm_t.assign(static_cast<size_t>(config_.fm_maps),
+                       std::vector<double>(static_cast<size_t>(fields), 0.0));
+    cache->fm_f.assign(static_cast<size_t>(config_.fm_maps), 0.0);
+    cache->fm_s.assign(static_cast<size_t>(config_.fm_maps), 0.0);
+    for (int h = 0; h < config_.fm_maps; ++h) {
+      double fsum = 0.0;
+      double qsum = 0.0;
+      for (int i = 0; i < fields; ++i) {
+        double t = 0.0;
+        for (int r = 0; r < d; ++r) {
+          t += dense.fm_proj[static_cast<size_t>(h)][static_cast<size_t>(r)] *
+               cache->fields[static_cast<size_t>(i)][static_cast<size_t>(r)];
+        }
+        cache->fm_t[static_cast<size_t>(h)][static_cast<size_t>(i)] = t;
+        fsum += t;
+        qsum += t * t;
+      }
+      cache->fm_f[static_cast<size_t>(h)] = fsum;
+      const double s = 0.5 * (fsum * fsum - qsum);
+      cache->fm_s[static_cast<size_t>(h)] = s;
+      logit += dense.fm_w[static_cast<size_t>(h)] * s;
+    }
+  }
+  cache->logit = logit;
+  return logit;
+}
+
+void MiniDlrm::BackwardSample(const CriteoSample& sample,
+                              const DenseParams& dense,
+                              const SparseRows& rows,
+                              const SampleCache& cache, double dlogit,
+                              DlrmGradients* grads) const {
+  const int d = config_.emb_dim;
+  const int fields = 1 + kNumCat;
+  std::vector<std::vector<double>> dfields(
+      static_cast<size_t>(fields), std::vector<double>(d, 0.0));
+  std::vector<double> dx0(static_cast<size_t>(n0_), 0.0);
+
+  grads->dense.bias += dlogit;
+
+  // --- MLP backward ---
+  {
+    std::vector<double> delta = {dlogit};  // gradient at the output layer
+    for (size_t l = dense.mlp_w.size(); l-- > 0;) {
+      const std::vector<double>& input =
+          l == 0 ? cache.x0 : cache.mlp_post[l - 1];
+      // dW = delta (x) input; db = delta.
+      Matrix& gw = grads->dense.mlp_w[l];
+      std::vector<double>& gb = grads->dense.mlp_b[l];
+      for (size_t o = 0; o < delta.size(); ++o) {
+        gb[o] += delta[o];
+        for (size_t i = 0; i < input.size(); ++i) {
+          gw(o, i) += delta[o] * input[i];
+        }
+      }
+      // Propagate to the previous layer.
+      std::vector<double> prev(input.size(), 0.0);
+      for (size_t o = 0; o < delta.size(); ++o) {
+        for (size_t i = 0; i < input.size(); ++i) {
+          prev[i] += dense.mlp_w[l](o, i) * delta[o];
+        }
+      }
+      if (l > 0) {
+        // Through the ReLU of layer l-1.
+        for (size_t i = 0; i < prev.size(); ++i) {
+          if (cache.mlp_pre[l - 1][i] <= 0.0) prev[i] = 0.0;
+        }
+        delta = std::move(prev);
+      } else {
+        for (size_t i = 0; i < prev.size(); ++i) dx0[i] += prev[i];
+      }
+    }
+  }
+
+  // --- Head backward ---
+  if (config_.arch == ModelKind::kWideDeep) {
+    for (int f = 0; f < kNumCat; ++f) {
+      const uint64_t bucket = Bucket(f, sample.cats[f]);
+      grads->rows.wide[static_cast<size_t>(f)][bucket] += dlogit;
+    }
+  } else if (config_.arch == ModelKind::kDcn) {
+    const size_t n = static_cast<size_t>(n0_);
+    std::vector<double> dxl(n, 0.0);
+    const std::vector<double>& x_last = cache.cross_x.back();
+    for (size_t i = 0; i < n; ++i) {
+      grads->dense.cross_out_w[i] += dlogit * x_last[i];
+      dxl[i] = dlogit * dense.cross_out_w[i];
+    }
+    for (size_t l = dense.cross_w.size(); l-- > 0;) {
+      const std::vector<double>& xl = cache.cross_x[l];
+      const double s = cache.cross_s[l];
+      double ds = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        ds += dxl[i] * cache.x0[i];
+        grads->dense.cross_b[l][i] += dxl[i];
+        dx0[i] += dxl[i] * s;
+      }
+      std::vector<double> dprev(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        grads->dense.cross_w[l][i] += ds * xl[i];
+        dprev[i] = dxl[i] + ds * dense.cross_w[l][i];
+      }
+      dxl = std::move(dprev);
+    }
+    for (size_t i = 0; i < n; ++i) dx0[i] += dxl[i];  // x_0 is x0 itself
+  } else if (config_.arch == ModelKind::kXDeepFm) {
+    for (int h = 0; h < config_.fm_maps; ++h) {
+      const double s = cache.fm_s[static_cast<size_t>(h)];
+      grads->dense.fm_w[static_cast<size_t>(h)] += dlogit * s;
+      const double ds = dlogit * dense.fm_w[static_cast<size_t>(h)];
+      const double f_sum = cache.fm_f[static_cast<size_t>(h)];
+      for (int i = 0; i < fields; ++i) {
+        const double t = cache.fm_t[static_cast<size_t>(h)][static_cast<size_t>(i)];
+        const double dt = ds * (f_sum - t);
+        for (int r = 0; r < d; ++r) {
+          grads->dense.fm_proj[static_cast<size_t>(h)][static_cast<size_t>(r)] +=
+              dt * cache.fields[static_cast<size_t>(i)][static_cast<size_t>(r)];
+          dfields[static_cast<size_t>(i)][static_cast<size_t>(r)] +=
+              dt * dense.fm_proj[static_cast<size_t>(h)][static_cast<size_t>(r)];
+        }
+      }
+    }
+  }
+
+  // dx0 slices feed field gradients.
+  for (int f = 0; f < fields; ++f) {
+    for (int r = 0; r < d; ++r) {
+      dfields[static_cast<size_t>(f)][static_cast<size_t>(r)] +=
+          dx0[static_cast<size_t>(f * d + r)];
+    }
+  }
+
+  // Field 0 -> dense projection weights.
+  for (int r = 0; r < d; ++r) {
+    const double df = dfields[0][static_cast<size_t>(r)];
+    if (df == 0.0) continue;
+    for (int c = 0; c < kNumDense; ++c) {
+      grads->dense.dense_proj(static_cast<size_t>(r),
+                              static_cast<size_t>(c)) +=
+          df * sample.dense[static_cast<size_t>(c)];
+    }
+  }
+  // Fields 1..26 -> embedding rows.
+  for (int f = 0; f < kNumCat; ++f) {
+    const uint64_t bucket = Bucket(f, sample.cats[f]);
+    auto& row = grads->rows.emb[static_cast<size_t>(f)];
+    auto it = row.find(bucket);
+    if (it == row.end()) {
+      it = row.emplace(bucket,
+                       std::vector<double>(static_cast<size_t>(d), 0.0))
+               .first;
+    }
+    for (int r = 0; r < d; ++r) {
+      it->second[static_cast<size_t>(r)] +=
+          dfields[static_cast<size_t>(f + 1)][static_cast<size_t>(r)];
+    }
+  }
+  (void)rows;
+}
+
+double MiniDlrm::ForwardBackward(const CriteoBatch& batch,
+                                 const ParamSnapshot& snapshot,
+                                 DlrmGradients* grads) const {
+  assert(!batch.samples.empty());
+  Rng dummy(0);
+  grads->dense = MakeDenseParams(config_, n0_, /*zero=*/true, &dummy);
+  grads->rows.emb.assign(kNumCat, {});
+  grads->rows.wide.assign(kNumCat, {});
+
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  double loss = 0.0;
+  SampleCache cache;
+  for (const CriteoSample& sample : batch.samples) {
+    const double logit =
+        ForwardSample(sample, snapshot.dense, snapshot.rows, &cache);
+    const double p = Sigmoid(logit);
+    const double y = sample.label;
+    const double eps = 1e-12;
+    loss += -(y * std::log(p + eps) + (1.0 - y) * std::log(1.0 - p + eps));
+    BackwardSample(sample, snapshot.dense, snapshot.rows, cache,
+                   (p - y) * inv_n, grads);
+  }
+  return loss * inv_n;
+}
+
+void MiniDlrm::ApplyGradients(const DlrmGradients& grads,
+                              double learning_rate) {
+  const double lr = learning_rate;
+  auto axpy = [lr](const std::vector<double>& g, std::vector<double>& p) {
+    for (size_t i = 0; i < p.size(); ++i) p[i] -= lr * g[i];
+  };
+  for (size_t i = 0; i < params_.dense_proj.data().size(); ++i) {
+    params_.dense_proj.data()[i] -= lr * grads.dense.dense_proj.data()[i];
+  }
+  for (size_t l = 0; l < params_.mlp_w.size(); ++l) {
+    for (size_t i = 0; i < params_.mlp_w[l].data().size(); ++i) {
+      params_.mlp_w[l].data()[i] -= lr * grads.dense.mlp_w[l].data()[i];
+    }
+    axpy(grads.dense.mlp_b[l], params_.mlp_b[l]);
+  }
+  for (size_t l = 0; l < params_.cross_w.size(); ++l) {
+    axpy(grads.dense.cross_w[l], params_.cross_w[l]);
+    axpy(grads.dense.cross_b[l], params_.cross_b[l]);
+  }
+  if (!params_.cross_out_w.empty()) {
+    axpy(grads.dense.cross_out_w, params_.cross_out_w);
+  }
+  for (size_t h = 0; h < params_.fm_proj.size(); ++h) {
+    axpy(grads.dense.fm_proj[h], params_.fm_proj[h]);
+  }
+  if (!params_.fm_w.empty()) axpy(grads.dense.fm_w, params_.fm_w);
+  params_.bias -= lr * grads.dense.bias;
+
+  for (int f = 0; f < kNumCat; ++f) {
+    for (const auto& [bucket, grow] : grads.rows.emb[static_cast<size_t>(f)]) {
+      // Materialize (deterministically) then update.
+      LiveEmbRow(f, bucket);
+      auto& row = live_rows_.emb[static_cast<size_t>(f)][bucket];
+      for (size_t r = 0; r < row.size(); ++r) row[r] -= lr * grow[r];
+    }
+    for (const auto& [bucket, gw] : grads.rows.wide[static_cast<size_t>(f)]) {
+      LiveWideWeight(f, bucket);
+      live_rows_.wide[static_cast<size_t>(f)][bucket] -= lr * gw;
+    }
+  }
+}
+
+std::vector<double> MiniDlrm::Predict(const CriteoBatch& batch) const {
+  const ParamSnapshot snap = TakeSnapshot(batch);
+  std::vector<double> probs;
+  probs.reserve(batch.size());
+  SampleCache cache;
+  for (const CriteoSample& sample : batch.samples) {
+    probs.push_back(Sigmoid(ForwardSample(sample, snap.dense, snap.rows,
+                                          &cache)));
+  }
+  return probs;
+}
+
+double MiniDlrm::Evaluate(const CriteoBatch& batch) const {
+  const std::vector<double> probs = Predict(batch);
+  double loss = 0.0;
+  const double eps = 1e-12;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double y = batch.samples[i].label;
+    loss += -(y * std::log(probs[i] + eps) +
+              (1.0 - y) * std::log(1.0 - probs[i] + eps));
+  }
+  return loss / static_cast<double>(probs.size());
+}
+
+size_t MiniDlrm::MaterializedRows() const {
+  size_t rows = 0;
+  for (const auto& table : live_rows_.emb) rows += table.size();
+  return rows;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,131 @@
+#ifndef DLROVER_DLRM_MINI_DLRM_H_
+#define DLROVER_DLRM_MINI_DLRM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "dlrm/criteo_synth.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+
+/// Configuration of the mini-DLRM used in the convergence experiments.
+/// Small enough to train quickly, structurally faithful: per-feature hashed
+/// embedding tables, a dense-feature projection, an architecture-specific
+/// interaction head and an MLP tower, trained with async-PS semantics.
+struct MiniDlrmConfig {
+  ModelKind arch = ModelKind::kWideDeep;
+  int emb_dim = 8;
+  uint64_t hash_buckets = 8192;  // per categorical feature
+  std::vector<int> mlp_hidden = {64, 32};
+  int cross_layers = 2;  // DCN head
+  int fm_maps = 8;       // xDeepFM-lite (FM-style CIN approximation) head
+  double init_scale = 0.05;
+  uint64_t seed = 7;
+};
+
+/// Dense (non-embedding) parameters: copied wholesale into worker
+/// snapshots, like pulling the dense part from a PS.
+struct DenseParams {
+  Matrix dense_proj;                     // emb_dim x 13
+  std::vector<Matrix> mlp_w;             // per layer: out x in
+  std::vector<std::vector<double>> mlp_b;
+  std::vector<std::vector<double>> cross_w;  // DCN: per layer, size n0
+  std::vector<std::vector<double>> cross_b;
+  std::vector<double> cross_out_w;           // size n0
+  std::vector<std::vector<double>> fm_proj;  // fm_maps x emb_dim
+  std::vector<double> fm_w;                  // fm_maps
+  double bias = 0.0;
+};
+
+/// Sparse gradients/rows keyed by (feature, bucket).
+struct SparseRows {
+  /// embedding rows: per feature, bucket -> vector<emb_dim>.
+  std::vector<std::unordered_map<uint64_t, std::vector<double>>> emb;
+  /// wide scalar weights (Wide&Deep head): per feature, bucket -> value.
+  std::vector<std::unordered_map<uint64_t, double>> wide;
+};
+
+/// A worker's pulled view of the parameters: full dense copy + only the
+/// embedding/wide rows its batch touches (as a real PS worker pulls).
+struct ParamSnapshot {
+  DenseParams dense;
+  SparseRows rows;
+};
+
+/// Gradients produced by one mini-batch, mirroring the snapshot layout.
+struct DlrmGradients {
+  DenseParams dense;  // same shapes, holding gradient values
+  SparseRows rows;
+};
+
+/// A small but real deep recommendation model with three selectable
+/// architectures (the paper's Model-X/Y/Z):
+///   Wide&Deep — MLP tower + wide per-id linear head;
+///   xDeepFM   — MLP tower + FM-style compressed interaction head
+///               (a CIN approximation; see DESIGN.md);
+///   DCN       — MLP tower + explicit cross-layer head.
+/// Training is exception-free, deterministic given the seed, and built for
+/// async-PS semantics: TakeSnapshot / ForwardBackward(snapshot) /
+/// ApplyGradients emulate pull / compute / push.
+class MiniDlrm {
+ public:
+  explicit MiniDlrm(const MiniDlrmConfig& config);
+
+  /// Pulls the parameters a worker needs to process `batch`.
+  ParamSnapshot TakeSnapshot(const CriteoBatch& batch) const;
+
+  /// Computes mean logloss and gradients of `batch` against `snapshot`
+  /// (possibly stale). Gradients are averaged over the batch.
+  double ForwardBackward(const CriteoBatch& batch,
+                         const ParamSnapshot& snapshot,
+                         DlrmGradients* grads) const;
+
+  /// Pushes gradients into the live parameters (async SGD step).
+  void ApplyGradients(const DlrmGradients& grads, double learning_rate);
+
+  /// Click probabilities under the live parameters.
+  std::vector<double> Predict(const CriteoBatch& batch) const;
+
+  /// Mean logloss of the live parameters on a batch.
+  double Evaluate(const CriteoBatch& batch) const;
+
+  /// Number of embedding rows materialized so far (memory growth proxy).
+  size_t MaterializedRows() const;
+
+  const MiniDlrmConfig& config() const { return config_; }
+  int input_width() const { return n0_; }
+
+  /// Direct parameter access for tests (gradient checking).
+  DenseParams& dense_params() { return params_; }
+  const DenseParams& dense_params() const { return params_; }
+
+ private:
+  struct SampleCache;  // forward activations for one sample
+
+  uint64_t Bucket(int feature, uint64_t id) const {
+    return (id * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(feature)) %
+           config_.hash_buckets;
+  }
+  const std::vector<double>& LiveEmbRow(int feature, uint64_t bucket) const;
+  double LiveWideWeight(int feature, uint64_t bucket) const;
+
+  double ForwardSample(const CriteoSample& sample, const DenseParams& dense,
+                       const SparseRows& rows, SampleCache* cache) const;
+  void BackwardSample(const CriteoSample& sample, const DenseParams& dense,
+                      const SparseRows& rows, const SampleCache& cache,
+                      double dlogit, DlrmGradients* grads) const;
+
+  MiniDlrmConfig config_;
+  int n0_ = 0;  // concatenated field width = (1 + 26) * emb_dim
+  DenseParams params_;
+  mutable SparseRows live_rows_;  // lazily materialized embeddings
+  mutable Rng init_rng_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_DLRM_MINI_DLRM_H_

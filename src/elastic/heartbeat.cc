@@ -1,0 +1,76 @@
+#include "elastic/heartbeat.h"
+
+#include <algorithm>
+
+namespace dlrover {
+
+void HeartbeatMonitor::AddMember(uint64_t member_id, SimTime now) {
+  MemberHealth h;
+  h.last_heartbeat = now;
+  h.first_heartbeat = now;
+  members_[member_id] = h;
+}
+
+void HeartbeatMonitor::RemoveMember(uint64_t member_id) {
+  members_.erase(member_id);
+}
+
+void HeartbeatMonitor::Heartbeat(uint64_t member_id, SimTime now,
+                                 uint64_t progress_offset) {
+  auto it = members_.find(member_id);
+  if (it == members_.end()) {
+    AddMember(member_id, now);
+    it = members_.find(member_id);
+  }
+  it->second.last_heartbeat = now;
+  it->second.progress_offset =
+      std::max(it->second.progress_offset, progress_offset);
+}
+
+std::vector<uint64_t> HeartbeatMonitor::DetectFailures(SimTime now) const {
+  std::vector<uint64_t> failed;
+  for (const auto& [id, h] : members_) {
+    if (now - h.last_heartbeat > options_.failure_timeout) {
+      failed.push_back(id);
+    }
+  }
+  return failed;
+}
+
+double HeartbeatMonitor::ProgressRate(uint64_t member_id, SimTime now) const {
+  auto it = members_.find(member_id);
+  if (it == members_.end()) return 0.0;
+  const MemberHealth& h = it->second;
+  const double window = now - h.first_heartbeat;
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(h.progress_offset) / window;
+}
+
+std::vector<uint64_t> HeartbeatMonitor::DetectStragglers(
+    SimTime now, bool include_flagged) {
+  std::vector<uint64_t> stragglers;
+  if (members_.size() < 3) return stragglers;  // need peers to compare
+
+  std::vector<double> rates;
+  rates.reserve(members_.size());
+  for (const auto& [id, h] : members_) {
+    if (now - h.first_heartbeat < options_.min_observation) return stragglers;
+    rates.push_back(ProgressRate(id, now));
+  }
+  std::vector<double> sorted = rates;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  if (median <= 0.0) return stragglers;
+
+  for (auto& [id, h] : members_) {
+    if (h.flagged_straggler && !include_flagged) continue;
+    const double rate = ProgressRate(id, now);
+    if (rate < options_.straggler_rate_fraction * median) {
+      h.flagged_straggler = true;
+      stragglers.push_back(id);
+    }
+  }
+  return stragglers;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,70 @@
+#ifndef DLROVER_ELASTIC_HEARTBEAT_H_
+#define DLROVER_ELASTIC_HEARTBEAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dlrover {
+
+/// Per-member view the monitor keeps from heartbeat packets.
+struct MemberHealth {
+  SimTime last_heartbeat = 0.0;
+  uint64_t progress_offset = 0;  // samples (or batches) processed
+  SimTime first_heartbeat = 0.0;
+  bool flagged_straggler = false;
+};
+
+struct HeartbeatMonitorOptions {
+  /// A member is declared failed after this silence (paper: job master
+  /// treats missing heartbeats for "a reasonably long time" as failure).
+  Duration failure_timeout = Minutes(2);
+  /// A member is a straggler when its progress rate falls below this
+  /// fraction of the group median rate.
+  double straggler_rate_fraction = 0.5;
+  /// Minimum observation window before straggler judgments.
+  Duration min_observation = Seconds(60);
+};
+
+/// Tracks heartbeat packets carrying progress offsets (paper Section 5.1)
+/// and classifies members as failed (silence) or stragglers (progress rate
+/// far below peers). Pure bookkeeping: the owner drives time by calling
+/// Check(now) and reacts to the returned verdicts.
+class HeartbeatMonitor {
+ public:
+  explicit HeartbeatMonitor(const HeartbeatMonitorOptions& options)
+      : options_(options) {}
+
+  /// Registers a member (worker or PS). Progress starts at zero.
+  void AddMember(uint64_t member_id, SimTime now);
+  /// Removes a member (scale-down or confirmed failure).
+  void RemoveMember(uint64_t member_id);
+
+  /// Records a heartbeat packet with the member's cumulative progress.
+  void Heartbeat(uint64_t member_id, SimTime now, uint64_t progress_offset);
+
+  /// Members silent beyond the failure timeout.
+  std::vector<uint64_t> DetectFailures(SimTime now) const;
+
+  /// Members whose progress rate is far below the group's median rate.
+  /// Already-flagged members are not re-reported unless `include_flagged`.
+  std::vector<uint64_t> DetectStragglers(SimTime now,
+                                         bool include_flagged = false);
+
+  /// Progress rate (units per second) of one member; 0 if unknown.
+  double ProgressRate(uint64_t member_id, SimTime now) const;
+
+  size_t member_count() const { return members_.size(); }
+  const std::map<uint64_t, MemberHealth>& members() const { return members_; }
+
+ private:
+  HeartbeatMonitorOptions options_;
+  std::map<uint64_t, MemberHealth> members_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_ELASTIC_HEARTBEAT_H_

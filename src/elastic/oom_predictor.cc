@@ -1,0 +1,52 @@
+#include "elastic/oom_predictor.h"
+
+#include <algorithm>
+
+namespace dlrover {
+
+void OomPredictor::Observe(SimTime now, Bytes used) {
+  samples_.push_back({now, used});
+  while (samples_.size() > options_.window) samples_.pop_front();
+}
+
+double OomPredictor::SlopeBytesPerSec() const {
+  if (samples_.size() < options_.min_samples) return 0.0;
+  // Ordinary least squares slope of mem over time.
+  double mean_t = 0.0;
+  double mean_m = 0.0;
+  for (const Sample& s : samples_) {
+    mean_t += s.t;
+    mean_m += s.mem;
+  }
+  const double n = static_cast<double>(samples_.size());
+  mean_t /= n;
+  mean_m /= n;
+  double num = 0.0;
+  double den = 0.0;
+  for (const Sample& s : samples_) {
+    num += (s.t - mean_t) * (s.mem - mean_m);
+    den += (s.t - mean_t) * (s.t - mean_t);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+Bytes OomPredictor::ProjectAt(SimTime future_time) const {
+  if (samples_.empty()) return 0.0;
+  const Sample& last = samples_.back();
+  const double slope = std::max(0.0, SlopeBytesPerSec());
+  const double horizon = std::max(0.0, future_time - last.t);
+  return last.mem + slope * horizon;
+}
+
+std::optional<Bytes> OomPredictor::RecommendLimit(
+    Bytes current_limit, SimTime completion_time) const {
+  if (samples_.size() < options_.min_samples) return std::nullopt;
+  const Bytes projected = ProjectAt(completion_time);
+  if (projected <= current_limit * options_.headroom_fraction) {
+    return std::nullopt;
+  }
+  return projected * options_.overprovision_factor;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,62 @@
+#ifndef DLROVER_ELASTIC_OOM_PREDICTOR_H_
+#define DLROVER_ELASTIC_OOM_PREDICTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/units.h"
+
+namespace dlrover {
+
+struct OomPredictorOptions {
+  /// Number of recent (time, memory) samples used for the trend fit.
+  size_t window = 24;
+  /// Safety headroom: predict OOM when projected usage exceeds
+  /// limit * headroom_fraction.
+  double headroom_fraction = 0.9;
+  /// Recommended new limit = projected peak * overprovision_factor.
+  double overprovision_factor = 1.15;
+  /// Minimum samples before predictions are made.
+  size_t min_samples = 4;
+};
+
+/// Predicts PS out-of-memory events (paper Section 5.3). Embedding-table
+/// memory grows roughly linearly with consumed samples (Δφ_cats ∝ Ψ_thp·Δt),
+/// so a windowed linear fit of memory-vs-time extrapolated to the job's
+/// estimated completion time tells us whether the PS will blow its limit
+/// before the job finishes — early enough to pre-scale its memory.
+class OomPredictor {
+ public:
+  explicit OomPredictor(const OomPredictorOptions& options = {})
+      : options_(options) {}
+
+  /// Feeds one memory-usage observation for the tracked PS.
+  void Observe(SimTime now, Bytes used);
+
+  /// Linear-trend slope in bytes/second over the window (0 if unknown).
+  double SlopeBytesPerSec() const;
+
+  /// Projected memory usage at `future_time` (clamped to be >= last sample).
+  Bytes ProjectAt(SimTime future_time) const;
+
+  /// Returns the recommended new memory limit if usage is projected to
+  /// exceed `limit` (x headroom) before `completion_time`; nullopt when the
+  /// current limit is safe.
+  std::optional<Bytes> RecommendLimit(Bytes current_limit,
+                                      SimTime completion_time) const;
+
+  size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    SimTime t;
+    Bytes mem;
+  };
+  OomPredictorOptions options_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_ELASTIC_OOM_PREDICTOR_H_

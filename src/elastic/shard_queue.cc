@@ -1,0 +1,108 @@
+#include "elastic/shard_queue.h"
+
+#include <algorithm>
+
+namespace dlrover {
+
+ShardQueue::ShardQueue(const ShardQueueOptions& options) : options_(options) {}
+
+StatusOr<DataShard> ShardQueue::NextShard(uint64_t max_batches) {
+  uint64_t want = max_batches == 0 ? options_.default_shard_batches
+                                   : std::max(max_batches,
+                                              options_.min_shard_batches);
+
+  // Serve re-queued data first so failed workers' batches are not starved.
+  if (!requeued_.empty()) {
+    DataShard shard = requeued_.front();
+    requeued_.pop_front();
+    if (shard.batches() > want) {
+      // Split: hand out a prefix, keep the suffix queued.
+      DataShard rest;
+      rest.index = next_index_++;
+      rest.start_batch = shard.start_batch + want;
+      rest.end_batch = shard.end_batch;
+      requeued_.push_front(rest);
+      shard.end_batch = shard.start_batch + want;
+    }
+    outstanding_[shard.index] = shard;
+    return shard;
+  }
+
+  if (cursor_ >= options_.total_batches) {
+    return NotFoundError("shard queue exhausted");
+  }
+  DataShard shard;
+  shard.index = next_index_++;
+  shard.start_batch = cursor_;
+  shard.end_batch = std::min(cursor_ + want, options_.total_batches);
+  cursor_ = shard.end_batch;
+  outstanding_[shard.index] = shard;
+  return shard;
+}
+
+Status ShardQueue::ReportCompleted(const DataShard& shard) {
+  auto it = outstanding_.find(shard.index);
+  if (it == outstanding_.end()) {
+    return NotFoundError("completion for unknown shard");
+  }
+  completed_batches_ += it->second.batches();
+  outstanding_.erase(it);
+  return Status::OK();
+}
+
+Status ShardQueue::ReportFailed(const DataShard& shard,
+                                uint64_t processed_batches) {
+  auto it = outstanding_.find(shard.index);
+  if (it == outstanding_.end()) {
+    return NotFoundError("failure report for unknown shard");
+  }
+  DataShard owned = it->second;
+  outstanding_.erase(it);
+  processed_batches = std::min(processed_batches, owned.batches());
+  completed_batches_ += processed_batches;
+  if (processed_batches < owned.batches()) {
+    DataShard rest;
+    rest.index = next_index_++;
+    rest.start_batch = owned.start_batch + processed_batches;
+    rest.end_batch = owned.end_batch;
+    requeued_.push_back(rest);
+  }
+  return Status::OK();
+}
+
+uint64_t ShardQueue::outstanding_batches() const {
+  uint64_t total = 0;
+  for (const auto& [idx, shard] : outstanding_) total += shard.batches();
+  return total;
+}
+
+bool ShardQueue::Exhausted() const {
+  return requeued_.empty() && cursor_ >= options_.total_batches;
+}
+
+void ShardQueue::FastForwardTo(uint64_t batches) {
+  batches = std::min(batches, options_.total_batches);
+  cursor_ = batches;
+  completed_batches_ = batches;
+  requeued_.clear();
+  outstanding_.clear();
+}
+
+Status ShardQueue::CheckInvariants() const {
+  uint64_t requeued = 0;
+  for (const DataShard& s : requeued_) {
+    if (s.end_batch <= s.start_batch) {
+      return InternalError("empty shard in requeue buffer");
+    }
+    requeued += s.batches();
+  }
+  const uint64_t accounted =
+      completed_batches_ + outstanding_batches() + requeued +
+      (options_.total_batches - cursor_);
+  if (accounted != options_.total_batches) {
+    return InternalError("shard accounting leak: batches lost or duplicated");
+  }
+  return Status::OK();
+}
+
+}  // namespace dlrover

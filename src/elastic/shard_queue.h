@@ -1,0 +1,90 @@
+#ifndef DLROVER_ELASTIC_SHARD_QUEUE_H_
+#define DLROVER_ELASTIC_SHARD_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlrover {
+
+/// A contiguous slice of the training data measured in batches
+/// [start_batch, end_batch). Shards carry a unique index so completions and
+/// re-queues can be audited.
+struct DataShard {
+  uint64_t index = 0;
+  uint64_t start_batch = 0;
+  uint64_t end_batch = 0;
+
+  uint64_t batches() const { return end_batch - start_batch; }
+};
+
+/// Options for the dynamic data sharding service (paper Section 5.1).
+struct ShardQueueOptions {
+  /// Total number of batches in the training job (its step budget).
+  uint64_t total_batches = 200000;
+  /// Default shard size in batches (paper uses 64 / 128 / 256).
+  uint64_t default_shard_batches = 128;
+  /// Lower bound when shrinking shards for stragglers.
+  uint64_t min_shard_batches = 16;
+};
+
+/// The shards queue: partitions training data into numerous small
+/// variably-sized shards served on demand. Guarantees exactly-once
+/// consumption: every batch is delivered to completion exactly once even
+/// across worker failures (unfinished shards are re-queued) and scale
+/// events (new workers just pull from the queue; no re-partitioning).
+class ShardQueue {
+ public:
+  explicit ShardQueue(const ShardQueueOptions& options);
+
+  /// Hands out the next shard, at most `max_batches` long (0 = default
+  /// size). Re-queued shards are served before fresh data. Returns
+  /// kNotFound when all data has been handed out and nothing was re-queued
+  /// (workers should then drain and exit).
+  StatusOr<DataShard> NextShard(uint64_t max_batches = 0);
+
+  /// Marks a previously delivered shard fully processed.
+  Status ReportCompleted(const DataShard& shard);
+
+  /// Returns a shard delivered to a failed worker back to the queue.
+  /// `processed_batches` of its prefix are counted as done (they were
+  /// reflected in committed gradients before the failure); the remainder is
+  /// re-served. Passing 0 re-queues the whole shard.
+  Status ReportFailed(const DataShard& shard, uint64_t processed_batches = 0);
+
+  /// Batches fully processed so far.
+  uint64_t completed_batches() const { return completed_batches_; }
+  /// Batches currently assigned to workers.
+  uint64_t outstanding_batches() const;
+  /// True when every batch of the dataset has been completed.
+  bool AllDone() const { return completed_batches_ == options_.total_batches; }
+  /// True when no fresh or re-queued data remains to hand out.
+  bool Exhausted() const;
+
+  uint64_t total_batches() const { return options_.total_batches; }
+
+  /// Resets the queue to a checkpoint: the first `batches` are considered
+  /// completed, everything else (including outstanding and re-queued work)
+  /// is fresh again. Used when model parameters roll back to a checkpoint:
+  /// data consumption must roll back with them to stay consistent.
+  void FastForwardTo(uint64_t batches);
+
+  /// Audit: asserts internal bookkeeping is consistent (used by tests).
+  Status CheckInvariants() const;
+
+ private:
+  ShardQueueOptions options_;
+  uint64_t cursor_ = 0;          // first fresh batch not yet handed out
+  uint64_t next_index_ = 0;      // shard index allocator
+  uint64_t completed_batches_ = 0;
+  std::deque<DataShard> requeued_;
+  /// Outstanding shards keyed by shard index.
+  std::map<uint64_t, DataShard> outstanding_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_ELASTIC_SHARD_QUEUE_H_

@@ -1,0 +1,147 @@
+#ifndef DLROVER_HARNESS_EXPERIMENT_H_
+#define DLROVER_HARNESS_EXPERIMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/manual.h"
+#include "brain/brain.h"
+#include "cluster/background_load.h"
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "common/stats.h"
+#include "ps/training_job.h"
+#include "trace/workload_gen.h"
+
+namespace dlrover {
+
+/// Which control plane manages the job(s) in a scenario.
+enum class SchedulerKind : int {
+  kManualTuned = 0,    // static hand-tuned config (Kubeflow well-tuned)
+  kManualUser = 1,     // static user misconfiguration (Kubeflow typical)
+  kDlrover = 2,        // full DLRover-RM (brain + master + mechanisms)
+  kEs = 3,             // Elastic Scheduler baseline
+  kOptimus = 4,        // Optimus baseline
+  kNoIntervention = 5, // tuned config, faults left unhandled
+  kTraditional = 6,    // tuned config, stop-and-restart fault handling
+};
+
+std::string SchedulerKindName(SchedulerKind kind);
+
+/// Scripted fault injection for single-job scenarios (Figs 12/13).
+struct ScenarioInjection {
+  enum class Kind : int { kNone = 0, kHotPs = 1, kWorkerStraggler = 2 };
+  Kind kind = Kind::kNone;
+  Duration at = Minutes(10);
+  double speed = 0.03;  // paper: degraded to 3% of tuned CPU
+};
+
+struct SingleJobScenario {
+  SchedulerKind scheduler = SchedulerKind::kDlrover;
+  ModelKind model = ModelKind::kWideDeep;
+  uint64_t total_steps = 200000;
+  uint64_t batch_size = 512;
+  /// Initial allocation; defaults per scheduler (well-tuned for manual
+  /// kinds, a deliberately small cold-start config for auto-scalers).
+  std::optional<JobConfig> initial;
+  ScenarioInjection injection;
+  /// When true (the default), auto-scalers start from a configuration
+  /// warm-started out of seeded production history (the paper's stage 1);
+  /// when false they cold-start from ColdStartConfig (the Fig 10 ablation).
+  bool warm_start = true;
+  Duration horizon = Hours(24);
+  Duration round_interval = Minutes(3);
+  ClusterOptions cluster;
+  uint64_t seed = 1;
+};
+
+struct SingleJobResult {
+  JobStats stats;
+  JobState final_state = JobState::kFailed;
+  JobConfig final_config;
+  std::vector<ThroughputSample> history;
+  Duration jct = 0.0;
+  /// Wall-clock time from injection to recovery of >= 80% of pre-fault
+  /// throughput; < 0 when not applicable / never recovered.
+  Duration recovery_time = -1.0;
+};
+
+/// Runs one training job under the given control plane on a fresh
+/// simulated cluster. The workhorse behind Figs 7, 10, 12, 13.
+SingleJobResult RunSingleJob(const SingleJobScenario& scenario);
+
+/// Per-job outcome of a fleet run.
+struct FleetJobOutcome {
+  std::string name;
+  ModelKind model = ModelKind::kWideDeep;
+  bool used_dlrover = false;
+  bool hot_ps = false;
+  MisconfigKind misconfig = MisconfigKind::kOverProvisioned;
+  bool completed = false;
+  std::string fail_reason;
+  Duration jct = 0.0;
+  Duration pending_time = 0.0;
+  int requested_cpus = 0;
+  uint64_t total_steps = 0;
+  int max_workers_quota = 40;
+  double avg_worker_cpu_util = 0.0;
+  double avg_ps_cpu_util = 0.0;
+  double avg_worker_mem_util = 0.0;
+  double avg_ps_mem_util = 0.0;
+  JobStats stats;
+};
+
+struct FleetScenario {
+  /// Fraction of jobs managed by DLRover-RM; the rest run manual-user
+  /// static configs (models the paper's progressive migration, Fig 14).
+  double dlrover_fraction = 1.0;
+  WorkloadOptions workload;
+  /// Production-like nodes (the paper's fleet runs on large hosts, which
+  /// is what makes heavy CPU over-provisioning schedulable at all).
+  ClusterOptions cluster{/*num_nodes=*/60, {64.0, GiB(384)}};
+  FailureInjectorOptions failures;
+  BackgroundLoadOptions background;
+  bool enable_background = true;
+  bool enable_failures = true;
+  /// Pre-populate the brain's config DB with historical records (a
+  /// production deployment has months of them; disable to study the
+  /// cold-start fleet).
+  bool seed_history = true;
+  Duration horizon = Hours(36);
+  uint64_t seed = 99;
+};
+
+struct FleetResult {
+  std::vector<FleetJobOutcome> jobs;
+  uint64_t pods_preempted = 0;
+  uint64_t crashes_injected = 0;
+  uint64_t stragglers_injected = 0;
+
+  int Completed() const;
+  double CompletionRate() const;
+  Distribution JctDistribution(bool dlrover_only, bool manual_only) const;
+};
+
+/// Runs a whole synthetic production trace on a shared cluster with
+/// background load and failure injection. The workhorse behind Table 4 and
+/// Figs 3, 14, 15.
+FleetResult RunFleet(const FleetScenario& scenario);
+
+/// The deliberately small configuration auto-scalers cold-start from.
+JobConfig ColdStartConfig(ModelKind kind);
+
+/// Populates `db` with historical job records whose final configurations
+/// sit near (but not exactly at) the well-tuned optimum for each model —
+/// the kind of history a production config DB accumulates, and what the
+/// warm-start ablation (Fig 9) draws on.
+void SeedHistoricalRecords(ConfigDb* db, uint64_t seed,
+                           int records_per_model = 8);
+
+/// The JobMetadata a scenario's job would be submitted with.
+JobMetadata MetadataFor(ModelKind model, uint64_t batch_size,
+                        uint64_t total_steps);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_HARNESS_EXPERIMENT_H_

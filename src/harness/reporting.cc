@@ -1,0 +1,63 @@
+#include "harness/reporting.h"
+
+#include <cstdarg>
+
+namespace dlrover {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]),
+                  c < row.size() ? row[c].c_str() : "");
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 120.0) return StrFormat("%.1f s", seconds);
+  if (seconds < 7200.0) return StrFormat("%.1f min", seconds / 60.0);
+  return StrFormat("%.2f h", seconds / 3600.0);
+}
+
+std::string FormatPercent(double fraction) {
+  return StrFormat("%.1f%%", fraction * 100.0);
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace dlrover

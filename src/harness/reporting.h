@@ -1,0 +1,40 @@
+#ifndef DLROVER_HARNESS_REPORTING_H_
+#define DLROVER_HARNESS_REPORTING_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dlrover {
+
+/// Fixed-width console table, enough for bench output that mirrors the
+/// paper's tables and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Prints header, separator, and all rows to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "12.3 min" / "1.24 h" style duration formatting (input seconds).
+std::string FormatDuration(double seconds);
+
+/// "37.2%" style.
+std::string FormatPercent(double fraction);
+
+/// Prints a banner line for a bench section.
+void PrintBanner(const std::string& title);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_HARNESS_REPORTING_H_

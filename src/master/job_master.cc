@@ -1,0 +1,45 @@
+#include "master/job_master.h"
+
+namespace dlrover {
+
+JobMaster::JobMaster(Simulator* sim, TrainingJob* job,
+                     const JobMasterOptions& options)
+    : sim_(sim), job_(job), options_(options) {
+  task_ = std::make_unique<PeriodicTask>(sim_, options_.tick_interval,
+                                         [this] { Tick(); });
+}
+
+void JobMaster::Start() { task_->Start(); }
+void JobMaster::Stop() { task_->Stop(); }
+
+void JobMaster::Tick() {
+  if (job_->finished()) {
+    task_->Stop();
+    return;
+  }
+  if (options_.straggler_mitigation) job_->MitigateStragglers();
+  if (options_.oom_prevention) job_->MaybePreventOom();
+}
+
+PolicyDriver::PolicyDriver(Simulator* sim, ScalingPolicy* policy,
+                           Duration round_interval)
+    : sim_(sim), policy_(policy) {
+  task_ = std::make_unique<PeriodicTask>(sim_, round_interval,
+                                         [this] { Round(); });
+}
+
+void PolicyDriver::Start() { task_->Start(); }
+void PolicyDriver::Stop() { task_->Stop(); }
+
+void PolicyDriver::Round() {
+  for (TrainingJob* job : jobs_) {
+    if (job->finished()) continue;
+    auto plan = policy_->Propose(*job);
+    if (!plan.has_value()) continue;
+    if (job->ApplyPlan(plan->config, plan->mode).ok()) {
+      ++plans_applied_;
+    }
+  }
+}
+
+}  // namespace dlrover

@@ -1,0 +1,69 @@
+#ifndef DLROVER_MASTER_JOB_MASTER_H_
+#define DLROVER_MASTER_JOB_MASTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "brain/scaling_policy.h"
+#include "ps/training_job.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+
+struct JobMasterOptions {
+  /// Local instability-handling tick (straggler mitigation, OOM guard).
+  Duration tick_interval = Seconds(30);
+  bool straggler_mitigation = true;
+  bool oom_prevention = true;
+};
+
+/// The job-level agent (paper Fig 4): owns the profiler/executor loop for
+/// one training job. Cluster-level decisions come from the brain; the
+/// master handles everything that must react fast and locally — straggler
+/// shard-resizing and the OOM pre-scaling guard.
+class JobMaster {
+ public:
+  JobMaster(Simulator* sim, TrainingJob* job,
+            const JobMasterOptions& options = {});
+
+  void Start();
+  void Stop();
+
+  TrainingJob* job() { return job_; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  TrainingJob* job_;
+  JobMasterOptions options_;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+/// Drives a plug-in ScalingPolicy (ES, Optimus, ...) on a fixed round
+/// interval across a set of jobs — the baseline counterpart of the
+/// ClusterBrain's scheduling loop.
+class PolicyDriver {
+ public:
+  PolicyDriver(Simulator* sim, ScalingPolicy* policy,
+               Duration round_interval = Minutes(3));
+
+  void AddJob(TrainingJob* job) { jobs_.push_back(job); }
+  void Start();
+  void Stop();
+
+  int plans_applied() const { return plans_applied_; }
+
+ private:
+  void Round();
+
+  Simulator* sim_;
+  ScalingPolicy* policy_;
+  std::vector<TrainingJob*> jobs_;
+  std::unique_ptr<PeriodicTask> task_;
+  int plans_applied_ = 0;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_MASTER_JOB_MASTER_H_

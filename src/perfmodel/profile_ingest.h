@@ -1,0 +1,35 @@
+#ifndef DLROVER_PERFMODEL_PROFILE_INGEST_H_
+#define DLROVER_PERFMODEL_PROFILE_INGEST_H_
+
+#include <cstddef>
+
+#include "perfmodel/throughput_model.h"
+#include "ps/training_job.h"
+
+namespace dlrover {
+
+/// Feeds a job's new profiler samples (from `*cursor` onward) into `fitter`
+/// as PerfObservations and advances the cursor. Zero-progress windows are
+/// skipped. Shared by the cluster brain and the baseline schedulers.
+inline void IngestJobHistory(const TrainingJob& job, size_t* cursor,
+                             ModelFitter* fitter) {
+  const auto& history = job.history();
+  for (; *cursor < history.size(); ++(*cursor)) {
+    const ThroughputSample& sample = history[*cursor];
+    if (sample.observed_iter_time <= 0.0 || sample.active_workers <= 0) {
+      continue;
+    }
+    PerfObservation obs;
+    obs.batch_size = job.spec().batch_size;
+    obs.workers = sample.active_workers;
+    obs.ps = sample.config.num_ps;
+    obs.worker_cpu = sample.config.worker_cpu;
+    obs.ps_cpu = sample.config.ps_cpu;
+    obs.iter_time = sample.observed_iter_time;
+    fitter->AddObservation(obs);
+  }
+}
+
+}  // namespace dlrover
+
+#endif  // DLROVER_PERFMODEL_PROFILE_INGEST_H_

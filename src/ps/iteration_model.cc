@@ -1,0 +1,76 @@
+#include "ps/iteration_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dlrover {
+
+PsGroupState PsGroupState::Balanced(int p) {
+  PsGroupState state;
+  state.shares.assign(static_cast<size_t>(p), 1.0 / std::max(1, p));
+  state.speeds.assign(static_cast<size_t>(p), 1.0);
+  return state;
+}
+
+double PsGroupState::EffectiveInverseP() const {
+  assert(shares.size() == speeds.size() && !shares.empty());
+  double worst = 0.0;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    const double speed = std::max(1e-6, speeds[i]);
+    worst = std::max(worst, shares[i] / speed);
+  }
+  return worst;
+}
+
+IterationBreakdown ComputeIteration(const ModelProfile& profile,
+                                    const EnvironmentProfile& env,
+                                    uint64_t batch_size, int active_workers,
+                                    const JobConfig& config,
+                                    double worker_speed,
+                                    const PsGroupState& ps_state) {
+  IterationBreakdown out;
+  const double m = static_cast<double>(batch_size);
+  const double w = std::max(1, active_workers);
+  const double lw =
+      std::min(std::max(0.1, config.worker_cpu),
+               profile.max_worker_parallelism) *
+      std::max(1e-3, worker_speed);
+  const double lp = std::min(std::max(0.1, config.ps_cpu),
+                             profile.max_ps_parallelism);
+  // For a balanced healthy group inv_p == 1/p, recovering Eqns 3-5 exactly;
+  // imbalance ("hot PS") or a degraded PS raises it.
+  const double inv_p = ps_state.EffectiveInverseP();
+
+  // Eqn 2: T_grad = alpha * m / lambda_w + beta.
+  out.t_grad = profile.alpha_grad * m / lw + profile.beta_grad;
+  // Eqn 3: T_upd = alpha * w / (p * lambda_p) + beta.
+  out.t_upd = profile.alpha_upd * w * inv_p / lp + profile.beta_upd;
+  // Eqn 4: T_sync = alpha * (M/p) / (B/w) + beta.
+  out.t_sync = profile.alpha_sync * profile.dense_param_bytes * inv_p * w /
+                   env.network_bandwidth +
+               profile.beta_sync;
+  // Eqn 5: T_emb = alpha * m * D / p + beta, with 1/p generalized to
+  // max_i(share_i / speed_i) for imbalanced or degraded PS groups.
+  out.t_emb = profile.alpha_emb * m *
+                  static_cast<double>(profile.embedding_dim) * inv_p +
+              profile.beta_emb;
+  return out;
+}
+
+IterationBreakdown ComputeHealthyIteration(const ModelProfile& profile,
+                                           const EnvironmentProfile& env,
+                                           uint64_t batch_size,
+                                           const JobConfig& config) {
+  return ComputeIteration(profile, env, batch_size, config.num_workers,
+                          config, 1.0, PsGroupState::Balanced(config.num_ps));
+}
+
+double ThroughputSamplesPerSec(const IterationBreakdown& iter,
+                               uint64_t batch_size, int active_workers) {
+  const double total = iter.Total();
+  if (total <= 0.0) return 0.0;
+  return static_cast<double>(active_workers) *
+         static_cast<double>(batch_size) / total;
+}
+
+}  // namespace dlrover

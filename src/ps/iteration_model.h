@@ -1,0 +1,71 @@
+#ifndef DLROVER_PS_ITERATION_MODEL_H_
+#define DLROVER_PS_ITERATION_MODEL_H_
+
+#include <vector>
+
+#include "ps/job_config.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+
+/// Per-iteration time decomposition (paper Section 4.1). All values in
+/// simulated seconds.
+struct IterationBreakdown {
+  double t_grad = 0.0;  // worker gradient computation (Eqn 2)
+  double t_upd = 0.0;   // PS parameter update (Eqn 3)
+  double t_sync = 0.0;  // parameter pull/push (Eqn 4)
+  double t_emb = 0.0;   // embedding lookups (Eqn 5)
+
+  double Total() const { return t_grad + t_upd + t_sync + t_emb; }
+  /// Fraction of the iteration spent in embedding lookups (Fig 1a metric).
+  double LookupFraction() const {
+    const double total = Total();
+    return total > 0.0 ? t_emb / total : 0.0;
+  }
+};
+
+/// Degradation state of the PS group. `shares[i]` is the fraction of
+/// parameters (and thus of update/lookup work) held by PS i (sums to 1);
+/// `speeds[i]` is its hardware speed factor. The slowest "hottest" PS gates
+/// all PS-side terms: effective 1/p becomes max_i(shares[i] / speeds[i]).
+struct PsGroupState {
+  std::vector<double> shares;
+  std::vector<double> speeds;
+
+  /// Builds a balanced, healthy group of `p` servers.
+  static PsGroupState Balanced(int p);
+
+  /// max_i(shares[i] / speeds[i]); equals 1/p for a balanced healthy group.
+  double EffectiveInverseP() const;
+};
+
+/// Evaluates the ground-truth iteration laws for one worker of a job.
+///
+///   profile       the model's true constants
+///   env           bandwidth etc.
+///   batch_size    m
+///   active_workers  w (workers concurrently training)
+///   config        per-pod CPU allocations (lambda_w, lambda_p)
+///   worker_speed  this worker's hardware speed factor
+///   ps_state      PS shares/speeds (hot-PS and straggler-PS effects)
+IterationBreakdown ComputeIteration(const ModelProfile& profile,
+                                    const EnvironmentProfile& env,
+                                    uint64_t batch_size, int active_workers,
+                                    const JobConfig& config,
+                                    double worker_speed,
+                                    const PsGroupState& ps_state);
+
+/// Convenience: the breakdown for a healthy, balanced job (all speeds 1.0).
+IterationBreakdown ComputeHealthyIteration(const ModelProfile& profile,
+                                           const EnvironmentProfile& env,
+                                           uint64_t batch_size,
+                                           const JobConfig& config);
+
+/// Job throughput in samples/second implied by an iteration breakdown
+/// (Eqn 1: Psi = w * m / T_iter).
+double ThroughputSamplesPerSec(const IterationBreakdown& iter,
+                               uint64_t batch_size, int active_workers);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_PS_ITERATION_MODEL_H_

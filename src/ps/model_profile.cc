@@ -1,0 +1,90 @@
+#include "ps/model_profile.h"
+
+#include <cmath>
+
+namespace dlrover {
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kWideDeep:
+      return "Model-X (Wide&Deep)";
+    case ModelKind::kXDeepFm:
+      return "Model-Y (xDeepFM)";
+    case ModelKind::kDcn:
+      return "Model-Z (DCN)";
+  }
+  return "unknown";
+}
+
+Bytes ModelProfile::EmbeddingBytesAt(double samples) const {
+  const double phi = phi_max * (1.0 - std::exp(-samples / phi_n0));
+  return bytes_per_category * phi;
+}
+
+ModelProfile GetModelProfile(ModelKind kind) {
+  ModelProfile p;
+  p.kind = kind;
+  p.name = ModelKindName(kind);
+  switch (kind) {
+    case ModelKind::kWideDeep: {
+      // Light dense part, medium embedding traffic.
+      p.alpha_grad = 9.4e-4;
+      p.beta_grad = 0.005;
+      p.alpha_upd = 0.012;
+      p.beta_upd = 0.002;
+      p.alpha_sync = 0.050;
+      p.beta_sync = 0.003;
+      p.alpha_emb = 2.44e-5;
+      p.beta_emb = 0.002;
+      p.dense_param_bytes = MiB(100);
+      p.embedding_dim = 16;
+      p.phi_max = 2.8e8;
+      p.phi_n0 = 6.0e7;
+      p.bytes_per_category = 4.0 * 16 + 16;  // fp32 vector + adagrad slots
+      p.ps_static_bytes = GiB(2);
+      p.worker_static_bytes = GiB(4);
+      break;
+    }
+    case ModelKind::kXDeepFm: {
+      // CIN makes the dense part the heaviest of the three; wide embeddings.
+      p.alpha_grad = 1.70e-3;
+      p.beta_grad = 0.007;
+      p.alpha_upd = 0.0128;
+      p.beta_upd = 0.002;
+      p.alpha_sync = 0.040;
+      p.beta_sync = 0.003;
+      p.alpha_emb = 1.95e-5;
+      p.beta_emb = 0.003;
+      p.dense_param_bytes = MiB(200);
+      p.embedding_dim = 32;
+      p.phi_max = 2.2e8;
+      p.phi_n0 = 6.0e7;
+      p.bytes_per_category = 4.0 * 32 + 16;
+      p.ps_static_bytes = GiB(3);
+      p.worker_static_bytes = GiB(5);
+      break;
+    }
+    case ModelKind::kDcn: {
+      // Cross layers: between X and Y in compute; medium embeddings.
+      p.alpha_grad = 1.20e-3;
+      p.beta_grad = 0.006;
+      p.alpha_upd = 0.012;
+      p.beta_upd = 0.002;
+      p.alpha_sync = 0.045;
+      p.beta_sync = 0.003;
+      p.alpha_emb = 1.95e-5;
+      p.beta_emb = 0.002;
+      p.dense_param_bytes = MiB(150);
+      p.embedding_dim = 24;
+      p.phi_max = 2.5e8;
+      p.phi_n0 = 6.0e7;
+      p.bytes_per_category = 4.0 * 24 + 16;
+      p.ps_static_bytes = GiB(2.5);
+      p.worker_static_bytes = GiB(4);
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace dlrover

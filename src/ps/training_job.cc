@@ -1,0 +1,1042 @@
+#include "ps/training_job.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dlrover {
+
+namespace {
+// Chunk size for static-partition processing events (same granularity as
+// dynamic shards so the two modes are comparable in simulation cost).
+constexpr uint64_t kStaticChunkBatches = 128;
+// Time to re-partition and redistribute training data among workers after a
+// static-mode restart (baseline frameworks re-shard the input pipeline).
+constexpr Duration kRepartitionTime = Seconds(75);
+}  // namespace
+
+std::string JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kInitializing:
+      return "Initializing";
+    case JobState::kRunning:
+      return "Running";
+    case JobState::kMigrating:
+      return "Migrating";
+    case JobState::kRestoring:
+      return "Restoring";
+    case JobState::kCompleted:
+      return "Completed";
+    case JobState::kFailed:
+      return "Failed";
+  }
+  return "Unknown";
+}
+
+std::string JobConfig::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{w=%d, ps=%d, cpu_w=%.1f, cpu_ps=%.1f, mem_w=%.1fG, "
+                "mem_ps=%.1fG}",
+                num_workers, num_ps, worker_cpu, ps_cpu, ToGiB(worker_memory),
+                ToGiB(ps_memory));
+  return buf;
+}
+
+TrainingJob::TrainingJob(Simulator* sim, Cluster* cluster, const JobSpec& spec,
+                         const JobConfig& initial_config,
+                         const EnvironmentProfile& env)
+    : sim_(sim),
+      cluster_(cluster),
+      spec_(spec),
+      config_(initial_config),
+      env_(env),
+      profile_(GetModelProfile(spec.model)),
+      rng_(spec.seed),
+      monitor_(HeartbeatMonitorOptions{}) {
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    ShardQueueOptions options;
+    options.total_batches = spec_.total_steps;
+    shard_queue_ = std::make_unique<ShardQueue>(options);
+  }
+  stats_.submit_time = sim_->Now();
+  last_checkpoint_.trained_batches = 0;
+  last_checkpoint_.saved_at = sim_->Now();
+  profile_task_ = std::make_unique<PeriodicTask>(
+      sim_, spec_.profile_interval, [this] { ProfileTick(); });
+  checkpoint_task_ = std::make_unique<PeriodicTask>(
+      sim_, spec_.checkpoint_interval, [this] { CheckpointTick(); });
+}
+
+TrainingJob::~TrainingJob() {
+  if (!finished()) {
+    state_ = JobState::kFailed;
+    stats_.fail_reason = "destroyed";
+  }
+  for (auto& w : workers_) {
+    if (w->completion_event != 0) sim_->Cancel(w->completion_event);
+  }
+  for (auto& w : staged_workers_) {
+    if (w->completion_event != 0) sim_->Cancel(w->completion_event);
+  }
+  KillAllPods(false);
+}
+
+void TrainingJob::Start() {
+  for (int i = 0; i < config_.num_workers; ++i) {
+    auto worker = std::make_unique<WorkerState>();
+    worker->index = next_worker_index_++;
+    workers_.push_back(std::move(worker));
+    CreateWorkerPod(*workers_.back());
+  }
+  std::vector<double> shares = spec_.ps_shares;
+  if (shares.empty() || static_cast<int>(shares.size()) != config_.num_ps) {
+    shares.assign(static_cast<size_t>(config_.num_ps),
+                  1.0 / std::max(1, config_.num_ps));
+  } else {
+    double total = 0.0;
+    for (double s : shares) total += s;
+    for (double& s : shares) s /= total;
+  }
+  for (int i = 0; i < config_.num_ps; ++i) {
+    auto ps = std::make_unique<PsState>();
+    ps->index = next_ps_index_++;
+    ps->share = shares[static_cast<size_t>(i)];
+    ps_.push_back(std::move(ps));
+    CreatePsPod(*ps_.back());
+  }
+  if (spec_.data_mode == DataMode::kStaticPartition) {
+    RepartitionStatic(0);
+  }
+  profile_task_->Start();
+  checkpoint_task_->Start();
+}
+
+void TrainingJob::CreateWorkerPod(WorkerState& worker) {
+  PodSpec pod_spec;
+  pod_spec.name = spec_.name + "-worker-" + std::to_string(worker.index);
+  pod_spec.request = config_.WorkerRequest();
+  pod_spec.priority = PriorityClass::kTraining;
+  WorkerState* w = &worker;
+  worker.pod = cluster_->CreatePod(
+      std::move(pod_spec), [this, w](Pod&) { OnWorkerRunning(*w); },
+      [this, w](Pod&, PodStopReason reason) { OnWorkerStopped(*w, reason); });
+}
+
+void TrainingJob::CreatePsPod(PsState& ps) {
+  PodSpec pod_spec;
+  pod_spec.name = spec_.name + "-ps-" + std::to_string(ps.index);
+  pod_spec.request = config_.PsRequest();
+  pod_spec.priority = PriorityClass::kTraining;
+  PsState* p = &ps;
+  ps.pod = cluster_->CreatePod(
+      std::move(pod_spec), [this, p](Pod&) { OnPsRunning(*p); },
+      [this, p](Pod&, PodStopReason reason) { OnPsStopped(*p, reason); });
+}
+
+bool TrainingJob::AllPsRunning() const {
+  for (const auto& ps : ps_) {
+    if (!ps->retired && !ps->pod_running) return false;
+  }
+  return !ps_.empty();
+}
+
+void TrainingJob::OnWorkerRunning(WorkerState& worker) {
+  worker.pod_running = true;
+  monitor_.AddMember(static_cast<uint64_t>(worker.index), sim_->Now());
+  if (transition_ == TransitionKind::kSeamless) {
+    FinishMigrationIfReady();
+    // Old workers keep training; a staged worker does not dispatch yet.
+    return;
+  }
+  TryDispatchAll();
+}
+
+void TrainingJob::OnPsRunning(PsState& ps) {
+  ps.pod_running = true;
+  if (transition_ == TransitionKind::kSeamless) {
+    FinishMigrationIfReady();
+    return;
+  }
+  if (transition_ == TransitionKind::kPsRecovery && AllPsRunning()) {
+    // Replacement PS is up: load the checkpoint, then resume.
+    const Duration load = CheckpointReadTime();
+    stats_.downtime_checkpoint += load;
+    sim_->ScheduleAfter(load, [this] {
+      if (finished()) return;
+      transition_ = TransitionKind::kNone;
+      state_ = JobState::kRunning;
+      ResumeTraining();
+    });
+    return;
+  }
+  TryDispatchAll();
+}
+
+void TrainingJob::TryDispatchAll() {
+  if (finished()) return;
+  if (!AllPsRunning()) return;
+
+  if (state_ == JobState::kInitializing ||
+      transition_ == TransitionKind::kStopRestart) {
+    // Stop-and-restart (or first start) waits for *all* workers as well.
+    bool all_workers = !workers_.empty();
+    for (const auto& w : workers_) {
+      if (!w->retired && !w->pod_running) all_workers = false;
+    }
+    if (!all_workers) return;
+
+    if (state_ == JobState::kInitializing) {
+      stats_.first_training_time = sim_->Now();
+      state_ = JobState::kRunning;
+    } else {
+      // Pods are up after a restart: charge the wait, load the checkpoint,
+      // re-partition if static, then resume.
+      stats_.downtime_waiting_pods += sim_->Now() - restart_kill_time_;
+      Duration resume_delay = CheckpointReadTime();
+      stats_.downtime_checkpoint += resume_delay;
+      if (spec_.data_mode == DataMode::kStaticPartition) {
+        resume_delay += kRepartitionTime;
+        stats_.downtime_repartition += kRepartitionTime;
+      }
+      transition_ = TransitionKind::kNone;
+      sim_->ScheduleAfter(resume_delay, [this] {
+        if (finished()) return;
+        state_ = JobState::kRunning;
+        ResumeTraining();
+      });
+      return;
+    }
+  }
+
+  if (paused_) return;
+  for (auto& worker : workers_) {
+    if (worker->pod_running && !worker->retired && !worker->processing) {
+      StartNextShard(*worker);
+    }
+  }
+}
+
+StatusOr<DataShard> TrainingJob::NextShardFor(WorkerState& worker) {
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    return shard_queue_->NextShard(worker.shard_limit);
+  }
+  if (worker.part_cursor >= worker.part_end) {
+    return NotFoundError("partition exhausted");
+  }
+  DataShard shard;
+  shard.index = 0;  // synthetic; static mode does not audit indices
+  shard.start_batch = worker.part_cursor;
+  shard.end_batch =
+      std::min(worker.part_cursor + kStaticChunkBatches, worker.part_end);
+  return shard;
+}
+
+void TrainingJob::StartNextShard(WorkerState& worker) {
+  if (finished() || paused_ || !worker.pod_running || worker.retired) return;
+  auto shard_or = NextShardFor(worker);
+  if (!shard_or.ok()) {
+    worker.processing = false;
+    if (AllDataDone()) Complete();
+    return;
+  }
+  worker.shard = *shard_or;
+  worker.processing = true;
+  worker.shard_start = sim_->Now();
+  const double iter = WorkerIterTime(worker);
+  const double noise = rng_.LogNormal(1.0, env_.timing_noise_sigma);
+  worker.shard_duration =
+      static_cast<double>(worker.shard->batches()) * iter * noise;
+  WorkerState* w = &worker;
+  worker.completion_event = sim_->ScheduleAfter(
+      worker.shard_duration, [this, w] { OnShardComplete(*w); });
+}
+
+double TrainingJob::WorkerIterTime(const WorkerState& worker) const {
+  const Pod* pod = cluster_->GetPod(worker.pod);
+  const double speed = pod != nullptr ? pod->speed_factor : 1.0;
+  return ComputeIteration(profile_, env_, spec_.batch_size,
+                          ActiveWorkerCount(), config_, speed,
+                          CurrentPsGroupState())
+      .Total();
+}
+
+PsGroupState TrainingJob::CurrentPsGroupState() const {
+  PsGroupState state;
+  for (const auto& ps : ps_) {
+    if (ps->retired) continue;
+    const Pod* pod = cluster_->GetPod(ps->pod);
+    state.shares.push_back(ps->share);
+    state.speeds.push_back(pod != nullptr ? pod->speed_factor : 1.0);
+  }
+  if (state.shares.empty()) {
+    state.shares.push_back(1.0);
+    state.speeds.push_back(1.0);
+  }
+  return state;
+}
+
+void TrainingJob::OnShardComplete(WorkerState& worker) {
+  worker.completion_event = 0;
+  if (!worker.shard.has_value()) return;
+  const DataShard shard = *worker.shard;
+  worker.shard.reset();
+  worker.processing = false;
+  CommitShard(worker, shard);
+  worker.samples_done += shard.batches() * spec_.batch_size;
+  monitor_.Heartbeat(static_cast<uint64_t>(worker.index), sim_->Now(),
+                     worker.samples_done);
+  if (AllDataDone()) {
+    Complete();
+    return;
+  }
+  StartNextShard(worker);
+}
+
+void TrainingJob::CommitShard(WorkerState& worker, const DataShard& shard) {
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    const Status status = shard_queue_->ReportCompleted(shard);
+    if (!status.ok()) {
+      DLROVER_LOG_STREAM(Warning)
+          << spec_.name << ": shard completion rejected: " << status;
+    }
+  } else {
+    static_completed_ += shard.batches();
+    worker.part_cursor = shard.end_batch;
+  }
+}
+
+void TrainingJob::ReturnShard(WorkerState& worker,
+                              uint64_t processed_batches) {
+  if (!worker.shard.has_value()) return;
+  const DataShard shard = *worker.shard;
+  worker.shard.reset();
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    const Status status = shard_queue_->ReportFailed(shard, processed_batches);
+    if (!status.ok()) {
+      DLROVER_LOG_STREAM(Warning)
+          << spec_.name << ": shard return rejected: " << status;
+    }
+  } else {
+    static_completed_ += processed_batches;
+    worker.part_cursor = shard.start_batch + processed_batches;
+  }
+  worker.samples_done += processed_batches * spec_.batch_size;
+}
+
+void TrainingJob::InterruptWorker(WorkerState& worker) {
+  if (worker.completion_event != 0) {
+    sim_->Cancel(worker.completion_event);
+    worker.completion_event = 0;
+  }
+  if (worker.processing && worker.shard.has_value()) {
+    const double elapsed = sim_->Now() - worker.shard_start;
+    const double frac =
+        worker.shard_duration > 0.0
+            ? std::clamp(elapsed / worker.shard_duration, 0.0, 1.0)
+            : 0.0;
+    const uint64_t processed = static_cast<uint64_t>(
+        frac * static_cast<double>(worker.shard->batches()));
+    ReturnShard(worker, processed);
+  }
+  worker.processing = false;
+}
+
+bool TrainingJob::AllDataDone() const {
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    return shard_queue_->AllDone();
+  }
+  return static_completed_ >= spec_.total_steps;
+}
+
+uint64_t TrainingJob::batches_done() const {
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    return shard_queue_->completed_batches();
+  }
+  return static_completed_;
+}
+
+void TrainingJob::RepartitionStatic(uint64_t completed_prefix) {
+  static_completed_ = completed_prefix;
+  const uint64_t remaining = spec_.total_steps - completed_prefix;
+  std::vector<WorkerState*> active;
+  for (auto& w : workers_) {
+    if (!w->retired) active.push_back(w.get());
+  }
+  if (active.empty()) return;
+  const uint64_t per = remaining / active.size();
+  uint64_t extra = remaining % active.size();
+  uint64_t cursor = completed_prefix;
+  for (WorkerState* w : active) {
+    const uint64_t span = per + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    w->part_cursor = cursor;
+    w->part_end = cursor + span;
+    cursor += span;
+  }
+}
+
+void TrainingJob::OnWorkerStopped(WorkerState& worker, PodStopReason reason) {
+  InterruptWorker(worker);
+  worker.pod_running = false;
+  monitor_.RemoveMember(static_cast<uint64_t>(worker.index));
+  // An owner-kill on a member we did NOT retire is an *external* deletion
+  // (another controller / operator) — handle it like a crash. Every
+  // job-initiated kill marks the member retired first.
+  if (worker.retired || reason == PodStopReason::kCompleted || finished()) {
+    return;
+  }
+  ++stats_.worker_failures;
+
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    // The unfinished shard is already back in the queue; peers keep going.
+    worker.retired = true;
+    if (spec_.auto_replace_failed_workers &&
+        transition_ == TransitionKind::kNone) {
+      auto replacement = std::make_unique<WorkerState>();
+      replacement->index = next_worker_index_++;
+      replacement->shard_limit = worker.shard_limit;
+      workers_.push_back(std::move(replacement));
+      CreateWorkerPod(*workers_.back());
+    }
+  } else {
+    // Static partitioning cannot absorb a lost worker: full restart.
+    RestartFromCheckpoint("worker loss under static partitioning");
+  }
+}
+
+void TrainingJob::OnPsStopped(PsState& ps, PodStopReason reason) {
+  ps.pod_running = false;
+  if (ps.retired || reason == PodStopReason::kCompleted || finished()) {
+    return;
+  }
+  ++stats_.ps_failures;
+  const bool was_oom = reason == PodStopReason::kOomKill;
+  if (was_oom) ++stats_.oom_events;
+
+  if (spec_.data_mode == DataMode::kDynamicSharding &&
+      transition_ == TransitionKind::kNone) {
+    RecoverFromPsLoss(ps, was_oom);
+  } else {
+    RestartFromCheckpoint(was_oom ? "ps oom" : "ps loss");
+  }
+}
+
+void TrainingJob::RecoverFromPsLoss(PsState& ps, bool was_oom) {
+  state_ = JobState::kRestoring;
+  transition_ = TransitionKind::kPsRecovery;
+  PauseTraining();
+  // Parameters on the lost PS are gone: training rolls back to the last
+  // checkpoint (flash-checkpoint keeps this window tiny).
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    shard_queue_->FastForwardTo(last_checkpoint_.trained_batches);
+  }
+  if (was_oom) {
+    // Reactive vertical scale so the replacement does not die again.
+    config_.ps_memory =
+        std::max(config_.ps_memory * 1.5, MaxPsMemory() * 1.3);
+  }
+  CreatePsPod(ps);  // reuse the same logical PS (same share)
+}
+
+void TrainingJob::RestartFromCheckpoint(const std::string& why) {
+  if (finished()) return;
+  ++stats_.full_restarts;
+  if (stats_.full_restarts > spec_.max_restarts) {
+    FailJob("restart budget exhausted: " + why);
+    return;
+  }
+  state_ = JobState::kRestoring;
+  transition_ = TransitionKind::kStopRestart;
+  PauseTraining();
+
+  // Roll data consumption back to the checkpoint.
+  if (spec_.data_mode == DataMode::kDynamicSharding) {
+    shard_queue_->FastForwardTo(last_checkpoint_.trained_batches);
+  } else {
+    static_completed_ = last_checkpoint_.trained_batches;
+  }
+
+  KillAllPods(false);
+  restart_kill_time_ = sim_->Now();
+
+  // A seamless migration interrupted by this restart leaves staged pods
+  // behind; retire them so they cannot wedge a future migration.
+  for (auto& w : staged_workers_) retired_workers_.push_back(std::move(w));
+  staged_workers_.clear();
+  for (auto& p : staged_ps_) retired_ps_.push_back(std::move(p));
+  staged_ps_.clear();
+  pending_config_.reset();
+  ++migration_epoch_;
+
+  // Fresh pod sets with the current configuration.
+  workers_.clear();
+  ps_.clear();
+  for (int i = 0; i < config_.num_workers; ++i) {
+    auto worker = std::make_unique<WorkerState>();
+    worker->index = next_worker_index_++;
+    workers_.push_back(std::move(worker));
+    CreateWorkerPod(*workers_.back());
+  }
+  for (int i = 0; i < config_.num_ps; ++i) {
+    auto psn = std::make_unique<PsState>();
+    psn->index = next_ps_index_++;
+    psn->share = 1.0 / config_.num_ps;
+    ps_.push_back(std::move(psn));
+    CreatePsPod(*ps_.back());
+  }
+  if (spec_.data_mode == DataMode::kStaticPartition) {
+    RepartitionStatic(static_completed_);
+  }
+}
+
+Status TrainingJob::ApplyPlan(const JobConfig& new_config,
+                              MigrationMode mode) {
+  if (finished()) return FailedPreconditionError("job already finished");
+  if (state_ != JobState::kRunning) {
+    return FailedPreconditionError("job is not in a steady running state");
+  }
+  if (new_config.num_workers < 1 || new_config.num_ps < 1) {
+    return InvalidArgumentError("plan must keep at least 1 worker and 1 ps");
+  }
+
+  const bool worker_count_only =
+      new_config.num_ps == config_.num_ps &&
+      new_config.worker_cpu == config_.worker_cpu &&
+      new_config.ps_cpu == config_.ps_cpu &&
+      new_config.worker_memory == config_.worker_memory &&
+      new_config.ps_memory == config_.ps_memory &&
+      new_config.num_workers != config_.num_workers;
+
+  if (worker_count_only && mode == MigrationMode::kSeamless &&
+      spec_.data_mode == DataMode::kDynamicSharding) {
+    // Fast elasticity: workers join/leave the shards queue with no pause.
+    ++stats_.scale_operations;
+    const int delta = new_config.num_workers - config_.num_workers;
+    if (delta > 0) {
+      for (int i = 0; i < delta; ++i) {
+        auto worker = std::make_unique<WorkerState>();
+        worker->index = next_worker_index_++;
+        workers_.push_back(std::move(worker));
+        CreateWorkerPod(*workers_.back());
+      }
+    } else {
+      int to_remove = -delta;
+      for (auto it = workers_.rbegin();
+           it != workers_.rend() && to_remove > 0; ++it) {
+        WorkerState& w = **it;
+        if (w.retired) continue;
+        InterruptWorker(w);
+        w.retired = true;
+        cluster_->KillPod(w.pod);
+        --to_remove;
+      }
+    }
+    config_.num_workers = new_config.num_workers;
+    return Status::OK();
+  }
+
+  if (mode == MigrationMode::kStopAndRestart) {
+    BeginStopAndRestart(new_config);
+  } else {
+    BeginSeamless(new_config);
+  }
+  return Status::OK();
+}
+
+void TrainingJob::BeginStopAndRestart(const JobConfig& new_config) {
+  ++stats_.migrations;
+  state_ = JobState::kMigrating;
+  transition_ = TransitionKind::kStopRestart;
+  PauseTraining();
+
+  // Save a checkpoint on the critical path (paper: 5-10 min to RDS).
+  const Duration save = CheckpointWriteTime();
+  stats_.downtime_checkpoint += save;
+  sim_->ScheduleAfter(save, [this, new_config] {
+    if (finished()) return;
+    last_checkpoint_.saved_at = sim_->Now();
+    last_checkpoint_.trained_batches = batches_done();
+    last_checkpoint_.bytes = ModelBytes();
+    last_checkpoint_.store = spec_.use_flash_checkpoint ? cache_.name()
+                                                        : rds_.name();
+    KillAllPods(false);
+    restart_kill_time_ = sim_->Now();
+    config_ = new_config;
+    workers_.clear();
+    ps_.clear();
+    for (int i = 0; i < config_.num_workers; ++i) {
+      auto worker = std::make_unique<WorkerState>();
+      worker->index = next_worker_index_++;
+      workers_.push_back(std::move(worker));
+      CreateWorkerPod(*workers_.back());
+    }
+    for (int i = 0; i < config_.num_ps; ++i) {
+      auto psn = std::make_unique<PsState>();
+      psn->index = next_ps_index_++;
+      psn->share = 1.0 / config_.num_ps;
+      ps_.push_back(std::move(psn));
+      CreatePsPod(*ps_.back());
+    }
+    if (spec_.data_mode == DataMode::kStaticPartition) {
+      RepartitionStatic(static_completed_);
+    }
+  });
+}
+
+void TrainingJob::BeginSeamless(const JobConfig& new_config) {
+  state_ = JobState::kMigrating;
+  transition_ = TransitionKind::kSeamless;
+  pending_config_ = new_config;
+  // Watchdog: if the staged deployment cannot be scheduled (capacity,
+  // oversized pods), abort and keep training on the old pods rather than
+  // wedging the job in kMigrating forever.
+  const uint64_t epoch = ++migration_epoch_;
+  sim_->ScheduleAfter(Minutes(12),
+                      [this, epoch] { AbortSeamlessIfStuck(epoch); });
+  // Stage the full replacement deployment; old pods keep training.
+  for (int i = 0; i < new_config.num_workers; ++i) {
+    auto worker = std::make_unique<WorkerState>();
+    worker->index = next_worker_index_++;
+    staged_workers_.push_back(std::move(worker));
+    WorkerState& w = *staged_workers_.back();
+    PodSpec pod_spec;
+    pod_spec.name = spec_.name + "-worker-" + std::to_string(w.index);
+    pod_spec.request = new_config.WorkerRequest();
+    pod_spec.priority = PriorityClass::kTraining;
+    WorkerState* wp = &w;
+    w.pod = cluster_->CreatePod(
+        std::move(pod_spec), [this, wp](Pod&) { OnWorkerRunning(*wp); },
+        [this, wp](Pod&, PodStopReason reason) {
+          OnWorkerStopped(*wp, reason);
+        });
+  }
+  for (int i = 0; i < new_config.num_ps; ++i) {
+    auto psn = std::make_unique<PsState>();
+    psn->index = next_ps_index_++;
+    psn->share = 1.0 / new_config.num_ps;
+    staged_ps_.push_back(std::move(psn));
+    PsState& p = *staged_ps_.back();
+    PodSpec pod_spec;
+    pod_spec.name = spec_.name + "-ps-" + std::to_string(p.index);
+    pod_spec.request = new_config.PsRequest();
+    pod_spec.priority = PriorityClass::kTraining;
+    PsState* pp = &p;
+    p.pod = cluster_->CreatePod(
+        std::move(pod_spec), [this, pp](Pod&) { OnPsRunning(*pp); },
+        [this, pp](Pod&, PodStopReason reason) { OnPsStopped(*pp, reason); });
+  }
+}
+
+void TrainingJob::AbortSeamlessIfStuck(uint64_t epoch) {
+  if (finished()) return;
+  if (transition_ != TransitionKind::kSeamless) return;
+  if (epoch != migration_epoch_) return;  // that migration already ended
+  for (auto& w : staged_workers_) {
+    w->retired = true;
+    if (w->pod != 0) cluster_->KillPod(w->pod);
+    retired_workers_.push_back(std::move(w));
+  }
+  staged_workers_.clear();
+  for (auto& p : staged_ps_) {
+    p->retired = true;
+    if (p->pod != 0) cluster_->KillPod(p->pod);
+    retired_ps_.push_back(std::move(p));
+  }
+  staged_ps_.clear();
+  pending_config_.reset();
+  transition_ = TransitionKind::kNone;
+  state_ = JobState::kRunning;
+  DLROVER_LOG_STREAM(Warning)
+      << spec_.name << ": seamless migration timed out; reverted";
+}
+
+void TrainingJob::FinishMigrationIfReady() {
+  if (transition_ != TransitionKind::kSeamless) return;
+  for (const auto& w : staged_workers_) {
+    if (!w->pod_running) return;
+  }
+  for (const auto& p : staged_ps_) {
+    if (!p->pod_running) return;
+  }
+  // Everything staged is up: pause, hand over state via flash-checkpoint,
+  // swap pod sets, resume. Only the checkpoint handoff pauses training.
+  ++migration_epoch_;  // staged set is complete: disarm the watchdog
+  PauseTraining();
+  const Duration save = CheckpointWriteTime();
+  const Duration load = CheckpointReadTime();
+  stats_.downtime_checkpoint += save + load;
+  if (spec_.use_flash_checkpoint) {
+    cache_.AsyncFlushToRds(ModelBytes());
+  }
+  sim_->ScheduleAfter(save + load, [this] {
+    if (finished()) return;
+    last_checkpoint_.saved_at = sim_->Now();
+    last_checkpoint_.trained_batches = batches_done();
+    last_checkpoint_.bytes = ModelBytes();
+    last_checkpoint_.store =
+        spec_.use_flash_checkpoint ? cache_.name() : rds_.name();
+
+    for (auto& w : workers_) {
+      if (!w->retired) {
+        InterruptWorker(*w);
+        w->retired = true;
+        cluster_->KillPod(w->pod);
+      }
+      retired_workers_.push_back(std::move(w));
+    }
+    workers_.clear();
+    for (auto& p : ps_) {
+      if (!p->retired) {
+        p->retired = true;
+        cluster_->KillPod(p->pod);
+      }
+      retired_ps_.push_back(std::move(p));
+    }
+    ps_.clear();
+
+    workers_ = std::move(staged_workers_);
+    staged_workers_.clear();
+    ps_ = std::move(staged_ps_);
+    staged_ps_.clear();
+    config_ = *pending_config_;
+    pending_config_.reset();
+    ++stats_.migrations;
+    transition_ = TransitionKind::kNone;
+    state_ = JobState::kRunning;
+    ResumeTraining();
+  });
+}
+
+void TrainingJob::PauseTraining() {
+  if (paused_) return;
+  paused_ = true;
+  for (auto& w : workers_) InterruptWorker(*w);
+}
+
+void TrainingJob::ResumeTraining() {
+  if (!paused_) return;
+  paused_ = false;
+  TryDispatchAll();
+}
+
+Status TrainingJob::SetWorkerShardLimit(int worker_index,
+                                        uint64_t max_batches) {
+  for (auto& w : workers_) {
+    if (w->index == worker_index && !w->retired) {
+      w->shard_limit = max_batches;
+      return Status::OK();
+    }
+  }
+  return NotFoundError("no active worker with that index");
+}
+
+int TrainingJob::MitigateStragglers() {
+  if (spec_.data_mode != DataMode::kDynamicSharding) return 0;
+  const std::vector<uint64_t> stragglers =
+      monitor_.DetectStragglers(sim_->Now());
+  int mitigated = 0;
+  for (uint64_t id : stragglers) {
+    ShardQueueOptions defaults;
+    const uint64_t small = std::max<uint64_t>(
+        defaults.min_shard_batches, defaults.default_shard_batches / 8);
+    if (SetWorkerShardLimit(static_cast<int>(id), small).ok()) {
+      ++mitigated;
+      ++stats_.stragglers_mitigated;
+    }
+  }
+  return mitigated;
+}
+
+bool TrainingJob::MaybePreventOom() {
+  if (state_ != JobState::kRunning) return false;
+  // Each scale-up must buy a quiet period: without a cooldown the trigger
+  // threshold (0.9x limit) catches up with the fresh headroom within a few
+  // ticks and the job churns through migrations.
+  if (sim_->Now() - last_oom_scale_ < Minutes(12)) return false;
+  const double throughput = MeasuredThroughput();
+  if (throughput <= 0.0) return false;
+  const double remaining_sec =
+      static_cast<double>(RemainingSamples()) / throughput;
+  // Size for the nearer of job completion and a fixed lookahead window:
+  // seamless flash-checkpoint migrations are cheap, so growing memory in
+  // steps keeps the allocation tracking actual usage (high MUR) instead of
+  // paying the whole end-of-job footprint up front.
+  const Duration lookahead = Minutes(45);
+  const SimTime horizon = sim_->Now() + std::min(remaining_sec, lookahead);
+  const auto recommended =
+      oom_predictor_.RecommendLimit(config_.ps_memory, horizon);
+  if (!recommended.has_value()) return false;
+
+  // No node can host a pod bigger than itself: when the projected per-PS
+  // footprint exceeds what a node offers, scale the PS group *out* so the
+  // rebalanced shares shrink each server's slice (paper Section 5.3:
+  // "scales the PSes with larger memory capacity").
+  const Bytes pod_cap = cluster_->options().node_capacity.memory * 0.85;
+  JobConfig new_config = config_;
+  Bytes per_ps = *recommended;
+  if (per_ps > pod_cap) {
+    const int new_p = static_cast<int>(
+        std::ceil(static_cast<double>(config_.num_ps) * per_ps / pod_cap));
+    new_config.num_ps = std::min(new_p, 16);
+    per_ps = std::min(
+        pod_cap, per_ps * static_cast<double>(config_.num_ps) /
+                     static_cast<double>(new_config.num_ps) * 1.2);
+  }
+  new_config.ps_memory = per_ps;
+  const bool applied = ApplyPlan(new_config, MigrationMode::kSeamless).ok();
+  if (applied) last_oom_scale_ = sim_->Now();
+  return applied;
+}
+
+void TrainingJob::Complete() {
+  if (finished()) return;
+  state_ = JobState::kCompleted;
+  stats_.finish_time = sim_->Now();
+  profile_task_->Stop();
+  checkpoint_task_->Stop();
+  KillAllPods(true);
+  if (on_finished) on_finished(*this);
+}
+
+void TrainingJob::FailJob(const std::string& reason) {
+  if (finished()) return;
+  state_ = JobState::kFailed;
+  stats_.finish_time = sim_->Now();
+  stats_.fail_reason = reason;
+  profile_task_->Stop();
+  checkpoint_task_->Stop();
+  KillAllPods(false);
+  if (on_finished) on_finished(*this);
+}
+
+void TrainingJob::KillAllPods(bool graceful) {
+  // Two passes: killing a pod can cascade (freed capacity -> placements ->
+  // preemptions) into stop callbacks for *this job's other pods*. Marking
+  // everything retired first makes those callbacks no-ops, so the kill loop
+  // cannot re-enter restart/recovery logic mid-iteration.
+  auto retire_all = [](auto& members) {
+    for (auto& m : members) m->retired = true;
+  };
+  retire_all(workers_);
+  retire_all(ps_);
+  retire_all(staged_workers_);
+  retire_all(staged_ps_);
+  auto kill_all = [&](auto& members) {
+    for (auto& m : members) {
+      if (m->pod != 0) cluster_->KillPod(m->pod, graceful);
+    }
+  };
+  kill_all(workers_);
+  kill_all(ps_);
+  kill_all(staged_workers_);
+  kill_all(staged_ps_);
+}
+
+int TrainingJob::ActiveWorkerCount() const {
+  int count = 0;
+  for (const auto& w : workers_) {
+    if (w->pod_running && !w->retired) ++count;
+  }
+  return count;
+}
+
+Bytes TrainingJob::MaxPsMemory() const {
+  // Memory is spread evenly across PSes: a "hot" PS is a *compute*
+  // hotspot (frequently accessed tensors), not necessarily a larger slice
+  // of rows; OOM pressure comes from table growth and undersized limits.
+  const Bytes emb = profile_.EmbeddingBytesAt(
+      static_cast<double>(batches_done()) *
+      static_cast<double>(spec_.batch_size));
+  int live = 0;
+  for (const auto& ps : ps_) {
+    if (!ps->retired) ++live;
+  }
+  if (live == 0) return profile_.ps_static_bytes;
+  return profile_.ps_static_bytes + emb / static_cast<double>(live);
+}
+
+Bytes TrainingJob::ModelBytes() const {
+  return profile_.dense_param_bytes +
+         profile_.EmbeddingBytesAt(static_cast<double>(batches_done()) *
+                                   static_cast<double>(spec_.batch_size));
+}
+
+double TrainingJob::MeasuredThroughput() const { return last_throughput_; }
+
+double TrainingJob::SmoothedThroughput(size_t samples) const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (auto it = history_.rbegin(); it != history_.rend() && count < samples;
+       ++it) {
+    if (it->samples_per_sec <= 0.0) continue;
+    sum += it->samples_per_sec;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+Duration TrainingJob::CheckpointWriteTime() const {
+  return spec_.use_flash_checkpoint ? cache_.WriteTime(ModelBytes())
+                                    : rds_.WriteTime(ModelBytes());
+}
+
+Duration TrainingJob::CheckpointReadTime() const {
+  return spec_.use_flash_checkpoint ? cache_.ReadTime(ModelBytes())
+                                    : rds_.ReadTime(ModelBytes());
+}
+
+void TrainingJob::CheckpointTick() {
+  if (finished()) return;
+  // Training continues during a seamless migration, so checkpoints must
+  // too; only hard transitions (restart / PS recovery) skip ticks.
+  const bool training_live =
+      state_ == JobState::kRunning ||
+      (state_ == JobState::kMigrating &&
+       transition_ == TransitionKind::kSeamless);
+  if (!training_live) return;
+  // Periodic fault-tolerance checkpoints run asynchronously (snapshot is
+  // consistent as of now, becomes durable after the write completes).
+  const uint64_t batches = batches_done();
+  const Bytes bytes = ModelBytes();
+  const Duration write = CheckpointWriteTime();
+  sim_->ScheduleAfter(write, [this, batches, bytes] {
+    if (finished()) return;
+    if (batches >= last_checkpoint_.trained_batches) {
+      last_checkpoint_.saved_at = sim_->Now();
+      last_checkpoint_.trained_batches = batches;
+      last_checkpoint_.bytes = bytes;
+      last_checkpoint_.store =
+          spec_.use_flash_checkpoint ? cache_.name() : rds_.name();
+    }
+  });
+  if (spec_.use_flash_checkpoint) cache_.AsyncFlushToRds(bytes);
+}
+
+void TrainingJob::UpdateMemoryAndUsage() {
+  const Bytes emb = profile_.EmbeddingBytesAt(
+      static_cast<double>(batches_done()) *
+      static_cast<double>(spec_.batch_size));
+  const PsGroupState group = CurrentPsGroupState();
+  const IterationBreakdown healthy = ComputeIteration(
+      profile_, env_, spec_.batch_size, std::max(1, ActiveWorkerCount()),
+      config_, 1.0, group);
+  const double t_iter = std::max(1e-9, healthy.Total());
+
+  // Parameter servers: memory tracks embedding growth; CPU tracks the share
+  // of the iteration spent in updates + lookups, scaled by each PS's load
+  // relative to a balanced peer.
+  const double balanced_inv_p =
+      1.0 / std::max<size_t>(1, group.shares.size());
+  std::vector<PsState*> live_ps;
+  for (auto& ps : ps_) {
+    if (!ps->retired && ps->pod_running) live_ps.push_back(ps.get());
+  }
+  for (PsState* ps : live_ps) {
+    Pod* pod = cluster_->GetMutablePod(ps->pod);
+    if (pod == nullptr) continue;
+    const double speed = std::max(1e-3, pod->speed_factor);
+    const double relative_load =
+        (ps->share / speed) / std::max(1e-9, balanced_inv_p);
+    const double busy =
+        std::clamp((healthy.t_upd + healthy.t_emb) / t_iter * relative_load,
+                   0.0, 1.0);
+    pod->usage.cpu =
+        std::min(config_.ps_cpu, profile_.max_ps_parallelism) * busy;
+    pod->usage.memory =
+        profile_.ps_static_bytes + emb / static_cast<double>(live_ps.size());
+  }
+
+  // Workers: CPU busy during gradient computation; memory is a working set.
+  for (auto& w : workers_) {
+    if (w->retired || !w->pod_running) continue;
+    Pod* pod = cluster_->GetMutablePod(w->pod);
+    if (pod == nullptr) continue;
+    const IterationBreakdown mine =
+        ComputeIteration(profile_, env_, spec_.batch_size,
+                         std::max(1, ActiveWorkerCount()), config_,
+                         pod->speed_factor, group);
+    const double t_mine = std::max(1e-9, mine.Total());
+    pod->usage.cpu =
+        std::min(config_.worker_cpu, profile_.max_worker_parallelism) *
+        std::clamp(mine.t_grad / t_mine, 0.0, 1.0);
+    pod->usage.memory = profile_.worker_static_bytes * 0.85;
+  }
+
+  // OOM semantics: a PS whose usage exceeds its limit is OOM-killed.
+  for (PsState* ps : live_ps) {
+    Pod* pod = cluster_->GetMutablePod(ps->pod);
+    if (pod == nullptr) continue;
+    if (pod->usage.memory > config_.ps_memory) {
+      cluster_->FailPod(ps->pod, PodStopReason::kOomKill);
+      break;  // one OOM per tick; recovery handles the rest
+    }
+  }
+}
+
+void TrainingJob::ProfileTick() {
+  if (finished()) return;
+  if (state_ == JobState::kInitializing &&
+      sim_->Now() - stats_.submit_time > spec_.pending_timeout) {
+    FailJob("scheduling: pods pending beyond timeout");
+    return;
+  }
+  UpdateMemoryAndUsage();
+  if (finished()) return;  // OOM handling above may have killed the job
+
+  const SimTime now = sim_->Now();
+  const uint64_t batches = batches_done();
+  ThroughputSample sample;
+  sample.time = now;
+  sample.config = config_;
+  sample.active_workers = ActiveWorkerCount();
+  sample.batches_done = batches;
+  sample.max_ps_memory = MaxPsMemory();
+  const double dt = now - window_start_;
+  if (dt > 0.0 && batches >= window_batches_) {
+    sample.samples_per_sec =
+        static_cast<double>(batches - window_batches_) *
+        static_cast<double>(spec_.batch_size) / dt;
+  }
+  if (sample.samples_per_sec > 0.0 && sample.active_workers > 0) {
+    sample.observed_iter_time = static_cast<double>(sample.active_workers) *
+                                static_cast<double>(spec_.batch_size) /
+                                sample.samples_per_sec;
+  }
+  // Utilisation of our own pods (used / allocated).
+  double w_used = 0.0, w_alloc = 0.0, p_used = 0.0, p_alloc = 0.0;
+  double w_mem_used = 0.0, w_mem_alloc = 0.0;
+  double p_mem_used = 0.0, p_mem_alloc = 0.0;
+  for (const auto& w : workers_) {
+    if (w->retired || !w->pod_running) continue;
+    const Pod* pod = cluster_->GetPod(w->pod);
+    if (pod == nullptr) continue;
+    w_used += pod->usage.cpu;
+    w_alloc += pod->spec.request.cpu;
+    w_mem_used += pod->usage.memory;
+    w_mem_alloc += pod->spec.request.memory;
+  }
+  for (const auto& p : ps_) {
+    if (p->retired || !p->pod_running) continue;
+    const Pod* pod = cluster_->GetPod(p->pod);
+    if (pod == nullptr) continue;
+    p_used += pod->usage.cpu;
+    p_alloc += pod->spec.request.cpu;
+    p_mem_used += pod->usage.memory;
+    p_mem_alloc += pod->spec.request.memory;
+  }
+  sample.worker_cpu_util = w_alloc > 0.0 ? w_used / w_alloc : 0.0;
+  sample.ps_cpu_util = p_alloc > 0.0 ? p_used / p_alloc : 0.0;
+  sample.worker_mem_util = w_mem_alloc > 0.0 ? w_mem_used / w_mem_alloc : 0.0;
+  sample.ps_mem_util = p_mem_alloc > 0.0 ? p_mem_used / p_mem_alloc : 0.0;
+  history_.push_back(sample);
+  last_throughput_ = sample.samples_per_sec;
+  window_start_ = now;
+  window_batches_ = batches;
+
+  oom_predictor_.Observe(now, MaxPsMemory());
+}
+
+}  // namespace dlrover

@@ -1,0 +1,330 @@
+#ifndef DLROVER_PS_TRAINING_JOB_H_
+#define DLROVER_PS_TRAINING_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "elastic/checkpoint.h"
+#include "elastic/heartbeat.h"
+#include "elastic/oom_predictor.h"
+#include "elastic/shard_queue.h"
+#include "ps/iteration_model.h"
+#include "ps/job_config.h"
+#include "ps/model_profile.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+
+/// How training data is served to workers.
+enum class DataMode : int {
+  /// DLRover's dynamic data sharding (paper Section 5.1): a central shards
+  /// queue serves small variably-sized shards on demand; failures re-queue,
+  /// new workers just pull.
+  kDynamicSharding = 0,
+  /// Conventional static partitioning: each worker owns 1/w of the data.
+  /// Worker loss or scale events force a stop-and-restart with
+  /// re-partitioning (the baseline behaviour).
+  kStaticPartition = 1,
+};
+
+/// How resource plans are applied (paper Section 5.2).
+enum class MigrationMode : int {
+  /// Checkpoint to storage, kill everything, recreate, reload, resume.
+  kStopAndRestart = 0,
+  /// Start replacement pods while training continues; pause only for the
+  /// (flash) checkpoint handoff.
+  kSeamless = 1,
+};
+
+/// High-level lifecycle of a training job.
+enum class JobState : int {
+  kInitializing = 0,  // pods starting, training not yet begun
+  kRunning = 1,
+  kMigrating = 2,  // applying a resource plan
+  kRestoring = 3,  // recovering from a PS loss
+  kCompleted = 4,
+  kFailed = 5,
+};
+
+std::string JobStateName(JobState state);
+
+/// Static description of a training job.
+struct JobSpec {
+  std::string name = "job";
+  ModelKind model = ModelKind::kWideDeep;
+  uint64_t batch_size = 512;
+  uint64_t total_steps = 200000;  // total batches across all workers
+  DataMode data_mode = DataMode::kDynamicSharding;
+
+  /// Replace crashed workers with fresh pods (dynamic sharding only).
+  bool auto_replace_failed_workers = true;
+  /// Use the in-memory flash-checkpoint tier (vs. RDS) for migrations and
+  /// PS recovery.
+  bool use_flash_checkpoint = true;
+  /// Interval of the periodic fault-tolerance checkpoint.
+  Duration checkpoint_interval = Minutes(10);
+  /// Profiling/reporting tick.
+  Duration profile_interval = Seconds(30);
+  /// Job gives up after this many full restarts.
+  int max_restarts = 5;
+  /// A job that cannot get all its pods scheduled within this window fails
+  /// with a scheduling error (the "Scheduling" failure class of Table 4).
+  Duration pending_timeout = Minutes(90);
+  /// Initial imbalance of parameter shares across PSes (empty = balanced).
+  /// Models TensorFlow's tensor-granularity placement (paper: hot PSes).
+  std::vector<double> ps_shares;
+  uint64_t seed = 1234;
+};
+
+/// One profiling snapshot; consumed by the optimizer's model fitter and by
+/// experiment reporting.
+struct ThroughputSample {
+  SimTime time = 0.0;
+  JobConfig config;
+  int active_workers = 0;
+  double samples_per_sec = 0.0;
+  /// Effective observed iteration time (w * m / throughput); what a real
+  /// profiler would derive. 0 when no progress happened in the window.
+  double observed_iter_time = 0.0;
+  uint64_t batches_done = 0;
+  Bytes max_ps_memory = 0.0;
+  double worker_cpu_util = 0.0;  // used / allocated across workers
+  double ps_cpu_util = 0.0;
+  double worker_mem_util = 0.0;  // used / allocated across workers
+  double ps_mem_util = 0.0;
+};
+
+/// Lifetime accounting for experiment reporting.
+struct JobStats {
+  SimTime submit_time = 0.0;
+  SimTime first_training_time = -1.0;  // all pods up, first shard dispatched
+  SimTime finish_time = -1.0;
+  Duration downtime_checkpoint = 0.0;  // save+load on the critical path
+  Duration downtime_waiting_pods = 0.0;  // paused waiting for new pods
+  Duration downtime_repartition = 0.0;   // static-mode data redistribution
+  int worker_failures = 0;
+  int ps_failures = 0;
+  int oom_events = 0;
+  int full_restarts = 0;
+  int migrations = 0;
+  int scale_operations = 0;
+  int stragglers_mitigated = 0;
+  std::string fail_reason;
+
+  /// Job completion time; only meaningful once finished.
+  Duration Jct() const { return finish_time - submit_time; }
+};
+
+/// A PS-architecture DLRM training job simulated at shard granularity.
+///
+/// The job owns its pods (created through the Cluster), a shards queue (or
+/// static partitions), a heartbeat monitor, checkpoint state, and the
+/// ground-truth iteration model. Schedulers (DLRover-RM brain or baselines)
+/// steer it exclusively through ApplyPlan()/shard-size knobs and observe it
+/// through profiling snapshots — the same control surface the real system
+/// has.
+class TrainingJob {
+ public:
+  TrainingJob(Simulator* sim, Cluster* cluster, const JobSpec& spec,
+              const JobConfig& initial_config,
+              const EnvironmentProfile& env = {});
+  ~TrainingJob();
+
+  TrainingJob(const TrainingJob&) = delete;
+  TrainingJob& operator=(const TrainingJob&) = delete;
+
+  /// Submits pods and begins training once they are up.
+  void Start();
+
+  /// Applies a new resource allocation. Worker-count-only changes under
+  /// dynamic sharding are applied incrementally (no pause); anything else
+  /// triggers a migration in the requested mode. Returns
+  /// kFailedPrecondition while another transition is in flight.
+  Status ApplyPlan(const JobConfig& new_config, MigrationMode mode);
+
+  /// Shrinks the shard size served to `worker_index` (straggler mitigation,
+  /// paper Section 5.1). 0 restores the default size.
+  Status SetWorkerShardLimit(int worker_index, uint64_t max_batches);
+
+  /// Detects stragglers via the heartbeat monitor, applies shard-size
+  /// mitigation to each, and returns how many were newly mitigated.
+  int MitigateStragglers();
+
+  /// Runs the OOM predictor against the hottest PS; if an OOM is predicted
+  /// before job completion, migrates to PSes with the recommended memory.
+  /// Returns true if a pre-scaling migration was initiated.
+  bool MaybePreventOom();
+
+  // --- Observers -----------------------------------------------------------
+  JobState state() const { return state_; }
+  const JobSpec& spec() const { return spec_; }
+  const JobConfig& config() const { return config_; }
+  const JobStats& stats() const { return stats_; }
+  const std::vector<ThroughputSample>& history() const { return history_; }
+  const EnvironmentProfile& environment() const { return env_; }
+  const ModelProfile& model_profile() const { return profile_; }
+
+  uint64_t batches_done() const;
+  uint64_t total_batches() const { return spec_.total_steps; }
+  double Progress() const {
+    return static_cast<double>(batches_done()) /
+           static_cast<double>(total_batches());
+  }
+  uint64_t RemainingSamples() const {
+    return (total_batches() - batches_done()) * spec_.batch_size;
+  }
+
+  /// Measured throughput over the last profiling window (samples/sec).
+  double MeasuredThroughput() const;
+  /// Mean of the last `samples` non-zero profiling windows: shard-level
+  /// completion quantization makes single windows noisy (+-15%), so
+  /// schedulers should decide on this.
+  double SmoothedThroughput(size_t samples = 6) const;
+  /// Number of workers actively processing shards.
+  int ActiveWorkerCount() const;
+  /// Current memory usage of the most loaded PS.
+  Bytes MaxPsMemory() const;
+  /// Current model size (dense + embeddings), i.e., checkpoint payload.
+  Bytes ModelBytes() const;
+
+  /// True once the job reached a terminal state.
+  bool finished() const {
+    return state_ == JobState::kCompleted || state_ == JobState::kFailed;
+  }
+
+  /// Fired on completion/failure (after stats are final).
+  std::function<void(TrainingJob&)> on_finished;
+
+ private:
+  struct WorkerState {
+    int index = 0;
+    PodId pod = 0;
+    bool pod_running = false;
+    bool retired = false;  // scaled down / replaced; kill is expected
+    bool processing = false;
+    std::optional<DataShard> shard;
+    EventId completion_event = 0;
+    SimTime shard_start = 0.0;
+    Duration shard_duration = 0.0;
+    uint64_t samples_done = 0;
+    uint64_t shard_limit = 0;  // 0 = default size
+    // Static-partition mode: owned range.
+    uint64_t part_cursor = 0;
+    uint64_t part_end = 0;
+  };
+  struct PsState {
+    int index = 0;
+    PodId pod = 0;
+    bool pod_running = false;
+    bool retired = false;
+    double share = 0.0;
+  };
+
+  // Pod lifecycle plumbing.
+  void CreateWorkerPod(WorkerState& worker);
+  void CreatePsPod(PsState& ps);
+  void OnWorkerRunning(WorkerState& worker);
+  void OnWorkerStopped(WorkerState& worker, PodStopReason reason);
+  void OnPsRunning(PsState& ps);
+  void OnPsStopped(PsState& ps, PodStopReason reason);
+  bool AllPsRunning() const;
+
+  // Training loop.
+  void TryDispatchAll();
+  void StartNextShard(WorkerState& worker);
+  void OnShardComplete(WorkerState& worker);
+  void InterruptWorker(WorkerState& worker);  // requeue with partial credit
+  double WorkerIterTime(const WorkerState& worker) const;
+  PsGroupState CurrentPsGroupState() const;
+
+  // Data accounting (mode-dependent).
+  StatusOr<DataShard> NextShardFor(WorkerState& worker);
+  void CommitShard(WorkerState& worker, const DataShard& shard);
+  void ReturnShard(WorkerState& worker, uint64_t processed_batches);
+  bool AllDataDone() const;
+  void RepartitionStatic(uint64_t completed_prefix);
+
+  // Transitions.
+  void PauseTraining();
+  void ResumeTraining();
+  void BeginStopAndRestart(const JobConfig& new_config);
+  void BeginSeamless(const JobConfig& new_config);
+  void FinishMigrationIfReady();
+  void AbortSeamlessIfStuck(uint64_t epoch);
+  void RecoverFromPsLoss(PsState& ps, bool was_oom);
+  void RestartFromCheckpoint(const std::string& why);
+  void Complete();
+  void FailJob(const std::string& reason);
+  void KillAllPods(bool graceful);
+
+  // Periodic work.
+  void ProfileTick();
+  void CheckpointTick();
+  void UpdateMemoryAndUsage();
+  Duration CheckpointWriteTime() const;
+  Duration CheckpointReadTime() const;
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  JobSpec spec_;
+  JobConfig config_;
+  EnvironmentProfile env_;
+  ModelProfile profile_;
+  Rng rng_;
+
+  JobState state_ = JobState::kInitializing;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::unique_ptr<PsState>> ps_;
+  std::unique_ptr<ShardQueue> shard_queue_;  // dynamic mode
+  uint64_t static_completed_ = 0;            // static mode: finished batches
+  HeartbeatMonitor monitor_;
+  OomPredictor oom_predictor_;
+  RdsStore rds_;
+  CacheStore cache_;
+  CheckpointRecord last_checkpoint_;
+  JobStats stats_;
+  std::vector<ThroughputSample> history_;
+
+  // Migration bookkeeping.
+  enum class TransitionKind : int {
+    kNone = 0,
+    kStopRestart = 1,  // stop-and-restart migration or full restart
+    kSeamless = 2,     // staged pods coming up while training continues
+    kPsRecovery = 3,   // replacing a single lost PS
+  };
+  bool paused_ = false;
+  TransitionKind transition_ = TransitionKind::kNone;
+  std::optional<JobConfig> pending_config_;
+  std::vector<std::unique_ptr<WorkerState>> staged_workers_;
+  std::vector<std::unique_ptr<PsState>> staged_ps_;
+  std::vector<std::unique_ptr<WorkerState>> retired_workers_;
+  std::vector<std::unique_ptr<PsState>> retired_ps_;
+  SimTime restart_kill_time_ = 0.0;
+  /// Last OOM-prevention scale-up; throttles repeated bumps.
+  SimTime last_oom_scale_ = -1.0e18;
+  /// Monotone id for seamless migrations so timeout events can tell whether
+  /// "their" migration is still in flight.
+  uint64_t migration_epoch_ = 0;
+  int next_worker_index_ = 0;
+  int next_ps_index_ = 0;
+
+  // Profiling window.
+  uint64_t window_batches_ = 0;
+  SimTime window_start_ = 0.0;
+  double last_throughput_ = 0.0;
+
+  std::unique_ptr<PeriodicTask> profile_task_;
+  std::unique_ptr<PeriodicTask> checkpoint_task_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_PS_TRAINING_JOB_H_

@@ -1,0 +1,91 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dlrover {
+
+EventId Simulator::ScheduleAt(SimTime at, Callback cb, std::string label) {
+  (void)label;  // Labels are for debugging; not stored in release builds.
+  const SimTime when = std::max(at, now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id,
+                    std::make_shared<Callback>(std::move(cb))});
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(Duration delay, Callback cb,
+                                 std::string label) {
+  return ScheduleAt(now_ + std::max(0.0, delay), std::move(cb),
+                    std::move(label));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0) return false;
+  // Lazily deleted: mark and skip when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_events_;
+    (*ev.cb)();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    Step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Simulator::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, Duration interval,
+                           Simulator::Callback cb)
+    : sim_(sim), interval_(interval), cb_(std::move(cb)) {}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_->Cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTask::Tick() {
+  if (!running_) return;
+  // Re-arm before the callback so the callback may Stop() us.
+  pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
+  cb_();
+}
+
+}  // namespace dlrover

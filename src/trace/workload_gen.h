@@ -1,0 +1,62 @@
+#ifndef DLROVER_TRACE_WORKLOAD_GEN_H_
+#define DLROVER_TRACE_WORKLOAD_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "brain/config_db.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "ps/training_job.h"
+
+namespace dlrover {
+
+/// One job of a synthetic production trace.
+struct GeneratedJob {
+  JobMetadata meta;
+  JobSpec spec;
+  SimTime arrival = 0.0;
+  /// Whether this job would hit a hot PS (imbalanced parameter shares),
+  /// per the paper's report that ~13% of production jobs do.
+  bool hot_ps = false;
+  /// Job scale relative to the full well-tuned allocation: the production
+  /// mix spans small (<100 CPU) and large (>=100 CPU) jobs (Fig 14 buckets
+  /// completion rates by this).
+  double size_factor = 1.0;
+  /// The user's worker-count quota implied by the size.
+  int max_workers = 40;
+};
+
+/// Knobs for the synthetic AntGroup-like workload. Defaults follow the
+/// published statistics: model mix over Wide&Deep/xDeepFM/DCN, step budgets
+/// around 200k, ~13% hot-PS-prone jobs, Poisson arrivals.
+struct WorkloadOptions {
+  int num_jobs = 40;
+  Duration arrival_span = Hours(6);
+  double hot_ps_fraction = 0.13;
+  /// Fraction of jobs whose user-declared model size is badly wrong
+  /// (drives warm-start quality spread).
+  double noisy_metadata_fraction = 0.2;
+  int num_users = 8;
+  /// Fraction of small jobs (<100 CPUs); the rest are large.
+  double small_fraction = 0.55;
+  uint64_t min_steps = 120000;
+  uint64_t max_steps = 260000;
+  uint64_t seed = 2024;
+};
+
+/// Generates a deterministic synthetic job trace.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadOptions& options)
+      : options_(options) {}
+
+  std::vector<GeneratedJob> Generate() const;
+
+ private:
+  WorkloadOptions options_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_TRACE_WORKLOAD_GEN_H_

@@ -1,0 +1,123 @@
+#include "dlrm/async_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "dlrm/metrics.h"
+
+namespace dlrover {
+namespace {
+
+AsyncTrainerOptions SmallRun(uint64_t seed) {
+  AsyncTrainerOptions options;
+  options.num_workers = 6;
+  options.batch_size = 64;
+  options.total_batches = 600;
+  options.learning_rate = 0.12;
+  options.shard_batches = 12;
+  options.eval_every_batches = 200;
+  options.seed = seed;
+  return options;
+}
+
+MiniDlrmConfig SmallModel() {
+  MiniDlrmConfig config;
+  config.arch = ModelKind::kWideDeep;
+  config.emb_dim = 6;
+  config.hash_buckets = 1024;
+  config.mlp_hidden = {16, 8};
+  config.seed = 5;
+  return config;
+}
+
+TEST(AsyncTrainerTest, TrainsEveryBatchExactlyOnceWithoutEvents) {
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(31);
+  AsyncPsTrainer trainer(&model, &data, SmallRun(1));
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.batches_committed, 600u);
+  EXPECT_EQ(result.batches_duplicated, 0u);
+  EXPECT_EQ(result.batches_skipped, 0u);
+  for (uint8_t times : result.times_trained) EXPECT_EQ(times, 1);
+}
+
+class ElasticExactlyOnceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ElasticExactlyOnceTest, DynamicShardingExactlyOnceUnderEvents) {
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(31);
+  AsyncTrainerOptions options = SmallRun(GetParam());
+  options.data_mode = DataMode::kDynamicSharding;
+  options.events = {
+      {100, ElasticEvent::Kind::kAddWorkers, 3, 0.0},
+      {220, ElasticEvent::Kind::kCrashWorker, 1, 0.0},
+      {320, ElasticEvent::Kind::kMakeStraggler, 1, 0.05},
+      {450, ElasticEvent::Kind::kRemoveWorkers, 2, 0.0},
+  };
+  AsyncPsTrainer trainer(&model, &data, options);
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.batches_committed, 600u);
+  EXPECT_EQ(result.batches_duplicated, 0u);
+  EXPECT_EQ(result.batches_skipped, 0u);
+  for (size_t i = 0; i < result.times_trained.size(); ++i) {
+    EXPECT_EQ(result.times_trained[i], 1) << "batch " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElasticExactlyOnceTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(AsyncTrainerTest, NaiveStaticElasticityDuplicatesOrSkips) {
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(31);
+  AsyncTrainerOptions options = SmallRun(3);
+  options.data_mode = DataMode::kStaticPartition;
+  options.events = {
+      {100, ElasticEvent::Kind::kAddWorkers, 3, 0.0},
+      {220, ElasticEvent::Kind::kCrashWorker, 1, 0.0},
+  };
+  AsyncPsTrainer trainer(&model, &data, options);
+  const TrainResult result = trainer.Run();
+  EXPECT_GT(result.batches_duplicated + result.batches_skipped, 0u)
+      << "naive re-partitioning should disturb the data sequence";
+}
+
+TEST(AsyncTrainerTest, ElasticRunMatchesBaselineConvergence) {
+  // The Fig 8 property as a test: final held-out logloss under elastic
+  // events with dynamic sharding stays close to the undisturbed baseline.
+  CriteoSynth data(99);
+  auto run = [&](DataMode mode, bool events) {
+    MiniDlrm model(SmallModel());
+    AsyncTrainerOptions options = SmallRun(17);
+    options.total_batches = 1200;
+    options.data_mode = mode;
+    if (events) {
+      options.events = {
+          {200, ElasticEvent::Kind::kAddWorkers, 4, 0.0},
+          {500, ElasticEvent::Kind::kCrashWorker, 1, 0.0},
+          {800, ElasticEvent::Kind::kRemoveWorkers, 3, 0.0},
+      };
+    }
+    AsyncPsTrainer trainer(&model, &data, options);
+    return trainer.Run();
+  };
+  const TrainResult baseline = run(DataMode::kStaticPartition, false);
+  const TrainResult elastic = run(DataMode::kDynamicSharding, true);
+  EXPECT_LT(std::fabs(elastic.final_logloss - baseline.final_logloss), 0.02);
+  EXPECT_LT(std::fabs(elastic.final_auc - baseline.final_auc), 0.03);
+}
+
+TEST(AsyncTrainerTest, CurveIsRecordedAndLossImproves) {
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(55);
+  AsyncTrainerOptions options = SmallRun(9);
+  options.total_batches = 1500;
+  AsyncPsTrainer trainer(&model, &data, options);
+  const TrainResult result = trainer.Run();
+  ASSERT_GE(result.curve.size(), 3u);
+  EXPECT_LT(result.curve.back().test_logloss,
+            result.curve.front().test_logloss);
+  EXPECT_GT(result.final_auc, 0.55);
+}
+
+}  // namespace
+}  // namespace dlrover

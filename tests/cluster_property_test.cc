@@ -1,0 +1,158 @@
+// Property tests: the cluster substrate's bookkeeping must survive
+// arbitrary interleavings of pod creation, kills, failures, preemptions and
+// node loss. Each seed drives a random operation script and the invariants
+// are checked after every step.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ps/training_job.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+class ClusterChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+void CheckInvariants(const Cluster& cluster) {
+  // (1) No node over-committed; (2) allocated equals the sum of placed pod
+  // requests; (3) every placed pod's node lists it exactly once.
+  std::map<NodeId, ResourceSpec> per_node;
+  std::map<NodeId, int> placed_count;
+  cluster.VisitPods([&](const Pod& pod) {
+    if (pod.phase == PodPhase::kStarting || pod.phase == PodPhase::kRunning) {
+      per_node[pod.node] += pod.spec.request;
+      ++placed_count[pod.node];
+    }
+  });
+  for (size_t n = 0; n < cluster.num_nodes(); ++n) {
+    const Node& node = cluster.GetNode(static_cast<NodeId>(n));
+    ASSERT_LE(node.allocated.cpu, node.capacity.cpu + 1e-6);
+    ASSERT_LE(node.allocated.memory, node.capacity.memory + 1e-3);
+    ASSERT_GE(node.allocated.cpu, -1e-6);
+    const ResourceSpec expected = per_node[node.id];
+    ASSERT_NEAR(node.allocated.cpu, expected.cpu, 1e-6);
+    ASSERT_NEAR(node.allocated.memory, expected.memory, 1.0);
+    ASSERT_EQ(static_cast<int>(node.pods.size()), placed_count[node.id]);
+  }
+}
+
+TEST_P(ClusterChaosTest, BookkeepingSurvivesRandomOperations) {
+  Rng rng(GetParam());
+  Simulator sim;
+  ClusterOptions options;
+  options.num_nodes = 6;
+  options.node_capacity = {16.0, GiB(64)};
+  options.seed = GetParam() * 3 + 1;
+  Cluster cluster(&sim, options);
+
+  std::vector<PodId> pods;
+  int stop_callbacks = 0;
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.Uniform();
+    if (dice < 0.40) {
+      PodSpec spec;
+      spec.name = "chaos";
+      spec.request = {rng.Uniform(1.0, 8.0), GiB(rng.Uniform(1.0, 16.0))};
+      const double cls = rng.Uniform();
+      spec.priority = cls < 0.6   ? PriorityClass::kTraining
+                      : cls < 0.85 ? PriorityClass::kStream
+                                   : PriorityClass::kOnline;
+      pods.push_back(cluster.CreatePod(
+          std::move(spec), nullptr,
+          [&](Pod&, PodStopReason) { ++stop_callbacks; }));
+    } else if (dice < 0.60 && !pods.empty()) {
+      cluster.KillPod(pods[rng.UniformInt(pods.size())]);
+    } else if (dice < 0.75 && !pods.empty()) {
+      cluster.FailPod(pods[rng.UniformInt(pods.size())],
+                      PodStopReason::kCrash);
+    } else if (dice < 0.80) {
+      cluster.FailNode(static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(options.num_nodes))));
+    } else {
+      sim.RunUntil(sim.Now() + rng.Uniform(1.0, 60.0));
+    }
+    CheckInvariants(cluster);
+  }
+  sim.RunUntil(sim.Now() + Hours(1));
+  CheckInvariants(cluster);
+
+  // Terminal pods never sit in the pending queue.
+  size_t pending_seen = 0;
+  cluster.VisitPods([&](const Pod& pod) {
+    if (pod.phase == PodPhase::kPending) ++pending_seen;
+  });
+  ASSERT_EQ(pending_seen, cluster.PendingCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class JobChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JobChaosTest, JobAccountingSurvivesRandomFaults) {
+  Rng rng(GetParam() * 17 + 3);
+  Simulator sim;
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 20;
+  Cluster cluster(&sim, cluster_options);
+
+  JobSpec spec;
+  spec.name = "chaos-job";
+  spec.total_steps = 60000;
+  spec.checkpoint_interval = Minutes(3);
+  spec.seed = GetParam();
+  JobConfig config;
+  config.num_workers = 12;
+  config.num_ps = 3;
+  config.worker_cpu = 8.0;
+  config.ps_cpu = 6.0;
+  config.worker_memory = GiB(6);
+  config.ps_memory = GiB(10);
+  TrainingJob job(&sim, &cluster, spec, config);
+  job.Start();
+
+  // Random fault script against the job's own pods.
+  for (int burst = 0; burst < 30; ++burst) {
+    sim.RunUntil(sim.Now() + rng.Uniform(30.0, 180.0));
+    if (job.finished()) break;
+    std::vector<PodId> victims;
+    cluster.VisitPods([&](const Pod& pod) {
+      if (pod.phase == PodPhase::kRunning) victims.push_back(pod.id);
+    });
+    if (victims.empty()) continue;
+    const PodId victim = victims[rng.UniformInt(victims.size())];
+    const double dice = rng.Uniform();
+    if (dice < 0.5) {
+      cluster.FailPod(victim, PodStopReason::kCrash);
+    } else if (dice < 0.8) {
+      cluster.DegradePod(victim, 0.1);
+    } else {
+      cluster.KillPod(victim);
+    }
+    // Accounting invariants hold at every point.
+    ASSERT_LE(job.batches_done(), job.total_batches());
+    ASSERT_GE(job.stats().downtime_checkpoint, 0.0);
+    ASSERT_GE(job.stats().downtime_waiting_pods, 0.0);
+  }
+  sim.RunUntil(Hours(24));
+
+  // With dynamic sharding + recovery the job must finish, having processed
+  // exactly its step budget, or have exhausted its restart budget cleanly.
+  if (job.state() == JobState::kCompleted) {
+    EXPECT_EQ(job.batches_done(), spec.total_steps);
+  } else {
+    EXPECT_EQ(job.state(), JobState::kFailed);
+    EXPECT_FALSE(job.stats().fail_reason.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JobChaosTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace dlrover

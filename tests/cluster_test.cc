@@ -1,0 +1,245 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/background_load.h"
+#include "cluster/failure_injector.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+ClusterOptions TinyCluster(int nodes = 2, Cores cpu = 16.0) {
+  ClusterOptions options;
+  options.num_nodes = nodes;
+  options.node_capacity = {cpu, GiB(64)};
+  options.min_pod_startup = Seconds(10);
+  options.max_pod_startup = Seconds(10);
+  return options;
+}
+
+PodSpec TrainingPod(Cores cpu, Bytes mem = GiB(8)) {
+  PodSpec spec;
+  spec.name = "train";
+  spec.request = {cpu, mem};
+  spec.priority = PriorityClass::kTraining;
+  return spec;
+}
+
+TEST(ClusterTest, PodLifecycleRuns) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster());
+  bool running = false;
+  bool stopped = false;
+  const PodId id = cluster.CreatePod(
+      TrainingPod(4.0), [&](Pod&) { running = true; },
+      [&](Pod&, PodStopReason reason) {
+        stopped = true;
+        EXPECT_EQ(reason, PodStopReason::kOwnerKill);
+      });
+  EXPECT_EQ(cluster.GetPod(id)->phase, PodPhase::kStarting);
+  sim.RunUntil(Seconds(20));
+  EXPECT_TRUE(running);
+  EXPECT_EQ(cluster.GetPod(id)->phase, PodPhase::kRunning);
+  cluster.KillPod(id);
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(cluster.GetPod(id)->phase, PodPhase::kKilled);
+}
+
+TEST(ClusterTest, CapacityNeverExceeded) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(2, 16.0));
+  for (int i = 0; i < 10; ++i) {
+    cluster.CreatePod(TrainingPod(6.0), nullptr, nullptr);
+    for (size_t n = 0; n < cluster.num_nodes(); ++n) {
+      const Node& node = cluster.GetNode(static_cast<NodeId>(n));
+      EXPECT_LE(node.allocated.cpu, node.capacity.cpu + 1e-9);
+      EXPECT_LE(node.allocated.memory, node.capacity.memory + 1e-9);
+    }
+  }
+  // 2 nodes x 16 cores / 6 cores = 2 per node -> 4 placed, 6 pending.
+  EXPECT_EQ(cluster.PendingCount(), 6u);
+}
+
+TEST(ClusterTest, PendingPodPlacesWhenCapacityFrees) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  const PodId a = cluster.CreatePod(TrainingPod(10.0), nullptr, nullptr);
+  const PodId b = cluster.CreatePod(TrainingPod(10.0), nullptr, nullptr);
+  EXPECT_EQ(cluster.GetPod(b)->phase, PodPhase::kPending);
+  cluster.KillPod(a);
+  EXPECT_EQ(cluster.GetPod(b)->phase, PodPhase::kStarting);
+}
+
+TEST(ClusterTest, HigherPriorityPreemptsLower) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  PodStopReason reason = PodStopReason::kCompleted;
+  const PodId victim = cluster.CreatePod(
+      TrainingPod(12.0), nullptr,
+      [&](Pod&, PodStopReason r) { reason = r; });
+  sim.RunUntil(Seconds(20));
+  ASSERT_EQ(cluster.GetPod(victim)->phase, PodPhase::kRunning);
+
+  PodSpec online = TrainingPod(12.0);
+  online.priority = PriorityClass::kOnline;
+  const PodId high = cluster.CreatePod(std::move(online), nullptr, nullptr);
+  EXPECT_EQ(cluster.GetPod(victim)->phase, PodPhase::kPreempted);
+  EXPECT_EQ(reason, PodStopReason::kPreemption);
+  EXPECT_NE(cluster.GetPod(high)->phase, PodPhase::kPending);
+  EXPECT_EQ(cluster.counters().pods_preempted, 1u);
+}
+
+TEST(ClusterTest, EqualPriorityNeverPreempts) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  const PodId a = cluster.CreatePod(TrainingPod(12.0), nullptr, nullptr);
+  const PodId b = cluster.CreatePod(TrainingPod(12.0), nullptr, nullptr);
+  EXPECT_NE(cluster.GetPod(a)->phase, PodPhase::kPreempted);
+  EXPECT_EQ(cluster.GetPod(b)->phase, PodPhase::kPending);
+}
+
+TEST(ClusterTest, PendingQueueServesHigherPriorityFirst) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  const PodId hog = cluster.CreatePod(TrainingPod(16.0), nullptr, nullptr);
+  const PodId low = cluster.CreatePod(TrainingPod(16.0), nullptr, nullptr);
+  PodSpec stream = TrainingPod(16.0);
+  stream.priority = PriorityClass::kStream;
+  const PodId mid = cluster.CreatePod(std::move(stream), nullptr, nullptr);
+  // Stream preempts the training hog immediately.
+  EXPECT_EQ(cluster.GetPod(hog)->phase, PodPhase::kPreempted);
+  EXPECT_NE(cluster.GetPod(mid)->phase, PodPhase::kPending);
+  EXPECT_EQ(cluster.GetPod(low)->phase, PodPhase::kPending);
+}
+
+TEST(ClusterTest, FailNodeKillsItsPods) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(2, 16.0));
+  std::vector<PodId> pods;
+  for (int i = 0; i < 4; ++i) {
+    pods.push_back(cluster.CreatePod(TrainingPod(8.0), nullptr, nullptr));
+  }
+  sim.RunUntil(Seconds(20));
+  cluster.FailNode(0);
+  int failed = 0;
+  for (PodId id : pods) {
+    if (cluster.GetPod(id)->phase == PodPhase::kFailed) ++failed;
+  }
+  EXPECT_EQ(failed, 2);
+  // The failed node's capacity is gone.
+  EXPECT_DOUBLE_EQ(cluster.TotalCapacity().cpu, 16.0);
+}
+
+TEST(ClusterTest, UsageAggregation) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  const PodId id = cluster.CreatePod(TrainingPod(8.0), nullptr, nullptr);
+  sim.RunUntil(Seconds(20));
+  cluster.GetMutablePod(id)->usage = {4.0, GiB(4)};
+  const ClusterUsage usage = cluster.Usage();
+  EXPECT_DOUBLE_EQ(usage.cpu_allocated_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(usage.cpu_used_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(usage.cpu_used_of_allocated, 0.5);
+}
+
+TEST(ClusterTest, ScarcityDetection) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  EXPECT_FALSE(cluster.UnderScarcity());
+  cluster.CreatePod(TrainingPod(15.0), nullptr, nullptr);
+  EXPECT_TRUE(cluster.UnderScarcity());
+}
+
+TEST(ClusterTest, VisitPodsSeesEverything) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster());
+  for (int i = 0; i < 5; ++i) {
+    cluster.CreatePod(TrainingPod(2.0), nullptr, nullptr);
+  }
+  int count = 0;
+  cluster.VisitPods([&](const Pod&) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+// Regression: killing pods from inside a preemption-victim callback must
+// not corrupt the pending queue (this used to be a use-after-free).
+TEST(ClusterTest, ReentrantKillDuringPreemptionIsSafe) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  std::vector<PodId> my_pods;
+  const PodId a = cluster.CreatePod(
+      TrainingPod(8.0), nullptr, [&](Pod&, PodStopReason reason) {
+        if (reason == PodStopReason::kPreemption) {
+          // Tear down our other pods and submit replacements, like a job
+          // restart would.
+          for (PodId id : my_pods) cluster.KillPod(id);
+          cluster.CreatePod(TrainingPod(8.0), nullptr, nullptr);
+          cluster.CreatePod(TrainingPod(8.0), nullptr, nullptr);
+        }
+      });
+  const PodId b = cluster.CreatePod(TrainingPod(8.0), nullptr, nullptr);
+  my_pods = {a, b};
+  sim.RunUntil(Seconds(20));
+
+  PodSpec online = TrainingPod(16.0);
+  online.priority = PriorityClass::kOnline;
+  cluster.CreatePod(std::move(online), nullptr, nullptr);
+  sim.RunUntil(Minutes(2));  // must not crash
+  EXPECT_GE(cluster.counters().pods_preempted, 1u);
+}
+
+TEST(FailureInjectorTest, InjectsCrashesAtConfiguredRate) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(20, 32.0));
+  for (int i = 0; i < 40; ++i) {
+    cluster.CreatePod(TrainingPod(4.0, GiB(2)), nullptr, nullptr);
+  }
+  FailureInjectorOptions options;
+  options.daily_pod_failure_rate = 0.5;  // aggressive for test speed
+  options.daily_straggler_rate = 0.5;
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  sim.RunUntil(Days(1));
+  // Expect roughly 40 * 0.5 = 20 crashes; accept a wide band.
+  EXPECT_GT(injector.crashes_injected(), 5u);
+  EXPECT_LT(injector.crashes_injected(), 40u);
+  EXPECT_GT(injector.stragglers_injected(), 2u);
+}
+
+TEST(FailureInjectorTest, OnlyTargetsConfiguredPriority) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(4, 32.0));
+  PodSpec online = TrainingPod(4.0, GiB(2));
+  online.priority = PriorityClass::kOnline;
+  for (int i = 0; i < 10; ++i) {
+    PodSpec copy = online;
+    cluster.CreatePod(std::move(copy), nullptr, nullptr);
+  }
+  FailureInjectorOptions options;
+  options.daily_pod_failure_rate = 1.0;
+  FailureInjector injector(&sim, &cluster, options);
+  injector.Start();
+  sim.RunUntil(Days(2));
+  EXPECT_EQ(injector.crashes_injected(), 0u);
+}
+
+TEST(BackgroundLoadTest, TracksDiurnalTarget) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(20, 32.0));
+  BackgroundLoadOptions options;
+  options.base_fraction = 0.2;
+  options.peak_fraction = 0.2;
+  BackgroundLoad load(&sim, &cluster, options);
+  load.Start();
+  sim.RunUntil(Hours(1));
+  const size_t at_base = load.ActivePods();
+  sim.RunUntil(Hours(6));  // sin peak at 1/4 period
+  const size_t at_peak = load.ActivePods();
+  EXPECT_GT(at_peak, at_base);
+  load.Stop();
+  EXPECT_EQ(load.ActivePods(), 0u);
+}
+
+}  // namespace
+}  // namespace dlrover

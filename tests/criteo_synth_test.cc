@@ -1,0 +1,97 @@
+#include "dlrm/criteo_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.h"
+#include "dlrm/metrics.h"
+
+namespace dlrover {
+namespace {
+
+TEST(CriteoSynthTest, RandomAccessIsDeterministic) {
+  CriteoSynth a(42);
+  CriteoSynth b(42);
+  for (uint64_t i : {0ull, 1ull, 999ull, 123456789ull}) {
+    const CriteoSample sa = a.Sample(i);
+    const CriteoSample sb = b.Sample(i);
+    EXPECT_EQ(sa.cats, sb.cats);
+    EXPECT_EQ(sa.dense, sb.dense);
+    EXPECT_EQ(sa.label, sb.label);
+  }
+  // Access order does not matter.
+  const CriteoSample late_first = CriteoSynth(42).Sample(999);
+  EXPECT_EQ(late_first.cats, a.Sample(999).cats);
+}
+
+TEST(CriteoSynthTest, DifferentSeedsDiffer) {
+  CriteoSynth a(1);
+  CriteoSynth b(2);
+  int identical = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    if (a.Sample(i).cats == b.Sample(i).cats) ++identical;
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(CriteoSynthTest, ShapeAndRanges) {
+  CriteoSynth data(7);
+  const CriteoBatch batch = data.Batch(100, 256);
+  ASSERT_EQ(batch.size(), 256u);
+  for (const CriteoSample& sample : batch.samples) {
+    ASSERT_EQ(sample.dense.size(),
+              static_cast<size_t>(CriteoSynth::kNumDense));
+    ASSERT_EQ(sample.cats.size(),
+              static_cast<size_t>(CriteoSynth::kNumCategorical));
+    for (int f = 0; f < CriteoSynth::kNumCategorical; ++f) {
+      EXPECT_LT(sample.cats[static_cast<size_t>(f)], data.VocabSize(f));
+    }
+    for (float d : sample.dense) EXPECT_GE(d, 0.0f);  // log1p of positives
+    EXPECT_TRUE(sample.label == 0.0f || sample.label == 1.0f);
+  }
+}
+
+TEST(CriteoSynthTest, CategoricalIdsAreSkewed) {
+  CriteoSynth data(9);
+  std::map<uint64_t, int> counts;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    ++counts[data.Sample(i).cats[0]];
+  }
+  int max_count = 0;
+  for (const auto& [id, count] : counts) max_count = std::max(max_count, count);
+  // Power-law ids: the hottest id is far above uniform expectation.
+  EXPECT_GT(max_count, 40);
+}
+
+TEST(CriteoSynthTest, LabelsFollowTeacherProbabilities) {
+  CriteoSynth data(11);
+  RunningStat click_rate;
+  RunningStat teacher_rate;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const CriteoSample sample = data.Sample(i);
+    click_rate.Add(sample.label);
+    teacher_rate.Add(data.TeacherProbability(sample));
+  }
+  EXPECT_NEAR(click_rate.mean(), teacher_rate.mean(), 0.01);
+  // CTR-like base rate: strictly between degenerate extremes.
+  EXPECT_GT(click_rate.mean(), 0.05);
+  EXPECT_LT(click_rate.mean(), 0.6);
+}
+
+TEST(CriteoSynthTest, TeacherIsLearnableSignal) {
+  // The Bayes-optimal scores (teacher probabilities) must separate the
+  // classes well; otherwise the Fig 8 experiment would measure noise.
+  CriteoSynth data(13);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (uint64_t i = 0; i < 8000; ++i) {
+    const CriteoSample sample = data.Sample(i);
+    scores.push_back(data.TeacherProbability(sample));
+    labels.push_back(sample.label);
+  }
+  EXPECT_GT(Auc(scores, labels), 0.72);
+}
+
+}  // namespace
+}  // namespace dlrover

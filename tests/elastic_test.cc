@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "elastic/checkpoint.h"
+#include "elastic/heartbeat.h"
+#include "elastic/oom_predictor.h"
+#include "elastic/shard_queue.h"
+
+namespace dlrover {
+namespace {
+
+ShardQueueOptions SmallQueue(uint64_t total = 1000, uint64_t shard = 64) {
+  ShardQueueOptions options;
+  options.total_batches = total;
+  options.default_shard_batches = shard;
+  options.min_shard_batches = 8;
+  return options;
+}
+
+TEST(ShardQueueTest, ServesAllDataExactlyOnce) {
+  ShardQueue queue(SmallQueue(1000, 64));
+  std::set<uint64_t> seen;
+  while (true) {
+    auto shard = queue.NextShard();
+    if (!shard.ok()) break;
+    for (uint64_t b = shard->start_batch; b < shard->end_batch; ++b) {
+      EXPECT_TRUE(seen.insert(b).second) << "batch served twice: " << b;
+    }
+    ASSERT_TRUE(queue.ReportCompleted(*shard).ok());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_TRUE(queue.AllDone());
+  ASSERT_TRUE(queue.CheckInvariants().ok());
+}
+
+TEST(ShardQueueTest, StragglerGetsSmallerShard) {
+  ShardQueue queue(SmallQueue());
+  auto normal = queue.NextShard();
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(normal->batches(), 64u);
+  auto small = queue.NextShard(16);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->batches(), 16u);
+  // Requests below the minimum are clamped up.
+  auto clamped = queue.NextShard(1);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->batches(), 8u);
+}
+
+TEST(ShardQueueTest, FailedShardIsRequeuedWithPartialCredit) {
+  ShardQueue queue(SmallQueue(100, 50));
+  auto shard = queue.NextShard();
+  ASSERT_TRUE(shard.ok());
+  ASSERT_TRUE(queue.ReportFailed(*shard, 20).ok());
+  EXPECT_EQ(queue.completed_batches(), 20u);
+  // The remainder comes back before fresh data.
+  auto retry = queue.NextShard();
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->start_batch, 20u);
+  EXPECT_EQ(retry->end_batch, 50u);
+  ASSERT_TRUE(queue.CheckInvariants().ok());
+}
+
+TEST(ShardQueueTest, RejectsUnknownReports) {
+  ShardQueue queue(SmallQueue());
+  DataShard bogus;
+  bogus.index = 999;
+  EXPECT_FALSE(queue.ReportCompleted(bogus).ok());
+  EXPECT_FALSE(queue.ReportFailed(bogus, 0).ok());
+}
+
+TEST(ShardQueueTest, FastForwardResetsToCheckpoint) {
+  ShardQueue queue(SmallQueue(1000, 64));
+  for (int i = 0; i < 3; ++i) {
+    auto shard = queue.NextShard();
+    ASSERT_TRUE(shard.ok());
+    ASSERT_TRUE(queue.ReportCompleted(*shard).ok());
+  }
+  auto outstanding = queue.NextShard();
+  ASSERT_TRUE(outstanding.ok());
+  queue.FastForwardTo(100);
+  EXPECT_EQ(queue.completed_batches(), 100u);
+  EXPECT_EQ(queue.outstanding_batches(), 0u);
+  auto next = queue.NextShard();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->start_batch, 100u);
+  ASSERT_TRUE(queue.CheckInvariants().ok());
+}
+
+// Property test: simulate a pool of workers that randomly fail mid-shard,
+// get replaced, and shrink/grow; every batch must be completed exactly
+// once regardless of seed.
+class ShardQueueChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardQueueChaosTest, ExactlyOnceUnderRandomFailures) {
+  Rng rng(GetParam());
+  ShardQueue queue(SmallQueue(5000, 64));
+  std::map<uint64_t, int> times_done;  // batch -> completions
+
+  struct Worker {
+    std::optional<DataShard> shard;
+    uint64_t pos = 0;
+  };
+  std::vector<Worker> workers(4);
+
+  int steps = 0;
+  while (!queue.AllDone() && steps++ < 200000) {
+    const size_t i = rng.UniformInt(workers.size());
+    Worker& worker = workers[i];
+    if (!worker.shard.has_value()) {
+      const uint64_t limit = rng.Bernoulli(0.2) ? 16 : 0;
+      auto shard = queue.NextShard(limit);
+      if (!shard.ok()) continue;
+      worker.shard = *shard;
+      worker.pos = 0;
+      continue;
+    }
+    const double dice = rng.Uniform();
+    if (dice < 0.05) {
+      // Worker crashes: partial credit for what it pushed already.
+      for (uint64_t b = worker.shard->start_batch;
+           b < worker.shard->start_batch + worker.pos; ++b) {
+        ++times_done[b];
+      }
+      ASSERT_TRUE(queue.ReportFailed(*worker.shard, worker.pos).ok());
+      worker.shard.reset();
+    } else if (worker.pos < worker.shard->batches()) {
+      ++worker.pos;
+    } else {
+      for (uint64_t b = worker.shard->start_batch;
+           b < worker.shard->end_batch; ++b) {
+        ++times_done[b];
+      }
+      ASSERT_TRUE(queue.ReportCompleted(*worker.shard).ok());
+      worker.shard.reset();
+    }
+    ASSERT_TRUE(queue.CheckInvariants().ok());
+  }
+  ASSERT_TRUE(queue.AllDone());
+  ASSERT_EQ(times_done.size(), 5000u);
+  for (const auto& [batch, times] : times_done) {
+    EXPECT_EQ(times, 1) << "batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardQueueChaosTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(HeartbeatMonitorTest, DetectsSilentMemberAsFailed) {
+  HeartbeatMonitorOptions options;
+  options.failure_timeout = 60.0;
+  HeartbeatMonitor monitor(options);
+  monitor.AddMember(1, 0.0);
+  monitor.AddMember(2, 0.0);
+  monitor.Heartbeat(1, 50.0, 100);
+  monitor.Heartbeat(2, 10.0, 100);
+  const auto failed = monitor.DetectFailures(100.0);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 2u);
+}
+
+TEST(HeartbeatMonitorTest, DetectsStragglerByProgressRate) {
+  HeartbeatMonitorOptions options;
+  options.min_observation = 10.0;
+  options.straggler_rate_fraction = 0.5;
+  HeartbeatMonitor monitor(options);
+  for (uint64_t id = 1; id <= 4; ++id) monitor.AddMember(id, 0.0);
+  // Members 1-3 progress at 10/sec; member 4 at 1/sec.
+  for (int t = 1; t <= 10; ++t) {
+    for (uint64_t id = 1; id <= 3; ++id) {
+      monitor.Heartbeat(id, t * 10.0, static_cast<uint64_t>(t) * 100);
+    }
+    monitor.Heartbeat(4, t * 10.0, static_cast<uint64_t>(t) * 10);
+  }
+  const auto stragglers = monitor.DetectStragglers(100.0);
+  ASSERT_EQ(stragglers.size(), 1u);
+  EXPECT_EQ(stragglers[0], 4u);
+  // Flagged members are not re-reported.
+  EXPECT_TRUE(monitor.DetectStragglers(100.0).empty());
+}
+
+TEST(HeartbeatMonitorTest, NoStragglersWithFewPeers) {
+  HeartbeatMonitor monitor(HeartbeatMonitorOptions{});
+  monitor.AddMember(1, 0.0);
+  monitor.AddMember(2, 0.0);
+  monitor.Heartbeat(1, 100.0, 1000);
+  monitor.Heartbeat(2, 100.0, 1);
+  EXPECT_TRUE(monitor.DetectStragglers(200.0).empty());
+}
+
+TEST(CheckpointStoreTest, FlashIsOrdersOfMagnitudeFasterThanRds) {
+  RdsStore rds;
+  CacheStore cache;
+  const Bytes model = GiB(20);
+  // Paper: RDS checkpoint 5-10 minutes; flash-checkpoint < 1s + overhead.
+  EXPECT_GT(rds.WriteTime(model), Minutes(5));
+  EXPECT_LT(rds.WriteTime(model), Minutes(10));
+  EXPECT_LT(cache.WriteTime(model), Seconds(1.5));
+  EXPECT_LT(cache.LocalReadTime(model), cache.ReadTime(model));
+}
+
+TEST(CheckpointStoreTest, AsyncFlushAccumulates) {
+  CacheStore cache;
+  cache.AsyncFlushToRds(GiB(1));
+  cache.AsyncFlushToRds(GiB(2));
+  EXPECT_DOUBLE_EQ(cache.flushed_bytes(), GiB(3));
+}
+
+TEST(OomPredictorTest, FitsLinearGrowth) {
+  OomPredictor predictor;
+  for (int i = 0; i < 10; ++i) {
+    predictor.Observe(i * 10.0, GiB(1) + i * MiB(100));
+  }
+  EXPECT_NEAR(predictor.SlopeBytesPerSec(), MiB(10), MiB(0.1));
+  EXPECT_NEAR(predictor.ProjectAt(190.0), GiB(1) + MiB(1900), MiB(20));
+}
+
+TEST(OomPredictorTest, RecommendsWhenLimitWillBeHit) {
+  OomPredictor predictor;
+  for (int i = 0; i < 10; ++i) {
+    predictor.Observe(i * 10.0, GiB(1) + i * MiB(100));
+  }
+  // Growing ~10 MiB/s; a 2 GiB limit is hit around t=190s.
+  const auto rec = predictor.RecommendLimit(GiB(2), 500.0);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_GT(*rec, GiB(4));
+  // A roomy limit needs no action.
+  EXPECT_FALSE(predictor.RecommendLimit(GiB(64), 500.0).has_value());
+}
+
+TEST(OomPredictorTest, SilentWithTooFewSamples) {
+  OomPredictor predictor;
+  predictor.Observe(0.0, GiB(1));
+  predictor.Observe(1.0, GiB(2));
+  EXPECT_FALSE(predictor.RecommendLimit(GiB(1), 100.0).has_value());
+}
+
+TEST(OomPredictorTest, FlatUsageNeverTriggers) {
+  OomPredictor predictor;
+  for (int i = 0; i < 20; ++i) predictor.Observe(i * 10.0, GiB(3));
+  EXPECT_FALSE(predictor.RecommendLimit(GiB(4), 1e9).has_value());
+}
+
+}  // namespace
+}  // namespace dlrover

@@ -1,0 +1,149 @@
+#include "ps/iteration_model.h"
+
+#include <gtest/gtest.h>
+
+#include "ps/model_profile.h"
+
+namespace dlrover {
+namespace {
+
+JobConfig BaseConfig() {
+  JobConfig config;
+  config.num_workers = 16;
+  config.num_ps = 4;
+  config.worker_cpu = 8.0;
+  config.ps_cpu = 4.0;
+  return config;
+}
+
+class IterationLawTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(IterationLawTest, ComponentsMatchEquationsForBalancedGroup) {
+  const ModelProfile p = GetModelProfile(GetParam());
+  const EnvironmentProfile env;
+  const JobConfig config = BaseConfig();
+  const IterationBreakdown iter =
+      ComputeHealthyIteration(p, env, 512, config);
+  // Eqn 2.
+  EXPECT_NEAR(iter.t_grad, p.alpha_grad * 512.0 / 8.0 + p.beta_grad, 1e-12);
+  // Eqn 3.
+  EXPECT_NEAR(iter.t_upd, p.alpha_upd * 16.0 / (4.0 * 4.0) + p.beta_upd,
+              1e-12);
+  // Eqn 4.
+  EXPECT_NEAR(iter.t_sync,
+              p.alpha_sync * (p.dense_param_bytes / 4.0) /
+                      (env.network_bandwidth / 16.0) +
+                  p.beta_sync,
+              1e-9);
+  // Eqn 5.
+  EXPECT_NEAR(iter.t_emb,
+              p.alpha_emb * 512.0 * p.embedding_dim / 4.0 + p.beta_emb,
+              1e-12);
+}
+
+TEST_P(IterationLawTest, MonotoneInResources) {
+  const ModelProfile p = GetModelProfile(GetParam());
+  const EnvironmentProfile env;
+  const JobConfig base = BaseConfig();
+  const double t0 = ComputeHealthyIteration(p, env, 512, base).Total();
+
+  JobConfig more_ps = base;
+  more_ps.num_ps *= 2;
+  EXPECT_LT(ComputeHealthyIteration(p, env, 512, more_ps).Total(), t0);
+
+  JobConfig more_worker_cpu = base;
+  more_worker_cpu.worker_cpu = 12.0;
+  EXPECT_LT(ComputeHealthyIteration(p, env, 512, more_worker_cpu).Total(),
+            t0);
+
+  // More workers *raises* per-iteration time (PS contention, sync traffic);
+  // throughput still improves because w scales the numerator.
+  JobConfig more_workers = base;
+  more_workers.num_workers *= 2;
+  const IterationBreakdown crowded =
+      ComputeHealthyIteration(p, env, 512, more_workers);
+  EXPECT_GT(crowded.Total(), t0);
+  EXPECT_GT(ThroughputSamplesPerSec(crowded, 512, more_workers.num_workers),
+            ThroughputSamplesPerSec(
+                ComputeHealthyIteration(p, env, 512, base), 512,
+                base.num_workers));
+}
+
+TEST_P(IterationLawTest, ParallelismSaturates) {
+  const ModelProfile p = GetModelProfile(GetParam());
+  const EnvironmentProfile env;
+  JobConfig at_cap = BaseConfig();
+  at_cap.worker_cpu = p.max_worker_parallelism;
+  JobConfig beyond = at_cap;
+  beyond.worker_cpu = p.max_worker_parallelism * 3.0;
+  EXPECT_DOUBLE_EQ(ComputeHealthyIteration(p, env, 512, at_cap).Total(),
+                   ComputeHealthyIteration(p, env, 512, beyond).Total());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, IterationLawTest,
+                         ::testing::Values(ModelKind::kWideDeep,
+                                           ModelKind::kXDeepFm,
+                                           ModelKind::kDcn));
+
+TEST(PsGroupStateTest, BalancedMatchesInverseP) {
+  const PsGroupState balanced = PsGroupState::Balanced(4);
+  EXPECT_DOUBLE_EQ(balanced.EffectiveInverseP(), 0.25);
+}
+
+TEST(PsGroupStateTest, HotPsGatesTheGroup) {
+  PsGroupState state = PsGroupState::Balanced(4);
+  state.speeds[2] = 0.03;  // paper's degraded PS
+  EXPECT_NEAR(state.EffectiveInverseP(), 0.25 / 0.03, 1e-9);
+
+  PsGroupState imbalanced = PsGroupState::Balanced(4);
+  imbalanced.shares = {0.4, 0.2, 0.2, 0.2};
+  EXPECT_DOUBLE_EQ(imbalanced.EffectiveInverseP(), 0.4);
+}
+
+TEST(PsGroupStateTest, HotPsSlowsIterationButNotGradCompute) {
+  const ModelProfile p = GetModelProfile(ModelKind::kWideDeep);
+  const EnvironmentProfile env;
+  const JobConfig config = BaseConfig();
+  PsGroupState degraded = PsGroupState::Balanced(config.num_ps);
+  degraded.speeds[0] = 0.03;
+  const IterationBreakdown healthy =
+      ComputeHealthyIteration(p, env, 512, config);
+  const IterationBreakdown hot = ComputeIteration(
+      p, env, 512, config.num_workers, config, 1.0, degraded);
+  EXPECT_DOUBLE_EQ(hot.t_grad, healthy.t_grad);
+  EXPECT_GT(hot.t_upd, healthy.t_upd * 5.0);
+  EXPECT_GT(hot.t_emb, healthy.t_emb * 5.0);
+}
+
+TEST(ModelProfileTest, EmbeddingGrowthSaturates) {
+  const ModelProfile p = GetModelProfile(ModelKind::kWideDeep);
+  EXPECT_DOUBLE_EQ(p.EmbeddingBytesAt(0.0), 0.0);
+  const Bytes early = p.EmbeddingBytesAt(1e6);
+  const Bytes mid = p.EmbeddingBytesAt(1e8);
+  const Bytes late = p.EmbeddingBytesAt(1e12);
+  EXPECT_LT(early, mid);
+  EXPECT_LT(mid, late);
+  EXPECT_NEAR(late, p.phi_max * p.bytes_per_category, late * 1e-6);
+  // Concave: early growth rate exceeds late growth rate.
+  EXPECT_GT(early / 1e6, (late - mid) / (1e12 - 1e8));
+}
+
+TEST(ModelProfileTest, LookupFractionInPaperBandForTunedShapes) {
+  const EnvironmentProfile env;
+  for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
+                         ModelKind::kDcn}) {
+    const ModelProfile p = GetModelProfile(kind);
+    JobConfig config;
+    config.num_workers = 20;
+    config.num_ps = 4;
+    config.worker_cpu = 8.0;
+    config.ps_cpu = 4.0;
+    const double fraction =
+        ComputeHealthyIteration(p, env, 512, config).LookupFraction();
+    EXPECT_GT(fraction, 0.25) << ModelKindName(kind);
+    EXPECT_LT(fraction, 0.55) << ModelKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace dlrover

@@ -1,0 +1,113 @@
+#include "master/job_master.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/manual.h"
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+struct TestSetup {
+  Simulator sim;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<TrainingJob> job;
+
+  explicit TestSetup(uint64_t steps = 80000, Bytes ps_memory = GiB(12)) {
+    ClusterOptions options;
+    options.num_nodes = 20;
+    cluster = std::make_unique<Cluster>(&sim, options);
+    JobSpec spec;
+    spec.total_steps = steps;
+    JobConfig config;
+    config.num_workers = 12;
+    config.num_ps = 3;
+    config.worker_cpu = 8.0;
+    config.ps_cpu = 6.0;
+    config.worker_memory = GiB(6);
+    config.ps_memory = ps_memory;
+    job = std::make_unique<TrainingJob>(&sim, cluster.get(), spec, config);
+    job->Start();
+  }
+};
+
+TEST(JobMasterTest, MitigatesInjectedStraggler) {
+  TestSetup setup;
+  JobMaster master(&setup.sim, setup.job.get());
+  master.Start();
+  setup.sim.RunUntil(Minutes(5));
+  ASSERT_EQ(setup.job->state(), JobState::kRunning);
+  // Degrade one worker pod.
+  PodId victim = 0;
+  setup.cluster->VisitPods([&](const Pod& pod) {
+    if (victim == 0 && pod.phase == PodPhase::kRunning &&
+        pod.spec.name.find("-worker-") != std::string::npos) {
+      victim = pod.id;
+    }
+  });
+  ASSERT_NE(victim, 0u);
+  setup.cluster->DegradePod(victim, 0.05);
+  setup.sim.RunUntil(Minutes(25));
+  EXPECT_GE(setup.job->stats().stragglers_mitigated, 1);
+}
+
+TEST(JobMasterTest, OomGuardPreScalesMemory) {
+  TestSetup setup(/*steps=*/100000, /*ps_memory=*/GiB(5));
+  JobMaster master(&setup.sim, setup.job.get());
+  master.Start();
+  setup.sim.RunUntil(Hours(6));
+  EXPECT_EQ(setup.job->stats().oom_events, 0);
+  EXPECT_GT(setup.job->config().ps_memory, GiB(5));
+}
+
+TEST(JobMasterTest, GuardsCanBeDisabled) {
+  TestSetup setup(/*steps=*/100000, /*ps_memory=*/GiB(5));
+  JobMasterOptions options;
+  options.oom_prevention = false;
+  options.straggler_mitigation = false;
+  JobMaster master(&setup.sim, setup.job.get(), options);
+  master.Start();
+  setup.sim.RunUntil(Hours(6));
+  // Without the guard the growth must hit the limit at least once
+  // (recovery then bumps memory reactively).
+  EXPECT_GE(setup.job->stats().oom_events, 1);
+}
+
+TEST(PolicyDriverTest, AppliesPolicyPlansOnSchedule) {
+  TestSetup setup(/*steps=*/150000);
+  // A policy that always proposes +1 worker, seamlessly.
+  class GrowPolicy : public ScalingPolicy {
+   public:
+    std::string name() const override { return "grow"; }
+    std::optional<ResourcePlan> Propose(TrainingJob& job) override {
+      if (job.state() != JobState::kRunning) return std::nullopt;
+      ResourcePlan plan;
+      plan.config = job.config();
+      ++plan.config.num_workers;
+      plan.mode = MigrationMode::kSeamless;
+      return plan;
+    }
+  };
+  GrowPolicy policy;
+  PolicyDriver driver(&setup.sim, &policy, Minutes(3));
+  driver.AddJob(setup.job.get());
+  driver.Start();
+  setup.sim.RunUntil(Minutes(20));
+  EXPECT_GE(driver.plans_applied(), 3);
+  EXPECT_GT(setup.job->config().num_workers, 12);
+}
+
+TEST(PolicyDriverTest, SkipsFinishedJobs) {
+  TestSetup setup(/*steps=*/4000);  // finishes quickly
+  ManualPolicy noop;
+  PolicyDriver driver(&setup.sim, &noop, Minutes(3));
+  driver.AddJob(setup.job.get());
+  driver.Start();
+  setup.sim.RunUntil(Hours(2));
+  EXPECT_EQ(setup.job->state(), JobState::kCompleted);
+  EXPECT_EQ(driver.plans_applied(), 0);
+}
+
+}  // namespace
+}  // namespace dlrover

@@ -1,0 +1,140 @@
+#include "brain/nsga2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dlrover {
+namespace {
+
+TEST(Nsga2Test, DominanceLogic) {
+  EXPECT_TRUE(Nsga2::Dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(Nsga2::Dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(Nsga2::Dominates({1, 3}, {2, 2}));
+  EXPECT_FALSE(Nsga2::Dominates({2, 2}, {2, 2}));  // equal: no domination
+}
+
+TEST(Nsga2Test, NonDominatedSortKnownFronts) {
+  const std::vector<std::vector<double>> objs = {
+      {1, 5},  // front 0
+      {5, 1},  // front 0
+      {3, 3},  // front 0
+      {4, 4},  // front 1 (dominated by {3,3})
+      {6, 6},  // front 2 (dominated by {4,4})
+  };
+  const auto fronts = Nsga2::NonDominatedSort(objs);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+  EXPECT_EQ(fronts[1].size(), 1u);
+  EXPECT_EQ(fronts[1][0], 3u);
+  EXPECT_EQ(fronts[2][0], 4u);
+}
+
+TEST(Nsga2Test, CrowdingBoundariesAreInfinite) {
+  const std::vector<std::vector<double>> objs = {
+      {1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}};
+  const std::vector<size_t> front = {0, 1, 2, 3, 4};
+  const auto crowding = Nsga2::CrowdingDistances(objs, front);
+  EXPECT_TRUE(std::isinf(crowding[0]));
+  EXPECT_TRUE(std::isinf(crowding[4]));
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(crowding[i], 0.0);
+    EXPECT_FALSE(std::isinf(crowding[i]));
+  }
+}
+
+// ZDT1: the classic two-objective benchmark with a known Pareto front
+// f2 = 1 - sqrt(f1) at g(x)=1 (all tail variables zero).
+std::vector<double> Zdt1(const std::vector<double>& x) {
+  const double f1 = x[0];
+  double g = 0.0;
+  for (size_t i = 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+  const double f2 = g * (1.0 - std::sqrt(f1 / g));
+  return {f1, f2};
+}
+
+TEST(Nsga2Test, ConvergesToZdt1Front) {
+  std::vector<DecisionBounds> bounds(8, {0.0, 1.0, false});
+  Nsga2Options options;
+  options.population = 64;
+  options.generations = 120;
+  options.seed = 3;
+  Nsga2 nsga2(bounds, Zdt1, options);
+  const auto front = nsga2.Run();
+  ASSERT_GE(front.size(), 10u);
+  // Every returned point should lie close to the analytic front.
+  double worst_gap = 0.0;
+  for (const auto& ind : front) {
+    const double f1 = ind.objectives[0];
+    const double f2 = ind.objectives[1];
+    const double ideal = 1.0 - std::sqrt(f1);
+    worst_gap = std::max(worst_gap, f2 - ideal);
+  }
+  EXPECT_LT(worst_gap, 0.15);
+}
+
+TEST(Nsga2Test, FrontIsMutuallyNonDominated) {
+  std::vector<DecisionBounds> bounds(4, {0.0, 1.0, false});
+  Nsga2Options options;
+  options.population = 32;
+  options.generations = 30;
+  Nsga2 nsga2(bounds, Zdt1, options);
+  const auto front = nsga2.Run();
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(
+          Nsga2::Dominates(front[i].objectives, front[j].objectives));
+    }
+  }
+}
+
+TEST(Nsga2Test, IntegerVariablesStayIntegral) {
+  std::vector<DecisionBounds> bounds = {{1.0, 40.0, true},
+                                        {1.0, 8.0, true}};
+  auto objective = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0] + x[1], 100.0 / (x[0] * x[1])};
+  };
+  Nsga2Options options;
+  options.population = 24;
+  options.generations = 15;
+  Nsga2 nsga2(bounds, objective, options);
+  for (const auto& ind : nsga2.Run()) {
+    EXPECT_DOUBLE_EQ(ind.x[0], std::round(ind.x[0]));
+    EXPECT_DOUBLE_EQ(ind.x[1], std::round(ind.x[1]));
+    EXPECT_GE(ind.x[0], 1.0);
+    EXPECT_LE(ind.x[0], 40.0);
+  }
+}
+
+TEST(Nsga2Test, DeterministicForSeed) {
+  std::vector<DecisionBounds> bounds(4, {0.0, 1.0, false});
+  Nsga2Options options;
+  options.population = 16;
+  options.generations = 10;
+  options.seed = 77;
+  Nsga2 a(bounds, Zdt1, options);
+  Nsga2 b(bounds, Zdt1, options);
+  const auto fa = a.Run();
+  const auto fb = b.Run();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].x, fb[i].x);
+  }
+}
+
+TEST(Nsga2Test, FrozenDimensionStaysPut) {
+  std::vector<DecisionBounds> bounds = {{5.0, 5.0, true},
+                                        {0.0, 1.0, false}};
+  auto objective = [](const std::vector<double>& x) {
+    return std::vector<double>{x[1], 1.0 - x[1] + x[0] * 0.0};
+  };
+  Nsga2 nsga2(bounds, objective, Nsga2Options{});
+  for (const auto& ind : nsga2.Run()) {
+    EXPECT_DOUBLE_EQ(ind.x[0], 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace dlrover

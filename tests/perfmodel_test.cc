@@ -1,0 +1,153 @@
+#include "perfmodel/throughput_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ps/iteration_model.h"
+#include "ps/model_profile.h"
+
+namespace dlrover {
+namespace {
+
+TEST(ThroughputModelTest, FeaturesMatchEquationBasis) {
+  ThroughputModel model(MiB(100), 16, GiBps(1.25));
+  const auto f = model.Features(512, 8, 4, 8.0, 4.0);
+  EXPECT_DOUBLE_EQ(f[0], 512.0 / 8.0);             // m / lw
+  EXPECT_DOUBLE_EQ(f[1], 8.0 / (4.0 * 4.0));       // w / (p lp)
+  EXPECT_DOUBLE_EQ(f[2], MiB(100) * 8.0 / (4.0 * GiBps(1.25)));
+  EXPECT_DOUBLE_EQ(f[3], 512.0 * 16.0 / 4.0);      // m D / p
+  EXPECT_DOUBLE_EQ(f[4], 1.0);
+}
+
+TEST(ThroughputModelTest, PredictionInvertsToThroughput) {
+  ThroughputModel model(MiB(100), 16, GiBps(1.25));
+  PerfModelParams params;
+  params.beta_sum = 0.1;  // T = 0.1s flat
+  JobConfig config;
+  config.num_workers = 10;
+  EXPECT_DOUBLE_EQ(model.PredictIterTime(params, 512, config), 0.1);
+  EXPECT_DOUBLE_EQ(model.PredictThroughput(params, 512, config),
+                   10 * 512 / 0.1);
+}
+
+class FitRecoveryTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(FitRecoveryTest, NnlsRecoversGroundTruthLaws) {
+  const ModelProfile profile = GetModelProfile(GetParam());
+  const EnvironmentProfile env;
+  ThroughputModel model(profile.dense_param_bytes, profile.embedding_dim,
+                        env.network_bandwidth);
+  ModelFitter fitter(model);
+  Rng rng(19);
+  for (int w : {4, 8, 16, 24, 32}) {
+    for (int p : {1, 2, 4, 8}) {
+      for (double lw : {4.0, 8.0}) {
+        for (double lp : {2.0, 6.0}) {
+          JobConfig config;
+          config.num_workers = w;
+          config.num_ps = p;
+          config.worker_cpu = lw;
+          config.ps_cpu = lp;
+          PerfObservation obs;
+          obs.batch_size = 512;
+          obs.workers = w;
+          obs.ps = p;
+          obs.worker_cpu = lw;
+          obs.ps_cpu = lp;
+          obs.iter_time =
+              ComputeHealthyIteration(profile, env, 512, config).Total() *
+              rng.LogNormal(1.0, 0.03);
+          fitter.AddObservation(obs);
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(fitter.ReadyToFit());
+  auto params = fitter.Fit();
+  ASSERT_TRUE(params.ok());
+  // The basis absorbs alpha_sync/B into one coefficient.
+  EXPECT_NEAR(params->alpha_grad, profile.alpha_grad,
+              profile.alpha_grad * 0.15);
+  EXPECT_NEAR(params->alpha_emb, profile.alpha_emb,
+              profile.alpha_emb * 0.15);
+  EXPECT_GT(fitter.EvaluateRSquared(*params), 0.97);
+  EXPECT_LT(fitter.EvaluateRmsle(*params), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FitRecoveryTest,
+                         ::testing::Values(ModelKind::kWideDeep,
+                                           ModelKind::kXDeepFm,
+                                           ModelKind::kDcn));
+
+TEST(ModelFitterTest, NotReadyWithoutShapeDiversity) {
+  ThroughputModel model(MiB(100), 16, GiBps(1.25));
+  ModelFitter fitter(model);
+  for (int i = 0; i < 10; ++i) {
+    PerfObservation obs;
+    obs.workers = 8;
+    obs.ps = 2;
+    obs.worker_cpu = 4;
+    obs.ps_cpu = 4;
+    obs.iter_time = 0.2;
+    fitter.AddObservation(obs);
+  }
+  EXPECT_FALSE(fitter.ReadyToFit());
+  PerfObservation other;
+  other.workers = 16;
+  other.ps = 2;
+  other.worker_cpu = 4;
+  other.ps_cpu = 4;
+  other.iter_time = 0.25;
+  fitter.AddObservation(other);
+  EXPECT_TRUE(fitter.ReadyToFit());
+}
+
+TEST(ModelFitterTest, IgnoresZeroIterTimeObservations) {
+  ThroughputModel model(MiB(100), 16, GiBps(1.25));
+  ModelFitter fitter(model);
+  PerfObservation obs;
+  obs.iter_time = 0.0;
+  fitter.AddObservation(obs);
+  EXPECT_EQ(fitter.observation_count(), 0u);
+}
+
+TEST(ModelFitterTest, LookupBlindModelFitsWorse) {
+  // The ablation behind the paper's critique of conventional schedulers:
+  // without the T_emb term the model cannot explain PS-count effects.
+  const ModelProfile profile = GetModelProfile(ModelKind::kWideDeep);
+  const EnvironmentProfile env;
+  ThroughputModel aware(profile.dense_param_bytes, profile.embedding_dim,
+                        env.network_bandwidth);
+  ThroughputModel blind(profile.dense_param_bytes, 0,
+                        env.network_bandwidth);
+  ModelFitter aware_fitter(aware);
+  ModelFitter blind_fitter(blind);
+  for (int w : {8, 16, 24}) {
+    for (int p : {1, 2, 4, 8}) {
+      JobConfig config;
+      config.num_workers = w;
+      config.num_ps = p;
+      config.worker_cpu = 8;
+      config.ps_cpu = 4;
+      PerfObservation obs;
+      obs.batch_size = 512;
+      obs.workers = w;
+      obs.ps = p;
+      obs.worker_cpu = 8;
+      obs.ps_cpu = 4;
+      obs.iter_time =
+          ComputeHealthyIteration(profile, env, 512, config).Total();
+      aware_fitter.AddObservation(obs);
+      blind_fitter.AddObservation(obs);
+    }
+  }
+  const auto aware_params = aware_fitter.Fit();
+  const auto blind_params = blind_fitter.Fit();
+  ASSERT_TRUE(aware_params.ok());
+  ASSERT_TRUE(blind_params.ok());
+  EXPECT_LT(aware_fitter.EvaluateRmsle(*aware_params),
+            blind_fitter.EvaluateRmsle(*blind_params) * 0.5);
+}
+
+}  // namespace
+}  // namespace dlrover

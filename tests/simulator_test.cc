@@ -1,0 +1,121 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlrover {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorTest, SchedulingInPastClampsToNow) {
+  Simulator sim;
+  sim.ScheduleAt(10.0, [] {});
+  sim.RunToCompletion();
+  double fired_at = -1.0;
+  sim.ScheduleAt(5.0, [&] { fired_at = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(5.0, [&] { ++fired; });
+  sim.ScheduleAt(10.0, [&] { ++fired; });
+  sim.ScheduleAt(10.0001, [&] { ++fired; });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);  // the event exactly at the deadline runs
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.Now(), 20.0);  // advances even when queue drains
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.ScheduleAfter(1.0, recurse);
+  };
+  sim.ScheduleAfter(1.0, recurse);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(PeriodicTaskTest, TicksAtInterval) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 10.0, [&] { ++ticks; });
+  task.Start();
+  sim.RunUntil(55.0);
+  EXPECT_EQ(ticks, 5);  // at t=10,20,30,40,50
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 10.0, [&] { ++ticks; });
+  task.Start();
+  sim.ScheduleAt(25.0, [&] { task.Stop(); });
+  sim.RunUntil(100.0);
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, CallbackMayStopItself) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 5.0, [&] {
+    if (++ticks == 3) sim.ScheduleAfter(0.0, [&] { task.Stop(); });
+  });
+  task.Start();
+  sim.RunUntil(100.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTaskTest, DoubleStartIsNoOp) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 10.0, [&] { ++ticks; });
+  task.Start();
+  task.Start();
+  sim.RunUntil(35.0);
+  EXPECT_EQ(ticks, 3);  // not doubled
+}
+
+}  // namespace
+}  // namespace dlrover

@@ -1,0 +1,224 @@
+#include "ps/training_job.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions options;
+  options.num_nodes = 20;
+  options.node_capacity = {32.0, GiB(192)};
+  return options;
+}
+
+JobSpec QuickSpec(uint64_t steps = 2000) {
+  JobSpec spec;
+  spec.name = "test-job";
+  spec.model = ModelKind::kWideDeep;
+  spec.total_steps = steps;
+  return spec;
+}
+
+JobConfig TunedConfig() {
+  JobConfig config;
+  config.num_workers = 8;
+  config.num_ps = 2;
+  config.worker_cpu = 8.0;
+  config.ps_cpu = 4.0;
+  config.worker_memory = GiB(8);
+  config.ps_memory = GiB(48);
+  return config;
+}
+
+TEST(TrainingJobTest, RunsToCompletion) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  TrainingJob job(&sim, &cluster, QuickSpec(), TunedConfig());
+  job.Start();
+  sim.RunUntil(Hours(4));
+  ASSERT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.batches_done(), 2000u);
+  EXPECT_GT(job.stats().Jct(), 0.0);
+  EXPECT_GE(job.stats().first_training_time, 0.0);
+}
+
+TEST(TrainingJobTest, ThroughputMatchesIterationModel) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  JobSpec spec = QuickSpec(120000);
+  JobConfig config = TunedConfig();
+  TrainingJob job(&sim, &cluster, spec, config);
+  job.Start();
+  sim.RunUntil(Minutes(10));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  const IterationBreakdown iter = ComputeHealthyIteration(
+      job.model_profile(), job.environment(), spec.batch_size, config);
+  const double expected =
+      ThroughputSamplesPerSec(iter, spec.batch_size, config.num_workers);
+  // Average over the whole run: per-window samples are quantized by shard
+  // completions, the long-run average is not.
+  const double elapsed = Minutes(10) - job.stats().first_training_time;
+  const double measured = static_cast<double>(job.batches_done()) *
+                          static_cast<double>(spec.batch_size) / elapsed;
+  ASSERT_GT(measured, 0.0);
+  EXPECT_NEAR(measured, expected, expected * 0.12);
+}
+
+TEST(TrainingJobTest, SurvivesWorkerCrashWithDynamicSharding) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  TrainingJob job(&sim, &cluster, QuickSpec(60000), TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  // Crash two workers: shards must be re-queued, replacements created.
+  int crashed = 0;
+  for (PodId id = 1; id < 20 && crashed < 2; ++id) {
+    const Pod* pod = cluster.GetPod(id);
+    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
+        pod->spec.name.find("worker") != std::string::npos) {
+      cluster.FailPod(id, PodStopReason::kCrash);
+      ++crashed;
+    }
+  }
+  ASSERT_EQ(crashed, 2);
+  sim.RunUntil(Hours(6));
+  ASSERT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.batches_done(), 60000u);
+  EXPECT_EQ(job.stats().worker_failures, 2);
+  EXPECT_EQ(job.stats().full_restarts, 0);
+}
+
+TEST(TrainingJobTest, StaticPartitionRestartsOnWorkerCrash) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  JobSpec spec = QuickSpec(60000);
+  spec.data_mode = DataMode::kStaticPartition;
+  spec.use_flash_checkpoint = false;
+  TrainingJob job(&sim, &cluster, spec, TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  for (PodId id = 1; id < 20; ++id) {
+    const Pod* pod = cluster.GetPod(id);
+    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
+        pod->spec.name.find("worker") != std::string::npos) {
+      cluster.FailPod(id, PodStopReason::kCrash);
+      break;
+    }
+  }
+  sim.RunUntil(Hours(8));
+  ASSERT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.stats().full_restarts, 1);
+  EXPECT_GT(job.stats().downtime_checkpoint, 0.0);
+  EXPECT_GT(job.stats().downtime_waiting_pods, 0.0);
+}
+
+TEST(TrainingJobTest, SeamlessScaleWorkersHasNoDowntime) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  TrainingJob job(&sim, &cluster, QuickSpec(120000), TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  JobConfig bigger = job.config();
+  bigger.num_workers += 8;
+  ASSERT_TRUE(job.ApplyPlan(bigger, MigrationMode::kSeamless).ok());
+  EXPECT_EQ(job.state(), JobState::kRunning);  // never paused
+  sim.RunUntil(Minutes(15));
+  EXPECT_EQ(job.ActiveWorkerCount(), 16);
+  EXPECT_EQ(job.stats().scale_operations, 1);
+  EXPECT_EQ(job.stats().downtime_checkpoint, 0.0);
+  sim.RunUntil(Hours(6));
+  EXPECT_EQ(job.state(), JobState::kCompleted);
+}
+
+TEST(TrainingJobTest, SeamlessMigrationMuchCheaperThanStopRestart) {
+  auto run = [](bool flash, MigrationMode mode) {
+    Simulator sim;
+    Cluster cluster(&sim, SmallCluster());
+    JobSpec spec = QuickSpec(120000);
+    spec.use_flash_checkpoint = flash;
+    TrainingJob job(&sim, &cluster, spec, TunedConfig());
+    job.Start();
+    sim.RunUntil(Minutes(5));
+    JobConfig plan = job.config();
+    plan.num_ps += 2;
+    EXPECT_TRUE(job.ApplyPlan(plan, mode).ok());
+    sim.RunUntil(Hours(8));
+    EXPECT_EQ(job.state(), JobState::kCompleted);
+    return job.stats();
+  };
+  const JobStats seamless = run(true, MigrationMode::kSeamless);
+  const JobStats restart = run(false, MigrationMode::kStopAndRestart);
+  EXPECT_EQ(seamless.migrations, 1);
+  EXPECT_EQ(restart.migrations, 1);
+  // Seamless + flash downtime is seconds; stop-and-restart is minutes.
+  EXPECT_LT(seamless.downtime_checkpoint, Seconds(30));
+  EXPECT_GT(restart.downtime_checkpoint, Minutes(2));
+  EXPECT_GT(restart.downtime_waiting_pods, Seconds(20));
+  EXPECT_EQ(seamless.downtime_waiting_pods, 0.0);
+}
+
+TEST(TrainingJobTest, PsOomTriggersRecoveryAndVerticalScale) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  JobSpec spec = QuickSpec(60000);
+  spec.checkpoint_interval = Minutes(2);
+  JobConfig config = TunedConfig();
+  config.ps_memory = GiB(4.5);  // too small: embedding growth will blow it
+  TrainingJob job(&sim, &cluster, spec, config);
+  job.Start();
+  sim.RunUntil(Hours(12));
+  // The job OOMs at least once, recovers with more memory, and finishes.
+  EXPECT_GE(job.stats().oom_events, 1);
+  EXPECT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_GT(job.config().ps_memory, GiB(4.5));
+}
+
+TEST(TrainingJobTest, OomPreventionAvoidsOomEntirely) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  JobSpec spec = QuickSpec(60000);
+  JobConfig config = TunedConfig();
+  config.ps_memory = GiB(4.5);
+  TrainingJob job(&sim, &cluster, spec, config);
+  job.Start();
+  // A master loop that runs the OOM predictor periodically.
+  PeriodicTask guard(&sim, Minutes(1), [&job] { job.MaybePreventOom(); });
+  guard.Start();
+  sim.RunUntil(Hours(12));
+  EXPECT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.stats().oom_events, 0);
+  EXPECT_GT(job.config().ps_memory, GiB(4.5));
+}
+
+TEST(TrainingJobTest, StragglerMitigationShrinksShards) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  TrainingJob job(&sim, &cluster, QuickSpec(60000), TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  // Degrade one worker pod to 3% speed (paper's straggler experiment).
+  for (PodId id = 1; id < 20; ++id) {
+    const Pod* pod = cluster.GetPod(id);
+    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
+        pod->spec.name.find("worker") != std::string::npos) {
+      cluster.DegradePod(id, 0.03);
+      break;
+    }
+  }
+  PeriodicTask mitigate(&sim, Seconds(30), [&job] { job.MitigateStragglers(); });
+  mitigate.Start();
+  sim.RunUntil(Minutes(30));
+  EXPECT_GE(job.stats().stragglers_mitigated, 1);
+}
+
+}  // namespace
+}  // namespace dlrover
