@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sharding"
+  "../bench/bench_ablation_sharding.pdb"
+  "CMakeFiles/bench_ablation_sharding.dir/bench_ablation_sharding.cc.o"
+  "CMakeFiles/bench_ablation_sharding.dir/bench_ablation_sharding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

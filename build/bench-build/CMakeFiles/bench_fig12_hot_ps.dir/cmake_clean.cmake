@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_hot_ps"
+  "../bench/bench_fig12_hot_ps.pdb"
+  "CMakeFiles/bench_fig12_hot_ps.dir/bench_fig12_hot_ps.cc.o"
+  "CMakeFiles/bench_fig12_hot_ps.dir/bench_fig12_hot_ps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hot_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_straggler"
+  "../bench/bench_fig13_straggler.pdb"
+  "CMakeFiles/bench_fig13_straggler.dir/bench_fig13_straggler.cc.o"
+  "CMakeFiles/bench_fig13_straggler.dir/bench_fig13_straggler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_production_migration"
+  "../bench/bench_fig14_production_migration.pdb"
+  "CMakeFiles/bench_fig14_production_migration.dir/bench_fig14_production_migration.cc.o"
+  "CMakeFiles/bench_fig14_production_migration.dir/bench_fig14_production_migration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_production_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_jct"
+  "../bench/bench_fig7_jct.pdb"
+  "CMakeFiles/bench_fig7_jct.dir/bench_fig7_jct.cc.o"
+  "CMakeFiles/bench_fig7_jct.dir/bench_fig7_jct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

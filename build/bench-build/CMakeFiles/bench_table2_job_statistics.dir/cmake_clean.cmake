@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_job_statistics"
+  "../bench/bench_table2_job_statistics.pdb"
+  "CMakeFiles/bench_table2_job_statistics.dir/bench_table2_job_statistics.cc.o"
+  "CMakeFiles/bench_table2_job_statistics.dir/bench_table2_job_statistics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_job_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

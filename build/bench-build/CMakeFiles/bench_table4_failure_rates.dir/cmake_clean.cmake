@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_failure_rates"
+  "../bench/bench_table4_failure_rates.pdb"
+  "CMakeFiles/bench_table4_failure_rates.dir/bench_table4_failure_rates.cc.o"
+  "CMakeFiles/bench_table4_failure_rates.dir/bench_table4_failure_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_failure_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

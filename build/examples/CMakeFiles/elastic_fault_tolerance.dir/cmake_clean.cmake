@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_fault_tolerance.dir/elastic_fault_tolerance.cpp.o"
+  "CMakeFiles/elastic_fault_tolerance.dir/elastic_fault_tolerance.cpp.o.d"
+  "elastic_fault_tolerance"
+  "elastic_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

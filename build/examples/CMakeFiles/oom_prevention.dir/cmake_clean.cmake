@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oom_prevention.dir/oom_prevention.cpp.o"
+  "CMakeFiles/oom_prevention.dir/oom_prevention.cpp.o.d"
+  "oom_prevention"
+  "oom_prevention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oom_prevention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oom_prevention.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cluster")
+subdirs("dlrm")
+subdirs("ps")
+subdirs("elastic")
+subdirs("perfmodel")
+subdirs("brain")
+subdirs("master")
+subdirs("baselines")
+subdirs("trace")
+subdirs("harness")

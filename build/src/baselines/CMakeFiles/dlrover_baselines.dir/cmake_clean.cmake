@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_baselines.dir/elastic_scheduler.cc.o"
+  "CMakeFiles/dlrover_baselines.dir/elastic_scheduler.cc.o.d"
+  "CMakeFiles/dlrover_baselines.dir/manual.cc.o"
+  "CMakeFiles/dlrover_baselines.dir/manual.cc.o.d"
+  "CMakeFiles/dlrover_baselines.dir/optimus.cc.o"
+  "CMakeFiles/dlrover_baselines.dir/optimus.cc.o.d"
+  "libdlrover_baselines.a"
+  "libdlrover_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/brain/brain.cc" "src/brain/CMakeFiles/dlrover_brain.dir/brain.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/brain.cc.o.d"
+  "/root/repo/src/brain/config_db.cc" "src/brain/CMakeFiles/dlrover_brain.dir/config_db.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/config_db.cc.o.d"
+  "/root/repo/src/brain/greedy_selector.cc" "src/brain/CMakeFiles/dlrover_brain.dir/greedy_selector.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/greedy_selector.cc.o.d"
+  "/root/repo/src/brain/nsga2.cc" "src/brain/CMakeFiles/dlrover_brain.dir/nsga2.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/nsga2.cc.o.d"
+  "/root/repo/src/brain/objectives.cc" "src/brain/CMakeFiles/dlrover_brain.dir/objectives.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/objectives.cc.o.d"
+  "/root/repo/src/brain/plan_generator.cc" "src/brain/CMakeFiles/dlrover_brain.dir/plan_generator.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/plan_generator.cc.o.d"
+  "/root/repo/src/brain/warm_start.cc" "src/brain/CMakeFiles/dlrover_brain.dir/warm_start.cc.o" "gcc" "src/brain/CMakeFiles/dlrover_brain.dir/warm_start.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlrover_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/dlrover_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/dlrover_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlrover_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/elastic/CMakeFiles/dlrover_elastic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlrover_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

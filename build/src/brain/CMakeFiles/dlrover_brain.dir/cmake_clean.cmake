@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_brain.dir/brain.cc.o"
+  "CMakeFiles/dlrover_brain.dir/brain.cc.o.d"
+  "CMakeFiles/dlrover_brain.dir/config_db.cc.o"
+  "CMakeFiles/dlrover_brain.dir/config_db.cc.o.d"
+  "CMakeFiles/dlrover_brain.dir/greedy_selector.cc.o"
+  "CMakeFiles/dlrover_brain.dir/greedy_selector.cc.o.d"
+  "CMakeFiles/dlrover_brain.dir/nsga2.cc.o"
+  "CMakeFiles/dlrover_brain.dir/nsga2.cc.o.d"
+  "CMakeFiles/dlrover_brain.dir/objectives.cc.o"
+  "CMakeFiles/dlrover_brain.dir/objectives.cc.o.d"
+  "CMakeFiles/dlrover_brain.dir/plan_generator.cc.o"
+  "CMakeFiles/dlrover_brain.dir/plan_generator.cc.o.d"
+  "CMakeFiles/dlrover_brain.dir/warm_start.cc.o"
+  "CMakeFiles/dlrover_brain.dir/warm_start.cc.o.d"
+  "libdlrover_brain.a"
+  "libdlrover_brain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_brain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

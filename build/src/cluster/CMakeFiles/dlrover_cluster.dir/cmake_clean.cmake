@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_cluster.dir/background_load.cc.o"
+  "CMakeFiles/dlrover_cluster.dir/background_load.cc.o.d"
+  "CMakeFiles/dlrover_cluster.dir/cluster.cc.o"
+  "CMakeFiles/dlrover_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/dlrover_cluster.dir/failure_injector.cc.o"
+  "CMakeFiles/dlrover_cluster.dir/failure_injector.cc.o.d"
+  "libdlrover_cluster.a"
+  "libdlrover_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

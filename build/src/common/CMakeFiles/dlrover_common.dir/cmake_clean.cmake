@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_common.dir/logging.cc.o"
+  "CMakeFiles/dlrover_common.dir/logging.cc.o.d"
+  "CMakeFiles/dlrover_common.dir/matrix.cc.o"
+  "CMakeFiles/dlrover_common.dir/matrix.cc.o.d"
+  "CMakeFiles/dlrover_common.dir/stats.cc.o"
+  "CMakeFiles/dlrover_common.dir/stats.cc.o.d"
+  "CMakeFiles/dlrover_common.dir/status.cc.o"
+  "CMakeFiles/dlrover_common.dir/status.cc.o.d"
+  "libdlrover_common.a"
+  "libdlrover_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlrm/async_trainer.cc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/async_trainer.cc.o" "gcc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/async_trainer.cc.o.d"
+  "/root/repo/src/dlrm/criteo_synth.cc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/criteo_synth.cc.o" "gcc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/criteo_synth.cc.o.d"
+  "/root/repo/src/dlrm/metrics.cc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/metrics.cc.o" "gcc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/metrics.cc.o.d"
+  "/root/repo/src/dlrm/mini_dlrm.cc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/mini_dlrm.cc.o" "gcc" "src/dlrm/CMakeFiles/dlrover_dlrm.dir/mini_dlrm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlrover_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/elastic/CMakeFiles/dlrover_elastic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/dlrover_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlrover_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlrover_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

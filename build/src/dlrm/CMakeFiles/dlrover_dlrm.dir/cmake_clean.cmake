@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_dlrm.dir/async_trainer.cc.o"
+  "CMakeFiles/dlrover_dlrm.dir/async_trainer.cc.o.d"
+  "CMakeFiles/dlrover_dlrm.dir/criteo_synth.cc.o"
+  "CMakeFiles/dlrover_dlrm.dir/criteo_synth.cc.o.d"
+  "CMakeFiles/dlrover_dlrm.dir/metrics.cc.o"
+  "CMakeFiles/dlrover_dlrm.dir/metrics.cc.o.d"
+  "CMakeFiles/dlrover_dlrm.dir/mini_dlrm.cc.o"
+  "CMakeFiles/dlrover_dlrm.dir/mini_dlrm.cc.o.d"
+  "libdlrover_dlrm.a"
+  "libdlrover_dlrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_dlrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dlrover_dlrm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elastic/heartbeat.cc" "src/elastic/CMakeFiles/dlrover_elastic.dir/heartbeat.cc.o" "gcc" "src/elastic/CMakeFiles/dlrover_elastic.dir/heartbeat.cc.o.d"
+  "/root/repo/src/elastic/oom_predictor.cc" "src/elastic/CMakeFiles/dlrover_elastic.dir/oom_predictor.cc.o" "gcc" "src/elastic/CMakeFiles/dlrover_elastic.dir/oom_predictor.cc.o.d"
+  "/root/repo/src/elastic/shard_queue.cc" "src/elastic/CMakeFiles/dlrover_elastic.dir/shard_queue.cc.o" "gcc" "src/elastic/CMakeFiles/dlrover_elastic.dir/shard_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlrover_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlrover_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

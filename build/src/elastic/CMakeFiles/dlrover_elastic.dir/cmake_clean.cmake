@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_elastic.dir/heartbeat.cc.o"
+  "CMakeFiles/dlrover_elastic.dir/heartbeat.cc.o.d"
+  "CMakeFiles/dlrover_elastic.dir/oom_predictor.cc.o"
+  "CMakeFiles/dlrover_elastic.dir/oom_predictor.cc.o.d"
+  "CMakeFiles/dlrover_elastic.dir/shard_queue.cc.o"
+  "CMakeFiles/dlrover_elastic.dir/shard_queue.cc.o.d"
+  "libdlrover_elastic.a"
+  "libdlrover_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_harness.dir/experiment.cc.o"
+  "CMakeFiles/dlrover_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/dlrover_harness.dir/reporting.cc.o"
+  "CMakeFiles/dlrover_harness.dir/reporting.cc.o.d"
+  "libdlrover_harness.a"
+  "libdlrover_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_master.dir/job_master.cc.o"
+  "CMakeFiles/dlrover_master.dir/job_master.cc.o.d"
+  "libdlrover_master.a"
+  "libdlrover_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

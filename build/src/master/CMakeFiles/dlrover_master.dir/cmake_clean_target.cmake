@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlrover_master.a"
+)

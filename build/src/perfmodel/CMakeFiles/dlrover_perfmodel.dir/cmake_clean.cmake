@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_perfmodel.dir/throughput_model.cc.o"
+  "CMakeFiles/dlrover_perfmodel.dir/throughput_model.cc.o.d"
+  "libdlrover_perfmodel.a"
+  "libdlrover_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

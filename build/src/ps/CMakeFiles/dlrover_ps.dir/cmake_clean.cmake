@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_ps.dir/iteration_model.cc.o"
+  "CMakeFiles/dlrover_ps.dir/iteration_model.cc.o.d"
+  "CMakeFiles/dlrover_ps.dir/model_profile.cc.o"
+  "CMakeFiles/dlrover_ps.dir/model_profile.cc.o.d"
+  "CMakeFiles/dlrover_ps.dir/training_job.cc.o"
+  "CMakeFiles/dlrover_ps.dir/training_job.cc.o.d"
+  "libdlrover_ps.a"
+  "libdlrover_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_sim.dir/simulator.cc.o"
+  "CMakeFiles/dlrover_sim.dir/simulator.cc.o.d"
+  "libdlrover_sim.a"
+  "libdlrover_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

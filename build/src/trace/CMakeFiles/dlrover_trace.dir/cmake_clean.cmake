@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrover_trace.dir/workload_gen.cc.o"
+  "CMakeFiles/dlrover_trace.dir/workload_gen.cc.o.d"
+  "libdlrover_trace.a"
+  "libdlrover_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrover_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_trainer_test.dir/async_trainer_test.cc.o"
+  "CMakeFiles/async_trainer_test.dir/async_trainer_test.cc.o.d"
+  "async_trainer_test"
+  "async_trainer_test.pdb"
+  "async_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brain_test.dir/brain_test.cc.o"
+  "CMakeFiles/brain_test.dir/brain_test.cc.o.d"
+  "brain_test"
+  "brain_test.pdb"
+  "brain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

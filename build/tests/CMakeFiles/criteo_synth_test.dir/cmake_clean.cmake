@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criteo_synth_test.dir/criteo_synth_test.cc.o"
+  "CMakeFiles/criteo_synth_test.dir/criteo_synth_test.cc.o.d"
+  "criteo_synth_test"
+  "criteo_synth_test.pdb"
+  "criteo_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criteo_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/harness_test.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/harness_test.dir/harness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dlrover_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dlrover_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/master/CMakeFiles/dlrover_master.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dlrover_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/brain/CMakeFiles/dlrover_brain.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/dlrover_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/dlrover_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dlrover_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/elastic/CMakeFiles/dlrover_elastic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlrover_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlrover_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_master_test.dir/job_master_test.cc.o"
+  "CMakeFiles/job_master_test.dir/job_master_test.cc.o.d"
+  "job_master_test"
+  "job_master_test.pdb"
+  "job_master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

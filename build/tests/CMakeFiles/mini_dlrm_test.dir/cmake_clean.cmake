@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_dlrm_test.dir/mini_dlrm_test.cc.o"
+  "CMakeFiles/mini_dlrm_test.dir/mini_dlrm_test.cc.o.d"
+  "mini_dlrm_test"
+  "mini_dlrm_test.pdb"
+  "mini_dlrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_dlrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsga2_test.dir/nsga2_test.cc.o"
+  "CMakeFiles/nsga2_test.dir/nsga2_test.cc.o.d"
+  "nsga2_test"
+  "nsga2_test.pdb"
+  "nsga2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsga2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_job_test.dir/training_job_test.cc.o"
+  "CMakeFiles/training_job_test.dir/training_job_test.cc.o.d"
+  "training_job_test"
+  "training_job_test.pdb"
+  "training_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/elastic_test[1]_include.cmake")
+include("/root/repo/build/tests/training_job_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/nsga2_test[1]_include.cmake")
+include("/root/repo/build/tests/brain_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/mini_dlrm_test[1]_include.cmake")
+include("/root/repo/build/tests/async_trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/iteration_model_test[1]_include.cmake")
+include("/root/repo/build/tests/criteo_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_property_test[1]_include.cmake")
+include("/root/repo/build/tests/job_master_test[1]_include.cmake")
