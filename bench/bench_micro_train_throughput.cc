@@ -1,0 +1,139 @@
+// Micro-benchmark for the multi-threaded training runtime: trains the real
+// mini-DLRM in ExecMode::kThreads at 1/2/4/8 pool threads (plus the
+// deterministic kTicks reference) and reports samples/sec, speedup over one
+// thread, and scaling efficiency. Results are printed as a table and
+// written to BENCH_micro_train_throughput.json, seeding the perf
+// trajectory: future PRs append runs and compare.
+//
+// Scaling is bounded by the hardware the bench runs on — the JSON records
+// hardware_threads so a 1-core CI box reporting ~1x is interpretable.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "dlrm/async_trainer.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+struct RunResult {
+  std::string label;
+  int threads = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  double final_auc = 0.0;
+};
+
+AsyncTrainerOptions BenchOptions() {
+  AsyncTrainerOptions options;
+  options.num_workers = 8;
+  options.batch_size = 128;
+  options.total_batches = 240;
+  options.learning_rate = 0.1;
+  options.shard_batches = 12;
+  options.eval_every_batches = 1 << 30;  // no mid-run evals: pure training
+  options.eval_size = 1024;
+  options.seed = 11;
+  return options;
+}
+
+MiniDlrmConfig BenchModel() {
+  MiniDlrmConfig config;
+  config.arch = ModelKind::kWideDeep;
+  config.emb_dim = 8;
+  config.hash_buckets = 4096;
+  config.mlp_hidden = {64, 32};
+  config.seed = 5;
+  return config;
+}
+
+RunResult TimeRun(ExecMode mode, int threads, const CriteoSynth& data) {
+  MiniDlrm model(BenchModel());
+  AsyncTrainerOptions options = BenchOptions();
+  options.exec_mode = mode;
+  options.num_threads = threads;
+  AsyncPsTrainer trainer(&model, &data, options);
+  const auto start = std::chrono::steady_clock::now();
+  const TrainResult result = trainer.Run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.label = mode == ExecMode::kTicks
+                  ? "ticks"
+                  : StrFormat("threads:%d", threads);
+  out.threads = threads;
+  out.seconds = std::chrono::duration<double>(stop - start).count();
+  const double samples = static_cast<double>(result.batches_committed) *
+                         static_cast<double>(options.batch_size);
+  out.samples_per_sec = samples / out.seconds;
+  out.final_auc = result.final_auc;
+  return out;
+}
+
+void Run() {
+  PrintBanner("micro: training throughput, tick loop vs real threads");
+  CriteoSynth data(31);
+
+  // Warm-up: touch the data generator and page in the code paths so the
+  // 1-thread baseline is not penalized with cold-start costs.
+  TimeRun(ExecMode::kThreads, 1, data);
+
+  std::vector<RunResult> runs;
+  runs.push_back(TimeRun(ExecMode::kTicks, 0, data));
+  for (int threads : {1, 2, 4, 8}) {
+    runs.push_back(TimeRun(ExecMode::kThreads, threads, data));
+  }
+
+  const double base = runs[1].samples_per_sec;  // threads:1 reference
+  TablePrinter table({"mode", "samples/sec", "speedup", "efficiency",
+                      "final AUC"});
+  for (const RunResult& r : runs) {
+    const double speedup = r.samples_per_sec / base;
+    const double eff = r.threads > 0 ? speedup / r.threads : 0.0;
+    table.AddRow({r.label, StrFormat("%.0f", r.samples_per_sec),
+                  StrFormat("%.2fx", speedup),
+                  r.threads > 0 ? FormatPercent(eff) : "-",
+                  StrFormat("%.4f", r.final_auc)});
+  }
+  table.Print();
+  std::printf("hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+
+  FILE* json = std::fopen("BENCH_micro_train_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_micro_train_throughput.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"micro_train_throughput\",\n");
+  std::fprintf(json, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "  \"total_batches\": %llu,\n",
+               static_cast<unsigned long long>(BenchOptions().total_batches));
+  std::fprintf(json, "  \"batch_size\": %llu,\n",
+               static_cast<unsigned long long>(BenchOptions().batch_size));
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %.4f, \"samples_per_sec\": %.1f, "
+                 "\"speedup_vs_1thread\": %.3f, \"final_auc\": %.4f}%s\n",
+                 r.label.c_str(), r.threads, r.seconds, r.samples_per_sec,
+                 r.samples_per_sec / base, r.final_auc,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_micro_train_throughput.json\n");
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

@@ -41,11 +41,25 @@ class Matrix {
 
   Matrix Transpose() const;
 
-  /// Matrix product; requires cols() == other.rows().
+  /// Matrix product; requires cols() == other.rows(). Cache-blocked over
+  /// (rows, inner) tiles so a tile of `other` rows stays hot in L1/L2; per
+  /// output element the inner-dimension accumulation order is unchanged, so
+  /// results are bit-identical to the naive triple loop.
   Matrix Multiply(const Matrix& other) const;
 
   /// Matrix-vector product; requires cols() == x.size().
   std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// Fused y = act(W x + bias) for the MLP tower hot path: one pass over
+  /// the weights, no intermediate vector. `relu` selects max(0, .) as the
+  /// activation, otherwise identity. Writes pre-activation values into
+  /// `pre` when non-null (backward needs them). Accumulation order matches
+  /// Apply() + separate bias add, so the fused path is bit-identical to the
+  /// unfused one.
+  void ApplyBiasAct(const std::vector<double>& x,
+                    const std::vector<double>& bias, bool relu,
+                    std::vector<double>* y,
+                    std::vector<double>* pre = nullptr) const;
 
  private:
   size_t rows_ = 0;

@@ -1,9 +1,18 @@
 #include "dlrm/async_trainer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 
+#include "common/logging.h"
 #include "dlrm/metrics.h"
+#include "runtime/thread_pool.h"
 
 namespace dlrover {
 
@@ -206,6 +215,18 @@ void AsyncPsTrainer::Evaluate(TrainResult* result) {
 }
 
 TrainResult AsyncPsTrainer::Run() {
+  if (options_.exec_mode == ExecMode::kThreads) {
+    if (options_.data_mode != DataMode::kDynamicSharding) {
+      DLROVER_LOG_STREAM(Warning)
+          << "kThreads requires dynamic sharding; falling back to kTicks";
+    } else {
+      return RunThreads();
+    }
+  }
+  return RunTicks();
+}
+
+TrainResult AsyncPsTrainer::RunTicks() {
   uint64_t last_eval = 0;
   Evaluate(&result_);
 
@@ -252,6 +273,199 @@ TrainResult AsyncPsTrainer::Run() {
   Evaluate(&result_);
   result_.batches_committed = committed_;
   // Ground-truth data accounting from the multiplicity histogram.
+  uint64_t never_trained = 0;
+  for (uint8_t times : result_.times_trained) {
+    if (times == 0) ++never_trained;
+  }
+  result_.batches_skipped = never_trained;
+  result_.final_logloss = result_.curve.back().test_logloss;
+  result_.final_auc = result_.curve.back().test_auc;
+  return std::move(result_);
+}
+
+TrainResult AsyncPsTrainer::RunThreads() {
+  // Per-worker control block. Elastic events cannot preempt a real thread
+  // mid-batch; they set flags that the worker observes at batch boundaries,
+  // which is also how real PS workers drain on scale-in.
+  struct WorkerCtl {
+    int id = 0;
+    std::atomic<bool> stop{false};   // graceful scale-in: requeue + exit
+    std::atomic<bool> crash{false};  // abrupt failure: same, picked abruptly
+    std::atomic<int> stall_us{0};    // straggler injection per batch
+  };
+
+  const size_t pool_threads =
+      options_.num_threads > 0 ? static_cast<size_t>(options_.num_threads)
+                               : static_cast<size_t>(std::max(1, options_.num_workers));
+  ThreadPool pool(pool_threads);
+
+  // state_mu guards committed_, result_, next_event_, the worker control
+  // list and the future list. Everything inside is O(1)-ish bookkeeping;
+  // the expensive pull/compute/push runs outside the lock.
+  std::mutex state_mu;
+  std::vector<std::shared_ptr<WorkerCtl>> ctls;
+  std::vector<std::future<void>> futures;
+  uint64_t last_eval = 0;
+
+  std::function<void(std::shared_ptr<WorkerCtl>)> worker_loop;
+
+  auto spawn_worker_locked = [&]() {
+    auto ctl = std::make_shared<WorkerCtl>();
+    ctl->id = next_worker_id_++;
+    ctls.push_back(ctl);
+    futures.push_back(pool.Submit([&worker_loop, ctl]() { worker_loop(ctl); }));
+  };
+
+  auto fire_events_locked = [&]() {
+    while (next_event_ < options_.events.size() &&
+           options_.events[next_event_].at_batches <= committed_) {
+      const ElasticEvent& event = options_.events[next_event_++];
+      switch (event.kind) {
+        case ElasticEvent::Kind::kAddWorkers: {
+          for (int i = 0; i < event.count; ++i) spawn_worker_locked();
+          break;
+        }
+        case ElasticEvent::Kind::kRemoveWorkers: {
+          int removed = 0;
+          for (auto it = ctls.rbegin();
+               it != ctls.rend() && removed < event.count; ++it) {
+            WorkerCtl& c = **it;
+            if (c.stop.load() || c.crash.load()) continue;
+            c.stop.store(true);
+            ++removed;
+          }
+          break;
+        }
+        case ElasticEvent::Kind::kCrashWorker: {
+          for (const auto& c : ctls) {
+            if (c->stop.load() || c->crash.load() || c->stall_us.load() > 0) {
+              continue;  // crash a healthy worker, as in tick mode
+            }
+            c->crash.store(true);
+            spawn_worker_locked();  // replacement joins via the queue
+            break;
+          }
+          break;
+        }
+        case ElasticEvent::Kind::kMakeStraggler: {
+          for (const auto& c : ctls) {
+            if (c->stop.load() || c->crash.load() || c->stall_us.load() > 0) {
+              continue;
+            }
+            const double speed = std::max(event.speed, 1e-3);
+            c->stall_us.store(static_cast<int>(
+                options_.straggler_stall_us / speed));
+            break;
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  auto commit_batch = [&](uint64_t batch_index) {
+    bool do_eval = false;
+    uint64_t eval_at = 0;
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      if (batch_index < result_.times_trained.size()) {
+        uint8_t& times = result_.times_trained[batch_index];
+        if (times < 255) ++times;
+        if (times > 1) ++result_.batches_duplicated;
+      }
+      ++committed_;
+      fire_events_locked();
+      if (committed_ - last_eval >= options_.eval_every_batches) {
+        last_eval = committed_;
+        eval_at = committed_;
+        do_eval = true;
+      }
+    }
+    if (do_eval) {
+      // Predict is thread-safe; only the curve append needs the lock.
+      const std::vector<double> probs = model_->Predict(eval_batch_);
+      EvalPoint point;
+      point.batches = eval_at;
+      point.test_logloss = LogLoss(probs, eval_labels_);
+      point.test_auc = Auc(probs, eval_labels_);
+      std::lock_guard<std::mutex> lock(state_mu);
+      result_.curve.push_back(point);
+    }
+  };
+
+  worker_loop = [&](std::shared_ptr<WorkerCtl> ctl) {
+    while (!ctl->stop.load() && !ctl->crash.load()) {
+      auto shard_or = queue_->WaitNextShard();
+      if (!shard_or.ok()) break;  // terminal: nothing can be served again
+      const DataShard shard = *shard_or;
+      uint64_t pos = 0;
+      bool aborted = false;
+      for (; pos < shard.batches(); ++pos) {
+        if (ctl->stop.load() || ctl->crash.load()) {
+          aborted = true;
+          break;
+        }
+        const uint64_t batch_index = shard.start_batch + pos;
+        const CriteoBatch batch = data_->Batch(
+            batch_index * options_.batch_size, options_.batch_size);
+        // Pull -> compute -> push with real staleness: other workers push
+        // between this snapshot and this push.
+        const ParamSnapshot snapshot = model_->TakeSnapshot(batch);
+        DlrmGradients grads;
+        model_->ForwardBackward(batch, snapshot, &grads);
+        const int stall = ctl->stall_us.load();
+        if (stall > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(stall));
+        }
+        model_->ApplyGradients(grads, options_.learning_rate);
+        commit_batch(batch_index);
+      }
+      if (aborted) {
+        // Exactly-once: the committed prefix is credited, the remainder is
+        // re-served to someone else (with a fresh shard index).
+        const Status s = queue_->ReportFailed(shard, pos);
+        assert(s.ok());
+        (void)s;
+        break;
+      }
+      const Status s = queue_->ReportCompleted(shard);
+      assert(s.ok());
+      (void)s;
+    }
+  };
+
+  Evaluate(&result_);  // initial point, before any worker starts
+  {
+    std::lock_guard<std::mutex> lock(state_mu);
+    for (int i = 0; i < options_.num_workers; ++i) spawn_worker_locked();
+  }
+
+  // Join all workers, including ones spawned by events mid-run.
+  for (;;) {
+    std::vector<std::future<void>> joinable;
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      joinable.swap(futures);
+    }
+    if (joinable.empty()) break;
+    for (std::future<void>& f : joinable) f.get();
+  }
+
+  // Events may have stopped every worker while data was still queued; drain
+  // the remainder inline (a fresh worker that no event can touch).
+  while (!queue_->AllDone()) {
+    auto ctl = std::make_shared<WorkerCtl>();
+    ctl->id = next_worker_id_++;
+    worker_loop(ctl);
+  }
+
+  // Concurrent commits record eval points slightly out of order.
+  std::sort(result_.curve.begin(), result_.curve.end(),
+            [](const EvalPoint& a, const EvalPoint& b) {
+              return a.batches < b.batches;
+            });
+  Evaluate(&result_);
+  result_.batches_committed = committed_;
   uint64_t never_trained = 0;
   for (uint8_t times : result_.times_trained) {
     if (times == 0) ++never_trained;

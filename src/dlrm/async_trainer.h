@@ -27,12 +27,31 @@ struct ElasticEvent {
   double speed = 0.05;  // straggler speed factor
 };
 
+/// How logical workers execute.
+enum class ExecMode : int {
+  /// Deterministic single-threaded tick simulation (the default): workers
+  /// advance in lockstep fractions, results are bit-reproducible for a
+  /// seed. This is what convergence tests and Fig 8/13 goldens pin.
+  kTicks = 0,
+  /// Real parallelism: each worker runs pull -> compute -> push on a
+  /// ThreadPool thread against the lock-striped parameter store, with
+  /// genuine asynchronous staleness. Throughput scales with cores;
+  /// interleaving (and thus exact floats) is nondeterministic.
+  kThreads = 1,
+};
+
 struct AsyncTrainerOptions {
   int num_workers = 8;
   uint64_t batch_size = 128;
   uint64_t total_batches = 2000;
   double learning_rate = 0.1;
   uint64_t shard_batches = 16;
+  ExecMode exec_mode = ExecMode::kTicks;
+  /// kThreads only: pool size; 0 = one thread per initial worker.
+  int num_threads = 0;
+  /// kThreads only: per-batch stall injected into stragglers,
+  /// microseconds at speed 1.0 (scaled by 1/speed for the victim).
+  int straggler_stall_us = 200;
   /// kDynamicSharding consumes via a ShardQueue with exactly-once
   /// semantics; kStaticPartition emulates the conventional frameworks the
   /// paper criticizes — elastic events re-partition naively, duplicating
@@ -72,6 +91,11 @@ struct TrainResult {
 /// DLRover's dynamic data sharding or a conventional static partitioning,
 /// with scripted elastic/instability events — this is the machinery behind
 /// the Fig 8 "elasticity preserves convergence" experiment.
+///
+/// ExecMode::kThreads swaps the tick simulation for real pool threads
+/// (dynamic sharding only); elastic events still fire at their committed
+/// batch counts, implemented as stop/crash flags the workers observe at
+/// batch boundaries.
 class AsyncPsTrainer {
  public:
   AsyncPsTrainer(MiniDlrm* model, const CriteoSynth* data,
@@ -103,6 +127,8 @@ class AsyncPsTrainer {
   void FireEvents();
   void Evaluate(TrainResult* result);
   void RepartitionStatic();
+  TrainResult RunTicks();
+  TrainResult RunThreads();
 
   MiniDlrm* model_;
   const CriteoSynth* data_;

@@ -1,0 +1,98 @@
+#include "dlrm/emb_store.h"
+
+#include "common/rng.h"
+
+namespace dlrover {
+
+namespace {
+
+/// Must stay identical to the historical MiniDlrm row init so checkpoints
+/// and golden convergence numbers carry over: splitmix-style avalanche of
+/// (seed, feature, bucket) seeding the per-row Rng.
+uint64_t RowInitHash(uint64_t seed, int feature, uint64_t bucket) {
+  uint64_t x = seed ^
+               (static_cast<uint64_t>(feature + 1) * 0x9e3779b97f4a7c15ull) ^
+               (bucket * 0xc4ceb9fe1a85ec53ull);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EmbStore::EmbStore(const EmbStoreOptions& options)
+    : options_(options),
+      stripes_(RoundUpPow2(options.stripes == 0 ? 1 : options.stripes)) {
+  stripe_mask_ = stripes_.size() - 1;
+}
+
+EmbStore::Stripe& EmbStore::StripeFor(uint64_t key) const {
+  // Finalizer-style mix so adjacent buckets of one feature spread across
+  // stripes instead of marching through them in lockstep.
+  uint64_t x = key * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 32;
+  return stripes_[x & stripe_mask_];
+}
+
+std::vector<double>& EmbStore::MaterializeRowLocked(Stripe& stripe,
+                                                    int feature,
+                                                    uint64_t bucket,
+                                                    uint64_t key) const {
+  auto it = stripe.emb.find(key);
+  if (it != stripe.emb.end()) return it->second;
+  Rng rng(RowInitHash(options_.seed, feature, bucket));
+  std::vector<double> row(static_cast<size_t>(options_.emb_dim));
+  for (auto& v : row) v = rng.Normal(0.0, options_.init_scale);
+  return stripe.emb.emplace(key, std::move(row)).first->second;
+}
+
+std::vector<double> EmbStore::GetRow(int feature, uint64_t bucket) const {
+  const uint64_t key = Key(feature, bucket);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return MaterializeRowLocked(stripe, feature, bucket, key);
+}
+
+double EmbStore::GetWide(int feature, uint64_t bucket) const {
+  const uint64_t key = Key(feature, bucket);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.wide.emplace(key, 0.0).first->second;
+}
+
+void EmbStore::ApplyRowGradient(int feature, uint64_t bucket,
+                                const std::vector<double>& grad,
+                                double learning_rate) {
+  const uint64_t key = Key(feature, bucket);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::vector<double>& row = MaterializeRowLocked(stripe, feature, bucket, key);
+  for (size_t r = 0; r < row.size(); ++r) row[r] -= learning_rate * grad[r];
+}
+
+void EmbStore::ApplyWideGradient(int feature, uint64_t bucket, double grad,
+                                 double learning_rate) {
+  const uint64_t key = Key(feature, bucket);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  double& w = stripe.wide.emplace(key, 0.0).first->second;
+  w -= learning_rate * grad;
+}
+
+size_t EmbStore::MaterializedRows() const {
+  size_t rows = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    rows += stripe.emb.size();
+  }
+  return rows;
+}
+
+}  // namespace dlrover

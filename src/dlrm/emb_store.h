@@ -1,0 +1,95 @@
+#ifndef DLROVER_DLRM_EMB_STORE_H_
+#define DLROVER_DLRM_EMB_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dlrover {
+
+struct EmbStoreOptions {
+  int num_features = 26;
+  int emb_dim = 8;
+  uint64_t hash_buckets = 8192;  // per categorical feature
+  double init_scale = 0.05;
+  uint64_t seed = 7;
+  /// Rounded up to a power of two. Default trades memory (one mutex + two
+  /// maps per stripe) against contention from tens of worker threads; see
+  /// DESIGN.md "Threading model".
+  size_t stripes = 64;
+};
+
+/// Lock-striped concurrent store for the sparse half of the mini-DLRM: the
+/// per-(feature, bucket) embedding rows and the Wide&Deep per-id scalar
+/// weights. This is the async-PS hot path — every batch pulls and pushes
+/// rows for all 26 categorical features — so instead of one map per feature
+/// behind the model's single lock, keys are spread over `stripes`
+/// independently-locked shards; N worker threads contend only when they
+/// touch the same stripe at the same instant.
+///
+/// Rows are materialized lazily with a per-key deterministic init
+/// (splitmix-style hash of (seed, feature, bucket) seeding the Rng), so the
+/// values a key gets are independent of touch order and thread
+/// interleaving — elastic and multi-threaded runs stay comparable to the
+/// deterministic tick mode.
+class EmbStore {
+ public:
+  explicit EmbStore(const EmbStoreOptions& options);
+
+  EmbStore(const EmbStore&) = delete;
+  EmbStore& operator=(const EmbStore&) = delete;
+
+  /// Copy of the embedding row for (feature, bucket), materializing it on
+  /// first touch. Thread-safe; returns by value because a reference into a
+  /// stripe's map would race with concurrent rehashes.
+  std::vector<double> GetRow(int feature, uint64_t bucket) const;
+
+  /// Wide scalar weight for (feature, bucket), materializing 0.0 on first
+  /// touch. Thread-safe.
+  double GetWide(int feature, uint64_t bucket) const;
+
+  /// SGD push: row -= learning_rate * grad (materializes first if needed).
+  /// Thread-safe; the read-modify-write is atomic per row.
+  void ApplyRowGradient(int feature, uint64_t bucket,
+                        const std::vector<double>& grad,
+                        double learning_rate);
+
+  /// SGD push for a wide weight: w -= learning_rate * grad.
+  void ApplyWideGradient(int feature, uint64_t bucket, double grad,
+                         double learning_rate);
+
+  /// Embedding rows materialized so far (memory growth proxy). Takes each
+  /// stripe lock in turn; the result is a consistent lower bound under
+  /// concurrent writers.
+  size_t MaterializedRows() const;
+
+  size_t stripe_count() const { return stripes_.size(); }
+  const EmbStoreOptions& options() const { return options_; }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<double>> emb;
+    std::unordered_map<uint64_t, double> wide;
+  };
+
+  /// Injective (feature, bucket) -> key packing.
+  uint64_t Key(int feature, uint64_t bucket) const {
+    return static_cast<uint64_t>(feature) * options_.hash_buckets + bucket;
+  }
+  Stripe& StripeFor(uint64_t key) const;
+  /// Requires the stripe lock; inserts the deterministic init if absent.
+  std::vector<double>& MaterializeRowLocked(Stripe& stripe, int feature,
+                                            uint64_t bucket,
+                                            uint64_t key) const;
+
+  EmbStoreOptions options_;
+  uint64_t stripe_mask_ = 0;
+  mutable std::vector<Stripe> stripes_;
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_DLRM_EMB_STORE_H_

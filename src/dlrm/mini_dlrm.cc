@@ -11,16 +11,17 @@ namespace {
 constexpr int kNumCat = CriteoSynth::kNumCategorical;
 constexpr int kNumDense = CriteoSynth::kNumDense;
 
-uint64_t HashKey(uint64_t seed, int feature, uint64_t bucket) {
-  uint64_t x = seed ^ (static_cast<uint64_t>(feature + 1) * 0x9e3779b97f4a7c15ull) ^
-               (bucket * 0xc4ceb9fe1a85ec53ull);
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdull;
-  x ^= x >> 33;
-  return x;
-}
-
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+EmbStoreOptions MakeStoreOptions(const MiniDlrmConfig& config) {
+  EmbStoreOptions options;
+  options.num_features = kNumCat;
+  options.emb_dim = config.emb_dim;
+  options.hash_buckets = config.hash_buckets;
+  options.init_scale = config.init_scale;
+  options.seed = config.seed;
+  return options;
+}
 
 DenseParams MakeDenseParams(const MiniDlrmConfig& config, int n0,
                             bool zero, Rng* rng) {
@@ -82,37 +83,22 @@ struct MiniDlrm::SampleCache {
 };
 
 MiniDlrm::MiniDlrm(const MiniDlrmConfig& config)
-    : config_(config), init_rng_(config.seed) {
+    : config_(config),
+      store_(MakeStoreOptions(config)),
+      init_rng_(config.seed) {
   n0_ = (1 + kNumCat) * config_.emb_dim;
   params_ = MakeDenseParams(config_, n0_, /*zero=*/false, &init_rng_);
-  live_rows_.emb.resize(kNumCat);
-  live_rows_.wide.resize(kNumCat);
-}
-
-const std::vector<double>& MiniDlrm::LiveEmbRow(int feature,
-                                                uint64_t bucket) const {
-  auto& table = live_rows_.emb[static_cast<size_t>(feature)];
-  auto it = table.find(bucket);
-  if (it != table.end()) return it->second;
-  // Deterministic per-(feature,bucket) init: materialization order cannot
-  // change values, keeping elastic runs bit-reproducible.
-  Rng rng(HashKey(config_.seed, feature, bucket));
-  std::vector<double> row(static_cast<size_t>(config_.emb_dim));
-  for (auto& v : row) v = rng.Normal(0.0, config_.init_scale);
-  return table.emplace(bucket, std::move(row)).first->second;
-}
-
-double MiniDlrm::LiveWideWeight(int feature, uint64_t bucket) const {
-  auto& table = live_rows_.wide[static_cast<size_t>(feature)];
-  auto it = table.find(bucket);
-  if (it != table.end()) return it->second;
-  table.emplace(bucket, 0.0);
-  return 0.0;
 }
 
 ParamSnapshot MiniDlrm::TakeSnapshot(const CriteoBatch& batch) const {
   ParamSnapshot snap;
-  snap.dense = params_;
+  {
+    // The dense pull is one consistent version (no torn reads of a
+    // concurrent push); embedding rows are pulled per stripe afterwards and
+    // may be newer — exactly the per-key staleness a real PS exhibits.
+    std::shared_lock<std::shared_mutex> lock(params_mu_);
+    snap.dense = params_;
+  }
   snap.rows.emb.resize(kNumCat);
   snap.rows.wide.resize(kNumCat);
   for (const CriteoSample& sample : batch.samples) {
@@ -120,12 +106,12 @@ ParamSnapshot MiniDlrm::TakeSnapshot(const CriteoBatch& batch) const {
       const uint64_t bucket = Bucket(f, sample.cats[f]);
       auto& table = snap.rows.emb[static_cast<size_t>(f)];
       if (table.count(bucket) == 0) {
-        table.emplace(bucket, LiveEmbRow(f, bucket));
+        table.emplace(bucket, store_.GetRow(f, bucket));
       }
       if (config_.arch == ModelKind::kWideDeep) {
         auto& wide = snap.rows.wide[static_cast<size_t>(f)];
         if (wide.count(bucket) == 0) {
-          wide.emplace(bucket, LiveWideWeight(f, bucket));
+          wide.emplace(bucket, store_.GetWide(f, bucket));
         }
       }
     }
@@ -174,22 +160,17 @@ double MiniDlrm::ForwardSample(const CriteoSample& sample,
     }
   }
 
-  // MLP tower.
-  cache->mlp_pre.clear();
-  cache->mlp_post.clear();
-  std::vector<double> act = cache->x0;
+  // MLP tower: fused W*x + bias + ReLU, one pass per layer.
+  cache->mlp_pre.resize(dense.mlp_w.size());
+  cache->mlp_post.resize(dense.mlp_w.size());
+  const std::vector<double>* act = &cache->x0;
   for (size_t l = 0; l < dense.mlp_w.size(); ++l) {
-    std::vector<double> pre = dense.mlp_w[l].Apply(act);
-    for (size_t i = 0; i < pre.size(); ++i) pre[i] += dense.mlp_b[l][i];
-    cache->mlp_pre.push_back(pre);
     const bool last = l + 1 == dense.mlp_w.size();
-    if (!last) {
-      for (auto& v : pre) v = std::max(0.0, v);  // ReLU
-    }
-    cache->mlp_post.push_back(pre);
-    act = std::move(pre);
+    dense.mlp_w[l].ApplyBiasAct(*act, dense.mlp_b[l], /*relu=*/!last,
+                                &cache->mlp_post[l], &cache->mlp_pre[l]);
+    act = &cache->mlp_post[l];
   }
-  double logit = act[0] + dense.bias;
+  double logit = (*act)[0] + dense.bias;
 
   // Architecture head.
   if (config_.arch == ModelKind::kWideDeep) {
@@ -406,6 +387,7 @@ void MiniDlrm::ApplyGradients(const DlrmGradients& grads,
   auto axpy = [lr](const std::vector<double>& g, std::vector<double>& p) {
     for (size_t i = 0; i < p.size(); ++i) p[i] -= lr * g[i];
   };
+  std::unique_lock<std::shared_mutex> lock(params_mu_);
   for (size_t i = 0; i < params_.dense_proj.data().size(); ++i) {
     params_.dense_proj.data()[i] -= lr * grads.dense.dense_proj.data()[i];
   }
@@ -427,17 +409,15 @@ void MiniDlrm::ApplyGradients(const DlrmGradients& grads,
   }
   if (!params_.fm_w.empty()) axpy(grads.dense.fm_w, params_.fm_w);
   params_.bias -= lr * grads.dense.bias;
+  lock.unlock();
 
+  // Sparse push: per-stripe locking inside the store, no global lock.
   for (int f = 0; f < kNumCat; ++f) {
     for (const auto& [bucket, grow] : grads.rows.emb[static_cast<size_t>(f)]) {
-      // Materialize (deterministically) then update.
-      LiveEmbRow(f, bucket);
-      auto& row = live_rows_.emb[static_cast<size_t>(f)][bucket];
-      for (size_t r = 0; r < row.size(); ++r) row[r] -= lr * grow[r];
+      store_.ApplyRowGradient(f, bucket, grow, lr);
     }
     for (const auto& [bucket, gw] : grads.rows.wide[static_cast<size_t>(f)]) {
-      LiveWideWeight(f, bucket);
-      live_rows_.wide[static_cast<size_t>(f)][bucket] -= lr * gw;
+      store_.ApplyWideGradient(f, bucket, gw, lr);
     }
   }
 }
@@ -466,10 +446,6 @@ double MiniDlrm::Evaluate(const CriteoBatch& batch) const {
   return loss / static_cast<double>(probs.size());
 }
 
-size_t MiniDlrm::MaterializedRows() const {
-  size_t rows = 0;
-  for (const auto& table : live_rows_.emb) rows += table.size();
-  return rows;
-}
+size_t MiniDlrm::MaterializedRows() const { return store_.MaterializedRows(); }
 
 }  // namespace dlrover

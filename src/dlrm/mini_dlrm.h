@@ -2,12 +2,14 @@
 #define DLROVER_DLRM_MINI_DLRM_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "dlrm/criteo_synth.h"
+#include "dlrm/emb_store.h"
 #include "ps/model_profile.h"
 
 namespace dlrover {
@@ -71,6 +73,14 @@ struct DlrmGradients {
 /// Training is exception-free, deterministic given the seed, and built for
 /// async-PS semantics: TakeSnapshot / ForwardBackward(snapshot) /
 /// ApplyGradients emulate pull / compute / push.
+///
+/// Thread safety: TakeSnapshot, ForwardBackward, ApplyGradients, Predict,
+/// Evaluate and MaterializedRows may be called concurrently from worker
+/// threads (ExecMode::kThreads). The dense parameters are guarded by a
+/// reader/writer lock (snapshots read-lock, pushes write-lock); embedding
+/// and wide rows live in a lock-striped EmbStore so concurrent pulls and
+/// pushes contend only per stripe. dense_params() is NOT synchronized —
+/// single-threaded test use only.
 class MiniDlrm {
  public:
   explicit MiniDlrm(const MiniDlrmConfig& config);
@@ -110,8 +120,6 @@ class MiniDlrm {
     return (id * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(feature)) %
            config_.hash_buckets;
   }
-  const std::vector<double>& LiveEmbRow(int feature, uint64_t bucket) const;
-  double LiveWideWeight(int feature, uint64_t bucket) const;
 
   double ForwardSample(const CriteoSample& sample, const DenseParams& dense,
                        const SparseRows& rows, SampleCache* cache) const;
@@ -122,7 +130,8 @@ class MiniDlrm {
   MiniDlrmConfig config_;
   int n0_ = 0;  // concatenated field width = (1 + 26) * emb_dim
   DenseParams params_;
-  mutable SparseRows live_rows_;  // lazily materialized embeddings
+  mutable std::shared_mutex params_mu_;  // guards params_ (dense half)
+  EmbStore store_;  // lazily materialized embedding/wide rows, lock-striped
   mutable Rng init_rng_;
 };
 

@@ -6,7 +6,11 @@ namespace dlrover {
 
 ShardQueue::ShardQueue(const ShardQueueOptions& options) : options_(options) {}
 
-StatusOr<DataShard> ShardQueue::NextShard(uint64_t max_batches) {
+bool ShardQueue::ServableLocked() const {
+  return !requeued_.empty() || cursor_ < options_.total_batches;
+}
+
+StatusOr<DataShard> ShardQueue::NextShardLocked(uint64_t max_batches) {
   uint64_t want = max_batches == 0 ? options_.default_shard_batches
                                    : std::max(max_batches,
                                               options_.min_shard_batches);
@@ -24,6 +28,9 @@ StatusOr<DataShard> ShardQueue::NextShard(uint64_t max_batches) {
       requeued_.push_front(rest);
       shard.end_batch = shard.start_batch + want;
     }
+    // Fresh index per dispatch: a late report from the worker that failed
+    // this range earlier must not be able to complete the re-served copy.
+    shard.index = next_index_++;
     outstanding_[shard.index] = shard;
     return shard;
   }
@@ -40,18 +47,41 @@ StatusOr<DataShard> ShardQueue::NextShard(uint64_t max_batches) {
   return shard;
 }
 
+StatusOr<DataShard> ShardQueue::NextShard(uint64_t max_batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NextShardLocked(max_batches);
+}
+
+StatusOr<DataShard> ShardQueue::WaitNextShard(uint64_t max_batches) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (ServableLocked()) return NextShardLocked(max_batches);
+    if (outstanding_.empty()) {
+      // Nothing queued and nobody holds work that could be re-queued.
+      return NotFoundError("shard queue exhausted");
+    }
+    cv_.wait(lock);
+  }
+}
+
 Status ShardQueue::ReportCompleted(const DataShard& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = outstanding_.find(shard.index);
   if (it == outstanding_.end()) {
     return NotFoundError("completion for unknown shard");
   }
   completed_batches_ += it->second.batches();
   outstanding_.erase(it);
+  // Wake blocked workers: either terminal (all done) or, if this was the
+  // last outstanding shard with data still queued, nothing changes for
+  // them — notify_all keeps the logic simple and exits are cheap.
+  cv_.notify_all();
   return Status::OK();
 }
 
 Status ShardQueue::ReportFailed(const DataShard& shard,
                                 uint64_t processed_batches) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = outstanding_.find(shard.index);
   if (it == outstanding_.end()) {
     return NotFoundError("failure report for unknown shard");
@@ -67,28 +97,48 @@ Status ShardQueue::ReportFailed(const DataShard& shard,
     rest.end_batch = owned.end_batch;
     requeued_.push_back(rest);
   }
+  cv_.notify_all();
   return Status::OK();
 }
 
-uint64_t ShardQueue::outstanding_batches() const {
+uint64_t ShardQueue::completed_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_batches_;
+}
+
+uint64_t ShardQueue::OutstandingBatchesLocked() const {
   uint64_t total = 0;
   for (const auto& [idx, shard] : outstanding_) total += shard.batches();
   return total;
 }
 
+uint64_t ShardQueue::outstanding_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OutstandingBatchesLocked();
+}
+
+bool ShardQueue::AllDone() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_batches_ == options_.total_batches;
+}
+
 bool ShardQueue::Exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return requeued_.empty() && cursor_ >= options_.total_batches;
 }
 
 void ShardQueue::FastForwardTo(uint64_t batches) {
+  std::lock_guard<std::mutex> lock(mu_);
   batches = std::min(batches, options_.total_batches);
   cursor_ = batches;
   completed_batches_ = batches;
   requeued_.clear();
   outstanding_.clear();
+  cv_.notify_all();
 }
 
 Status ShardQueue::CheckInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t requeued = 0;
   for (const DataShard& s : requeued_) {
     if (s.end_batch <= s.start_batch) {
@@ -97,7 +147,7 @@ Status ShardQueue::CheckInvariants() const {
     requeued += s.batches();
   }
   const uint64_t accounted =
-      completed_batches_ + outstanding_batches() + requeued +
+      completed_batches_ + OutstandingBatchesLocked() + requeued +
       (options_.total_batches - cursor_);
   if (accounted != options_.total_batches) {
     return InternalError("shard accounting leak: batches lost or duplicated");

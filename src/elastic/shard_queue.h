@@ -1,9 +1,11 @@
 #ifndef DLROVER_ELASTIC_SHARD_QUEUE_H_
 #define DLROVER_ELASTIC_SHARD_QUEUE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -36,6 +38,13 @@ struct ShardQueueOptions {
 /// consumption: every batch is delivered to completion exactly once even
 /// across worker failures (unfinished shards are re-queued) and scale
 /// events (new workers just pull from the queue; no re-partitioning).
+///
+/// Thread-safe: all methods may be called concurrently from worker threads
+/// (ExecMode::kThreads). Every dispatch — including the re-serve of a
+/// failed shard's remainder — gets a fresh shard index, so a stale report
+/// from a worker that was already presumed dead (the report-after-timeout
+/// double-dispatch hazard) names a retired index and is rejected instead of
+/// double-counting the re-served data.
 class ShardQueue {
  public:
   explicit ShardQueue(const ShardQueueOptions& options);
@@ -45,6 +54,13 @@ class ShardQueue {
   /// kNotFound when all data has been handed out and nothing was re-queued
   /// (workers should then drain and exit).
   StatusOr<DataShard> NextShard(uint64_t max_batches = 0);
+
+  /// Blocking NextShard for multi-threaded workers: when the queue is
+  /// momentarily empty but other workers still hold outstanding shards
+  /// (which may fail and be re-queued), waits instead of returning. Returns
+  /// kNotFound only when no data can ever be served again — everything is
+  /// completed or held by nobody.
+  StatusOr<DataShard> WaitNextShard(uint64_t max_batches = 0);
 
   /// Marks a previously delivered shard fully processed.
   Status ReportCompleted(const DataShard& shard);
@@ -56,11 +72,11 @@ class ShardQueue {
   Status ReportFailed(const DataShard& shard, uint64_t processed_batches = 0);
 
   /// Batches fully processed so far.
-  uint64_t completed_batches() const { return completed_batches_; }
+  uint64_t completed_batches() const;
   /// Batches currently assigned to workers.
   uint64_t outstanding_batches() const;
   /// True when every batch of the dataset has been completed.
-  bool AllDone() const { return completed_batches_ == options_.total_batches; }
+  bool AllDone() const;
   /// True when no fresh or re-queued data remains to hand out.
   bool Exhausted() const;
 
@@ -76,7 +92,13 @@ class ShardQueue {
   Status CheckInvariants() const;
 
  private:
+  StatusOr<DataShard> NextShardLocked(uint64_t max_batches);
+  uint64_t OutstandingBatchesLocked() const;
+  bool ServableLocked() const;
+
   ShardQueueOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signaled when data or terminal state appears
   uint64_t cursor_ = 0;          // first fresh batch not yet handed out
   uint64_t next_index_ = 0;      // shard index allocator
   uint64_t completed_batches_ = 0;

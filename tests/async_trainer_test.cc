@@ -106,6 +106,66 @@ TEST(AsyncTrainerTest, ElasticRunMatchesBaselineConvergence) {
   EXPECT_LT(std::fabs(elastic.final_auc - baseline.final_auc), 0.03);
 }
 
+TEST(AsyncTrainerTest, ThreadsModeTrainsEveryBatchExactlyOnce) {
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(31);
+  AsyncTrainerOptions options = SmallRun(1);
+  options.exec_mode = ExecMode::kThreads;
+  options.num_threads = 4;
+  AsyncPsTrainer trainer(&model, &data, options);
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.batches_committed, 600u);
+  EXPECT_EQ(result.batches_duplicated, 0u);
+  EXPECT_EQ(result.batches_skipped, 0u);
+  for (uint8_t times : result.times_trained) EXPECT_EQ(times, 1);
+}
+
+TEST(AsyncTrainerTest, ThreadsModeExactlyOnceUnderElasticEvents) {
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(31);
+  AsyncTrainerOptions options = SmallRun(7);
+  options.exec_mode = ExecMode::kThreads;
+  options.num_threads = 4;
+  options.straggler_stall_us = 50;  // keep the injected stall test-sized
+  options.events = {
+      {100, ElasticEvent::Kind::kAddWorkers, 3, 0.0},
+      {220, ElasticEvent::Kind::kCrashWorker, 1, 0.0},
+      {320, ElasticEvent::Kind::kMakeStraggler, 1, 0.05},
+      {450, ElasticEvent::Kind::kRemoveWorkers, 2, 0.0},
+  };
+  AsyncPsTrainer trainer(&model, &data, options);
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.batches_committed, 600u);
+  EXPECT_EQ(result.batches_duplicated, 0u);
+  EXPECT_EQ(result.batches_skipped, 0u);
+  for (size_t i = 0; i < result.times_trained.size(); ++i) {
+    EXPECT_EQ(result.times_trained[i], 1) << "batch " << i;
+  }
+}
+
+TEST(AsyncTrainerTest, ThreadsModeConvergesLikeTickMode) {
+  // Tick-vs-threads parity: real async interleaving changes the exact
+  // floats but must not change what the model learns. Same data, same
+  // budget; final held-out metrics within tolerance.
+  CriteoSynth data(99);
+  auto run = [&](ExecMode mode) {
+    MiniDlrm model(SmallModel());
+    AsyncTrainerOptions options = SmallRun(17);
+    options.total_batches = 1200;
+    options.exec_mode = mode;
+    options.num_threads = 4;
+    AsyncPsTrainer trainer(&model, &data, options);
+    return trainer.Run();
+  };
+  const TrainResult ticks = run(ExecMode::kTicks);
+  const TrainResult threads = run(ExecMode::kThreads);
+  EXPECT_EQ(threads.batches_committed, ticks.batches_committed);
+  EXPECT_LT(std::fabs(threads.final_logloss - ticks.final_logloss), 0.02);
+  EXPECT_LT(std::fabs(threads.final_auc - ticks.final_auc), 0.03);
+  EXPECT_LT(threads.curve.back().test_logloss,
+            threads.curve.front().test_logloss);
+}
+
 TEST(AsyncTrainerTest, CurveIsRecordedAndLossImproves) {
   MiniDlrm model(SmallModel());
   CriteoSynth data(55);

@@ -1,0 +1,124 @@
+#include "dlrm/emb_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace dlrover {
+namespace {
+
+EmbStoreOptions SmallStore() {
+  EmbStoreOptions options;
+  options.num_features = 26;
+  options.emb_dim = 8;
+  options.hash_buckets = 4096;
+  options.init_scale = 0.05;
+  options.seed = 7;
+  options.stripes = 16;
+  return options;
+}
+
+TEST(EmbStoreTest, InitIsDeterministicAndOrderIndependent) {
+  EmbStore a(SmallStore());
+  EmbStore b(SmallStore());
+  // Touch in different orders; values must match key by key.
+  for (int f = 0; f < 26; ++f) a.GetRow(f, static_cast<uint64_t>(f) * 13 + 1);
+  for (int f = 25; f >= 0; --f) {
+    const uint64_t bucket = static_cast<uint64_t>(f) * 13 + 1;
+    EXPECT_EQ(a.GetRow(f, bucket), b.GetRow(f, bucket));
+  }
+  // Distinct keys get distinct rows (hash init, not a shared template).
+  EXPECT_NE(a.GetRow(0, 1), a.GetRow(0, 2));
+  EXPECT_NE(a.GetRow(0, 1), a.GetRow(1, 1));
+}
+
+TEST(EmbStoreTest, StripeCountRoundsUpToPowerOfTwo) {
+  EmbStoreOptions options = SmallStore();
+  options.stripes = 9;
+  EmbStore store(options);
+  EXPECT_EQ(store.stripe_count(), 16u);
+  options.stripes = 0;
+  EmbStore one(options);
+  EXPECT_EQ(one.stripe_count(), 1u);
+}
+
+TEST(EmbStoreTest, GradientsAccumulateIntoRows) {
+  EmbStore store(SmallStore());
+  const std::vector<double> before = store.GetRow(3, 42);
+  std::vector<double> grad(8, 2.0);
+  store.ApplyRowGradient(3, 42, grad, 0.5);
+  const std::vector<double> after = store.GetRow(3, 42);
+  for (size_t r = 0; r < after.size(); ++r) {
+    EXPECT_DOUBLE_EQ(after[r], before[r] - 1.0);
+  }
+  EXPECT_DOUBLE_EQ(store.GetWide(3, 42), 0.0);
+  store.ApplyWideGradient(3, 42, 4.0, 0.25);
+  EXPECT_DOUBLE_EQ(store.GetWide(3, 42), -1.0);
+}
+
+TEST(EmbStoreTest, MaterializedRowsCountsEmbeddingRowsOnly) {
+  EmbStore store(SmallStore());
+  EXPECT_EQ(store.MaterializedRows(), 0u);
+  store.GetRow(0, 1);
+  store.GetRow(0, 1);  // repeat: no growth
+  store.GetRow(1, 1);
+  store.GetWide(2, 9);  // wide weights don't count
+  EXPECT_EQ(store.MaterializedRows(), 2u);
+}
+
+// Concurrency stress: 8 threads hammer an overlapping key set with reads
+// and SGD pushes. Every gradient push must land exactly once: the final
+// value of each row equals init - lr * (number of pushes it received).
+TEST(EmbStoreTest, ConcurrentPushesAreAllApplied) {
+  EmbStoreOptions options = SmallStore();
+  options.stripes = 8;  // force heavy stripe sharing
+  EmbStore store(options);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kPushesPerThread = 250;
+  const std::vector<double> grad(8, 1.0);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &grad, t]() {
+      for (int i = 0; i < kPushesPerThread; ++i) {
+        const int f = (t * 7 + i) % 26;
+        const uint64_t bucket = static_cast<uint64_t>((t + i) % kKeys);
+        store.GetRow(f, bucket);  // concurrent reads interleave with writes
+        store.ApplyRowGradient(f, bucket, grad, 1.0);
+        store.ApplyWideGradient(f, bucket, 1.0, 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Recount expected pushes per key and verify the arithmetic landed.
+  std::vector<std::vector<int>> pushes(26, std::vector<int>(kKeys, 0));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPushesPerThread; ++i) {
+      ++pushes[static_cast<size_t>((t * 7 + i) % 26)][(t + i) % kKeys];
+    }
+  }
+  EmbStore pristine(options);
+  for (int f = 0; f < 26; ++f) {
+    for (int k = 0; k < kKeys; ++k) {
+      const int n = pushes[static_cast<size_t>(f)][static_cast<size_t>(k)];
+      if (n == 0) continue;
+      const std::vector<double> init =
+          pristine.GetRow(f, static_cast<uint64_t>(k));
+      const std::vector<double> got =
+          store.GetRow(f, static_cast<uint64_t>(k));
+      for (size_t r = 0; r < got.size(); ++r) {
+        EXPECT_NEAR(got[r], init[r] - n, 1e-9)
+            << "feature " << f << " bucket " << k;
+      }
+      EXPECT_NEAR(store.GetWide(f, static_cast<uint64_t>(k)),
+                  -static_cast<double>(n), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlrover

@@ -1,0 +1,90 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace dlrover {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran]() { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run everything already submitted
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCompletesWhenPoolIsSaturated) {
+  // Occupy every pool thread with a long-running task; the calling thread
+  // must still drive the loop to completion by claiming chunks itself.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> parked{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&]() {
+      parked.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (parked.load() < 2) std::this_thread::yield();
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1, 101, 10, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  release.store(true);
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsidePoolTaskWorks) {
+  ThreadPool pool(2);
+  auto outer = pool.Submit([&pool]() {
+    auto inner = pool.Submit([]() { return 41; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> covered{0};
+  pool.ParallelFor(0, 3, 0, [&](size_t begin, size_t end) {
+    covered.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(covered.load(), 3);
+}
+
+}  // namespace
+}  // namespace dlrover
