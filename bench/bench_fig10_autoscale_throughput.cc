@@ -10,6 +10,7 @@
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -18,10 +19,12 @@ void Run() {
   PrintBanner("Fig 10: cold-start throughput over time (steps/s)");
   const std::vector<SchedulerKind> schedulers = {
       SchedulerKind::kDlrover, SchedulerKind::kEs, SchedulerKind::kOptimus};
+  const std::vector<ModelKind> models = {
+      ModelKind::kWideDeep, ModelKind::kXDeepFm, ModelKind::kDcn};
 
-  for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
-                         ModelKind::kDcn}) {
-    std::map<SchedulerKind, SingleJobResult> results;
+  // All nine model x scheduler runs are independent: sweep them at once.
+  std::vector<SingleJobScenario> scenarios;
+  for (ModelKind kind : models) {
     for (SchedulerKind scheduler : schedulers) {
       SingleJobScenario scenario;
       scenario.scheduler = scheduler;
@@ -29,7 +32,16 @@ void Run() {
       scenario.total_steps = 200000;
       scenario.warm_start = false;  // cold start isolates stage 2
       scenario.seed = 5;
-      results[scheduler] = RunSingleJob(scenario);
+      scenarios.push_back(scenario);
+    }
+  }
+  const std::vector<SingleJobResult> swept = RunSingleJobSweep(scenarios);
+
+  size_t index = 0;
+  for (ModelKind kind : models) {
+    std::map<SchedulerKind, SingleJobResult> results;
+    for (SchedulerKind scheduler : schedulers) {
+      results[scheduler] = swept[index++];
     }
 
     std::printf("\n-- %s --\n", ModelKindName(kind).c_str());

@@ -13,6 +13,7 @@
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -23,9 +24,7 @@ void Run() {
       SchedulerKind::kNoIntervention, SchedulerKind::kTraditional,
       SchedulerKind::kDlrover};
 
-  TablePrinter table({"strategy", "JCT", "ckpt save/load", "pod wait",
-                      "repartition", "recovery time"});
-  std::map<SchedulerKind, double> jct;
+  std::vector<SingleJobScenario> scenarios;
   for (SchedulerKind strategy : strategies) {
     SingleJobScenario scenario;
     scenario.scheduler = strategy;
@@ -38,7 +37,16 @@ void Run() {
     // The DLRover job here starts well-tuned so the comparison isolates the
     // instability-handling mechanism, as in the paper's experiment.
     scenario.initial = WellTunedConfig(scenario.model);
-    const SingleJobResult result = RunSingleJob(scenario);
+    scenarios.push_back(scenario);
+  }
+  const std::vector<SingleJobResult> results = RunSingleJobSweep(scenarios);
+
+  TablePrinter table({"strategy", "JCT", "ckpt save/load", "pod wait",
+                      "repartition", "recovery time"});
+  std::map<SchedulerKind, double> jct;
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    const SchedulerKind strategy = strategies[i];
+    const SingleJobResult& result = results[i];
     jct[strategy] = result.jct;
     table.AddRow(
         {SchedulerKindName(strategy), FormatDuration(result.jct),

@@ -15,6 +15,7 @@
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -26,9 +27,7 @@ void Run() {
       SchedulerKind::kNoIntervention, SchedulerKind::kTraditional,
       SchedulerKind::kDlrover};
 
-  TablePrinter table({"strategy", "JCT", "ckpt save/load", "pod wait",
-                      "repartition", "recovery", "restarts", "mitigated"});
-  std::map<SchedulerKind, double> jct;
+  std::vector<SingleJobScenario> scenarios;
   for (SchedulerKind strategy : strategies) {
     SingleJobScenario scenario;
     scenario.scheduler = strategy;
@@ -39,7 +38,16 @@ void Run() {
     scenario.injection.at = Minutes(10);
     scenario.injection.speed = 0.03;
     scenario.initial = WellTunedConfig(scenario.model);
-    const SingleJobResult result = RunSingleJob(scenario);
+    scenarios.push_back(scenario);
+  }
+  const std::vector<SingleJobResult> results = RunSingleJobSweep(scenarios);
+
+  TablePrinter table({"strategy", "JCT", "ckpt save/load", "pod wait",
+                      "repartition", "recovery", "restarts", "mitigated"});
+  std::map<SchedulerKind, double> jct;
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    const SchedulerKind strategy = strategies[i];
+    const SingleJobResult& result = results[i];
     jct[strategy] = result.jct;
     table.AddRow(
         {SchedulerKindName(strategy), FormatDuration(result.jct),

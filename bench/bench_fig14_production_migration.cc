@@ -7,9 +7,11 @@
 //   JCR 84% -> 95% (jobs < 100 CPUs) and 67% -> 87% (jobs >= 100 CPUs).
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -19,12 +21,14 @@ void Run() {
   TablePrinter table({"month", "dlrover share", "worker CPU", "ps CPU",
                       "worker MEM", "ps MEM", "JCR small", "JCR large"});
 
+  // Seven months of fleet simulation, each an independent trace: sweep
+  // them in parallel (this is the slowest figure of the suite).
   const int months = 7;
+  std::vector<FleetScenario> scenarios;
   for (int month = 0; month < months; ++month) {
-    const double fraction =
-        0.9 * static_cast<double>(month) / static_cast<double>(months - 1);
     FleetScenario scenario;
-    scenario.dlrover_fraction = fraction;
+    scenario.dlrover_fraction =
+        0.9 * static_cast<double>(month) / static_cast<double>(months - 1);
     scenario.workload.num_jobs = 56;
     scenario.workload.arrival_span = Hours(9);
     scenario.horizon = Hours(36);
@@ -33,7 +37,13 @@ void Run() {
     scenario.failures.daily_pod_failure_rate = 0.8;
     scenario.failures.daily_straggler_rate = 0.4;
     scenario.seed = 400 + static_cast<uint64_t>(month);
-    const FleetResult result = RunFleet(scenario);
+    scenarios.push_back(scenario);
+  }
+  const std::vector<FleetResult> results = RunFleetSweep(scenarios);
+
+  for (int month = 0; month < months; ++month) {
+    const double fraction = scenarios[static_cast<size_t>(month)].dlrover_fraction;
+    const FleetResult& result = results[static_cast<size_t>(month)];
 
     RunningStat wcpu, pcpu, wmem, pmem;
     int small_total = 0, small_done = 0, big_total = 0, big_done = 0;

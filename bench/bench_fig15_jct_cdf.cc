@@ -7,10 +7,12 @@
 // Also includes the rho ablation for the weighted-greedy priority (Eqn 14).
 
 #include <cstdio>
+#include <vector>
 
 #include "brain/objectives.h"
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -53,10 +55,13 @@ void Run() {
   scenario.failures.daily_straggler_rate = 0.25;
   scenario.seed = 77;
 
-  scenario.dlrover_fraction = 0.0;
-  const FleetResult before = RunFleet(scenario);
-  scenario.dlrover_fraction = 1.0;
-  const FleetResult after = RunFleet(scenario);
+  // Before/after fleets are independent traces: sweep both at once.
+  std::vector<FleetScenario> scenarios(2, scenario);
+  scenarios[0].dlrover_fraction = 0.0;
+  scenarios[1].dlrover_fraction = 1.0;
+  const std::vector<FleetResult> swept = RunFleetSweep(scenarios);
+  const FleetResult& before = swept[0];
+  const FleetResult& after = swept[1];
 
   auto all = [](const FleetJobOutcome&) { return true; };
   auto hot = [](const FleetJobOutcome& job) { return job.hot_ps; };

@@ -8,6 +8,7 @@
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -21,7 +22,9 @@ void Run() {
   scenario.workload.arrival_span = Hours(8);
   scenario.horizon = Hours(30);
   scenario.seed = 11;
-  const FleetResult result = RunFleet(scenario);
+  // Single scenario, but routed through the sweep engine so every figure
+  // binary exercises the same execution path.
+  const FleetResult result = RunFleetSweep({scenario})[0];
 
   Distribution cpu_util;
   Distribution mem_util;

@@ -12,6 +12,7 @@
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -22,14 +23,13 @@ void Run() {
       SchedulerKind::kManualTuned, SchedulerKind::kDlrover,
       SchedulerKind::kEs, SchedulerKind::kOptimus};
   const std::vector<uint64_t> seeds = {3, 7, 21};
+  const std::vector<ModelKind> models = {
+      ModelKind::kWideDeep, ModelKind::kXDeepFm, ModelKind::kDcn};
 
-  TablePrinter table({"model", "scheduler", "JCT (mean)", "vs well-tuned",
-                      "completed"});
-  std::map<SchedulerKind, Distribution> overall;
-  for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
-                         ModelKind::kDcn}) {
-    std::map<SchedulerKind, Distribution> jcts;
-    std::map<SchedulerKind, int> completed;
+  // The 36 scenarios are independent seed-determined simulations: fan them
+  // out across the sweep engine (results come back in grid order).
+  std::vector<SingleJobScenario> scenarios;
+  for (ModelKind kind : models) {
     for (SchedulerKind scheduler : schedulers) {
       for (uint64_t seed : seeds) {
         SingleJobScenario scenario;
@@ -37,7 +37,22 @@ void Run() {
         scenario.model = kind;
         scenario.total_steps = 200000;
         scenario.seed = seed;
-        const SingleJobResult result = RunSingleJob(scenario);
+        scenarios.push_back(scenario);
+      }
+    }
+  }
+  const std::vector<SingleJobResult> results = RunSingleJobSweep(scenarios);
+
+  TablePrinter table({"model", "scheduler", "JCT (mean)", "vs well-tuned",
+                      "completed"});
+  std::map<SchedulerKind, Distribution> overall;
+  size_t index = 0;
+  for (ModelKind kind : models) {
+    std::map<SchedulerKind, Distribution> jcts;
+    std::map<SchedulerKind, int> completed;
+    for (SchedulerKind scheduler : schedulers) {
+      for (size_t s = 0; s < seeds.size(); ++s) {
+        const SingleJobResult& result = results[index++];
         if (result.final_state == JobState::kCompleted) {
           jcts[scheduler].Add(result.jct);
           overall[scheduler].Add(result.jct);

@@ -5,9 +5,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sweep.h"
 
 namespace dlrover {
 namespace {
@@ -27,6 +29,9 @@ void Run() {
   RunningStat warm_time_to_stable;
   RunningStat cold_time_to_stable;
 
+  // Warm/cold pairs over three models and three seeds: 18 independent
+  // simulations, swept in parallel and consumed in grid order.
+  std::vector<SingleJobScenario> scenarios;
   for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
                          ModelKind::kDcn}) {
     for (uint64_t seed : {5ull, 9ull, 13ull}) {
@@ -37,7 +42,18 @@ void Run() {
         scenario.total_steps = 200000;
         scenario.warm_start = warm;
         scenario.seed = seed;
-        const SingleJobResult result = RunSingleJob(scenario);
+        scenarios.push_back(scenario);
+      }
+    }
+  }
+  const std::vector<SingleJobResult> results = RunSingleJobSweep(scenarios);
+
+  size_t index = 0;
+  for (ModelKind kind : {ModelKind::kWideDeep, ModelKind::kXDeepFm,
+                         ModelKind::kDcn}) {
+    for (uint64_t seed : {5ull, 9ull, 13ull}) {
+      for (bool warm : {true, false}) {
+        const SingleJobResult& result = results[index++];
         if (result.final_state != JobState::kCompleted) continue;
 
         // Scaling time: from first training until the configuration last

@@ -1,0 +1,148 @@
+// Sweep-engine scaling benchmark: runs the Fig 7-shaped 36-scenario grid
+// (3 models x 4 schedulers x 3 seeds) through the SweepEngine at 1, 2, 4,
+// and hardware_concurrency threads, verifying along the way that every
+// thread count reproduces the 1-thread results bit-for-bit. Results land in
+// BENCH_sweep_scaling.json: wall-clock seconds, simulator events/sec
+// (summed over scenarios), and speedup vs the 1-thread sweep, alongside
+// hardware_threads so single-core CI boxes are interpretable (speedup ~1x
+// there is expected, not a regression).
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+#include "harness/sweep.h"
+
+namespace dlrover {
+namespace {
+
+struct RunStats {
+  size_t threads = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+std::vector<SingleJobScenario> BuildGrid() {
+  std::vector<SingleJobScenario> scenarios;
+  for (ModelKind model :
+       {ModelKind::kWideDeep, ModelKind::kXDeepFm, ModelKind::kDcn}) {
+    for (SchedulerKind scheduler :
+         {SchedulerKind::kDlrover, SchedulerKind::kEs, SchedulerKind::kOptimus,
+          SchedulerKind::kManualTuned}) {
+      for (uint64_t seed : {3ull, 7ull, 21ull}) {
+        SingleJobScenario scenario;
+        scenario.model = model;
+        scenario.scheduler = scheduler;
+        scenario.seed = seed;
+        scenarios.push_back(scenario);
+      }
+    }
+  }
+  return scenarios;
+}
+
+bool SameResults(const std::vector<SingleJobResult>& a,
+                 const std::vector<SingleJobResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].jct != b[i].jct || a[i].final_state != b[i].final_state ||
+        !(a[i].final_config == b[i].final_config) ||
+        a[i].executed_events != b[i].executed_events ||
+        a[i].history.size() != b[i].history.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Run() {
+  PrintBanner("sweep engine scaling (Fig 7 grid, 36 scenarios)");
+  const std::vector<SingleJobScenario> scenarios = BuildGrid();
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::set<size_t> thread_counts = {1, 2, 4};
+  thread_counts.insert(static_cast<size_t>(hardware));
+
+  std::vector<RunStats> runs;
+  std::vector<SingleJobResult> reference;
+  bool determinism_ok = true;
+  uint64_t total_events = 0;
+
+  for (size_t threads : thread_counts) {
+    SweepOptions options;
+    options.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SingleJobResult> results =
+        RunSingleJobSweep(scenarios, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (reference.empty()) {
+      reference = results;
+      total_events = 0;
+      for (const SingleJobResult& r : results) total_events += r.executed_events;
+    } else if (!SameResults(reference, results)) {
+      determinism_ok = false;
+    }
+
+    RunStats stats;
+    stats.threads = threads;
+    stats.seconds = seconds;
+    stats.events_per_sec = static_cast<double>(total_events) / seconds;
+    stats.speedup = runs.empty() ? 1.0 : runs.front().seconds / seconds;
+    runs.push_back(stats);
+  }
+
+  TablePrinter table({"threads", "seconds", "events/sec", "speedup vs 1t"});
+  for (const RunStats& stats : runs) {
+    table.AddRow({StrFormat("%zu", stats.threads),
+                  StrFormat("%.3f", stats.seconds),
+                  StrFormat("%.3g", stats.events_per_sec),
+                  StrFormat("%.2fx", stats.speedup)});
+  }
+  table.Print();
+  std::printf("\nhardware threads: %u   simulator events per sweep: %llu   "
+              "determinism across thread counts: %s\n",
+              hardware, static_cast<unsigned long long>(total_events),
+              determinism_ok ? "ok" : "FAILED");
+
+  FILE* json = std::fopen("BENCH_sweep_scaling.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_sweep_scaling.json\n");
+    std::exit(1);
+  }
+  std::fprintf(json, "{\n  \"bench\": \"sweep_scaling\",\n");
+  std::fprintf(json, "  \"hardware_threads\": %u,\n", hardware);
+  std::fprintf(json, "  \"num_scenarios\": %zu,\n", scenarios.size());
+  std::fprintf(json, "  \"events_per_sweep\": %llu,\n",
+               static_cast<unsigned long long>(total_events));
+  std::fprintf(json, "  \"determinism_ok\": %s,\n",
+               determinism_ok ? "true" : "false");
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"seconds\": %.6f, "
+                 "\"events_per_sec\": %.1f, \"speedup_vs_1thread\": %.3f}%s\n",
+                 runs[i].threads, runs[i].seconds, runs[i].events_per_sec,
+                 runs[i].speedup, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_sweep_scaling.json\n");
+
+  if (!determinism_ok) std::exit(1);
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main() {
+  dlrover::Run();
+  return 0;
+}

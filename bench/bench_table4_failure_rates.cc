@@ -10,8 +10,10 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "ps/iteration_model.h"
 #include "harness/reporting.h"
 
@@ -83,10 +85,13 @@ void Run() {
   scenario.failures.daily_straggler_rate = 0.35;
   scenario.seed = 31;
 
-  scenario.dlrover_fraction = 0.0;
-  const Rates before = Classify(RunFleet(scenario));
-  scenario.dlrover_fraction = 1.0;
-  const Rates after = Classify(RunFleet(scenario));
+  // Manual vs DLRover fleets are independent: sweep both in parallel.
+  std::vector<FleetScenario> scenarios(2, scenario);
+  scenarios[0].dlrover_fraction = 0.0;
+  scenarios[1].dlrover_fraction = 1.0;
+  const std::vector<FleetResult> swept = RunFleetSweep(scenarios);
+  const Rates before = Classify(swept[0]);
+  const Rates after = Classify(swept[1]);
 
   TablePrinter table({"exception", "reason", "w/o DLR", "w/ DLR",
                       "paper w/o", "paper w/"});

@@ -14,14 +14,9 @@ constexpr Cores kTuningQuota = 300.0;
 constexpr double kDefaultSamples = 200000.0 * 512.0;
 }  // namespace
 
-JobConfig WellTunedConfig(ModelKind kind) {
-  // Manual tuning converges (after many reruns) to the best throughput the
-  // ground-truth laws admit within the quota; reproduce that with a grid
-  // search. This is the "well-tuned" reference of Fig 7. Cached: the laws
-  // are deterministic. (std::optional<JobConfig> is trivially destructible.)
-  static std::optional<JobConfig> cache[3];
-  auto& slot = cache[static_cast<int>(kind)];
-  if (slot.has_value()) return *slot;
+namespace {
+
+JobConfig TuneConfigFor(ModelKind kind) {
   const ModelProfile profile = GetModelProfile(kind);
   const EnvironmentProfile env;
   const uint64_t batch = 512;
@@ -54,8 +49,22 @@ JobConfig WellTunedConfig(ModelKind kind) {
   best.worker_memory = profile.worker_static_bytes + GiB(1);
   best.ps_memory =
       profile.ps_static_bytes + final_emb / best.num_ps * 1.3 + GiB(1);
-  slot = best;
   return best;
+}
+
+}  // namespace
+
+JobConfig WellTunedConfig(ModelKind kind) {
+  // Manual tuning converges (after many reruns) to the best throughput the
+  // ground-truth laws admit within the quota; reproduce that with a grid
+  // search (TuneConfigFor). This is the "well-tuned" reference of Fig 7.
+  // Cached for all three models behind a magic static so concurrent
+  // scenario sweeps can call this from any thread: the old per-slot lazy
+  // cache had a check-then-write race.
+  static const JobConfig tuned[3] = {TuneConfigFor(ModelKind::kWideDeep),
+                                     TuneConfigFor(ModelKind::kXDeepFm),
+                                     TuneConfigFor(ModelKind::kDcn)};
+  return tuned[static_cast<int>(kind)];
 }
 
 JobConfig TypicalUserStart(ModelKind kind) {

@@ -110,6 +110,22 @@ void Nsga2::Evaluate(Nsga2Individual& ind) const {
   ind.objectives = objective_(ind.x);
 }
 
+void Nsga2::EvaluateAll(std::vector<Nsga2Individual>& pop) const {
+  if (options_.pool == nullptr || pop.size() < 2) {
+    for (auto& ind : pop) Evaluate(ind);
+    return;
+  }
+  // Each chunk writes only its own individuals' objective vectors, and the
+  // objective itself is a pure function of the decision vector, so the
+  // parallel result is identical to the sequential one.
+  options_.pool->ParallelFor(0, pop.size(), 0,
+                             [&](size_t begin, size_t end) {
+                               for (size_t i = begin; i < end; ++i) {
+                                 Evaluate(pop[i]);
+                               }
+                             });
+}
+
 void Nsga2::AssignRankAndCrowding(std::vector<Nsga2Individual>& pop) const {
   std::vector<std::vector<double>> objs;
   objs.reserve(pop.size());
@@ -169,11 +185,13 @@ void Nsga2::PolynomialMutation(std::vector<double>& x) {
 }
 
 std::vector<Nsga2Individual> Nsga2::Run() {
+  // Variation (selection, crossover, mutation) draws from the sequential
+  // RNG stream; evaluation is batched afterwards so it can fan out over a
+  // thread pool without perturbing that stream — the evolution is
+  // bit-identical at any pool size.
   std::vector<Nsga2Individual> pop(static_cast<size_t>(options_.population));
-  for (auto& ind : pop) {
-    ind.x = RandomVector();
-    Evaluate(ind);
-  }
+  for (auto& ind : pop) ind.x = RandomVector();
+  EvaluateAll(pop);
   AssignRankAndCrowding(pop);
 
   for (int gen = 0; gen < options_.generations; ++gen) {
@@ -187,11 +205,10 @@ std::vector<Nsga2Individual> Nsga2::Run() {
       SbxCrossover(p1.x, p2.x, c1.x, c2.x);
       PolynomialMutation(c1.x);
       PolynomialMutation(c2.x);
-      Evaluate(c1);
-      Evaluate(c2);
       offspring.push_back(std::move(c1));
       if (offspring.size() < pop.size()) offspring.push_back(std::move(c2));
     }
+    EvaluateAll(offspring);
 
     // Environmental selection over the combined population.
     std::vector<Nsga2Individual> combined;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "runtime/thread_pool.h"
 
 namespace dlrover {
 
@@ -25,6 +26,13 @@ struct Nsga2Options {
   double eta_crossover = 15.0; // SBX distribution index
   double eta_mutation = 20.0;  // polynomial mutation index
   uint64_t seed = 7;
+  /// Optional pool (non-owning) for parallel population evaluation. The
+  /// objective must be thread-safe (it is required to be deterministic and
+  /// is called on const data only). Null runs the evaluation sequentially;
+  /// results are identical either way, because all randomness happens in
+  /// the sequential variation phase and evaluation writes only the
+  /// individual's own objective vector.
+  ThreadPool* pool = nullptr;
 };
 
 /// A candidate solution with its objective vector (all minimized).
@@ -74,6 +82,9 @@ class Nsga2 {
   std::vector<double> RandomVector();
   void Clamp(std::vector<double>& x) const;
   void Evaluate(Nsga2Individual& ind) const;
+  /// Evaluates every individual in `pop`, fanning out over options_.pool
+  /// when set (deterministic: see Nsga2Options::pool).
+  void EvaluateAll(std::vector<Nsga2Individual>& pop) const;
   size_t TournamentPick(const std::vector<Nsga2Individual>& pop);
   void SbxCrossover(const std::vector<double>& p1,
                     const std::vector<double>& p2, std::vector<double>& c1,

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "baselines/elastic_scheduler.h"
 #include "baselines/optimus.h"
 #include "master/job_master.h"
+#include "runtime/thread_pool.h"
 #include "sim/simulator.h"
 
 namespace dlrover {
@@ -114,6 +117,20 @@ void SeedHistoricalRecords(ConfigDb* db, uint64_t seed,
   }
 }
 
+const ConfigDb& SeededHistoryFor(uint64_t seed) {
+  static std::mutex mu;
+  // unique_ptr values keep the returned reference stable across rehashes.
+  static std::unordered_map<uint64_t, std::unique_ptr<const ConfigDb>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    auto db = std::make_unique<ConfigDb>();
+    SeedHistoricalRecords(db.get(), seed);
+    it = cache.emplace(seed, std::move(db)).first;
+  }
+  return *it->second;
+}
+
 namespace {
 
 bool IsAutoScaler(SchedulerKind kind) {
@@ -153,10 +170,12 @@ JobConfig InitialConfigFor(const SingleJobScenario& scenario) {
   if (scenario.initial.has_value()) return *scenario.initial;
   if (IsAutoScaler(scenario.scheduler)) {
     if (!scenario.warm_start) return ColdStartConfig(scenario.model);
+    // Both branches read the per-seed cached history: rebuilding the DB on
+    // every call (twice per seed for the two scheduler families) was pure
+    // rework — the records are fully determined by the seed.
+    const ConfigDb& db = SeededHistoryFor(scenario.seed);
     if (scenario.scheduler == SchedulerKind::kDlrover) {
       // Warm-starting from historical records is stage 1 of DLRover-RM.
-      ConfigDb db;
-      SeedHistoricalRecords(&db, scenario.seed);
       WarmStartOptions options;
       options.default_config = ColdStartConfig(scenario.model);
       return WarmStartConfig(
@@ -167,8 +186,6 @@ JobConfig InitialConfigFor(const SingleJobScenario& scenario) {
     // ES / Optimus have no warm-starting *algorithm*, but their users also
     // resubmit yesterday's configuration: start them from one historical
     // record rather than DLRover's smoothed top-k blend.
-    ConfigDb db;
-    SeedHistoricalRecords(&db, scenario.seed);
     const auto similar = db.TopKSimilar(
         MetadataFor(scenario.model, scenario.batch_size,
                     scenario.total_steps),
@@ -286,9 +303,10 @@ SingleJobResult RunSingleJob(const SingleJobScenario& scenario) {
       options.round_interval = scenario.round_interval;
       options.budget = cluster.TotalCapacity();
       options.plan.nsga2.seed = scenario.seed * 17 + 5;
+      options.plan.nsga2.pool = &SharedThreadPool();
       brain = std::make_unique<ClusterBrain>(&sim, options);
       if (scenario.warm_start) {
-        SeedHistoricalRecords(&brain->config_db(), scenario.seed);
+        brain->config_db() = SeededHistoryFor(scenario.seed);
       }
       brain->Manage(job.get(),
                     MetadataFor(scenario.model, scenario.batch_size,
@@ -346,6 +364,7 @@ SingleJobResult RunSingleJob(const SingleJobScenario& scenario) {
   result.history = job->history();
   result.jct = job->finished() ? job->stats().Jct() : scenario.horizon;
   result.recovery_time = ComputeRecoveryTime(result.history, injected_at);
+  result.executed_events = sim.executed_events();
   return result;
 }
 
@@ -400,9 +419,10 @@ FleetResult RunFleet(const FleetScenario& scenario) {
   brain_options.plan.nsga2.population = 32;
   brain_options.plan.nsga2.generations = 20;
   brain_options.plan.nsga2.seed = scenario.seed * 19 + 2;
+  brain_options.plan.nsga2.pool = &SharedThreadPool();
   ClusterBrain brain(&sim, brain_options);
   if (scenario.seed_history) {
-    SeedHistoricalRecords(&brain.config_db(), scenario.seed * 7 + 5);
+    brain.config_db() = SeededHistoryFor(scenario.seed * 7 + 5);
   }
   brain.Start();
 
@@ -485,6 +505,7 @@ FleetResult RunFleet(const FleetScenario& scenario) {
   sim.RunUntil(scenario.horizon);
 
   FleetResult result;
+  result.executed_events = sim.executed_events();
   result.pods_preempted = cluster.counters().pods_preempted;
   if (injector != nullptr) {
     result.crashes_injected = injector->crashes_injected();

@@ -65,6 +65,9 @@ struct SingleJobResult {
   /// Wall-clock time from injection to recovery of >= 80% of pre-fault
   /// throughput; < 0 when not applicable / never recovered.
   Duration recovery_time = -1.0;
+  /// Simulator events executed by this scenario (throughput accounting for
+  /// sweep benches).
+  uint64_t executed_events = 0;
 };
 
 /// Runs one training job under the given control plane on a fresh
@@ -117,6 +120,9 @@ struct FleetResult {
   uint64_t pods_preempted = 0;
   uint64_t crashes_injected = 0;
   uint64_t stragglers_injected = 0;
+  /// Simulator events executed by this scenario (throughput accounting for
+  /// sweep benches).
+  uint64_t executed_events = 0;
 
   int Completed() const;
   double CompletionRate() const;
@@ -137,6 +143,13 @@ JobConfig ColdStartConfig(ModelKind kind);
 /// warm-start ablation (Fig 9) draws on.
 void SeedHistoricalRecords(ConfigDb* db, uint64_t seed,
                            int records_per_model = 8);
+
+/// The seeded historical database for `seed` (default records_per_model),
+/// built once per seed and cached for the lifetime of the process.
+/// Scenario runs share it read-only: rebuilding it per scenario used to
+/// dominate InitialConfigFor, and the cache is mutex-guarded so concurrent
+/// sweep workers can warm-start without re-deriving history.
+const ConfigDb& SeededHistoryFor(uint64_t seed);
 
 /// The JobMetadata a scenario's job would be submitted with.
 JobMetadata MetadataFor(ModelKind model, uint64_t batch_size,

@@ -1,0 +1,39 @@
+#include "harness/sweep.h"
+
+namespace dlrover {
+
+SweepEngine::SweepEngine(const SweepOptions& options) {
+  if (options.pool != nullptr) {
+    pool_ = options.pool;
+  } else if (options.num_threads == 0) {
+    pool_ = &SharedThreadPool();
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+std::vector<SingleJobResult> SweepEngine::Run(
+    const std::vector<SingleJobScenario>& scenarios) {
+  return Map(scenarios,
+             [](const SingleJobScenario& s) { return RunSingleJob(s); });
+}
+
+std::vector<FleetResult> SweepEngine::Run(
+    const std::vector<FleetScenario>& scenarios) {
+  return Map(scenarios, [](const FleetScenario& s) { return RunFleet(s); });
+}
+
+std::vector<SingleJobResult> RunSingleJobSweep(
+    const std::vector<SingleJobScenario>& scenarios,
+    const SweepOptions& options) {
+  return SweepEngine(options).Run(scenarios);
+}
+
+std::vector<FleetResult> RunFleetSweep(
+    const std::vector<FleetScenario>& scenarios,
+    const SweepOptions& options) {
+  return SweepEngine(options).Run(scenarios);
+}
+
+}  // namespace dlrover

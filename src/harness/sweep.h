@@ -1,0 +1,94 @@
+#ifndef DLROVER_HARNESS_SWEEP_H_
+#define DLROVER_HARNESS_SWEEP_H_
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "runtime/thread_pool.h"
+
+namespace dlrover {
+
+/// Options for a scenario sweep.
+struct SweepOptions {
+  /// Worker threads for the sweep. 0 = use the process-wide
+  /// SharedThreadPool() (sized to the hardware concurrency); any other
+  /// value builds a dedicated pool of exactly that many threads, which the
+  /// determinism tests use to compare 1-, 2-, and N-thread sweeps.
+  size_t num_threads = 0;
+  /// Optional external pool (non-owning); overrides num_threads when set.
+  ThreadPool* pool = nullptr;
+};
+
+/// Fans independent scenario runs out across a thread pool with
+/// deterministic, submission-ordered results. Every paper figure is a
+/// seed-sweep of fully isolated simulations — each scenario builds its own
+/// Simulator, Cluster, and Rng chain from its seed — so the fan-out is
+/// embarrassingly parallel and the result vector is byte-identical at any
+/// thread count: results land in the slot of the scenario that produced
+/// them, never in completion order.
+///
+/// The engine is generic over the work item: Map() runs any callable over a
+/// scenario list, and the RunSingleJobSweep / RunFleetSweep helpers cover
+/// the two workhorse entry points every bench binary uses.
+class SweepEngine {
+ public:
+  explicit SweepEngine(const SweepOptions& options = {});
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Threads serving this sweep (for reporting).
+  size_t num_threads() const { return pool_->size(); }
+
+  /// Runs `fn(items[i])` for every item, in parallel, returning results in
+  /// submission order. `fn` must be safe to call concurrently with itself
+  /// (scenario runs are: they share no mutable state). Exceptions from `fn`
+  /// propagate to the caller after all submitted tasks have drained.
+  template <typename Item, typename Fn>
+  auto Map(const std::vector<Item>& items, Fn fn)
+      -> std::vector<decltype(fn(items[0]))> {
+    using R = decltype(fn(items[0]));
+    std::vector<R> results(items.size());
+    std::vector<std::future<void>> pending;
+    pending.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      pending.push_back(
+          pool_->Submit([&results, &items, &fn, i] { results[i] = fn(items[i]); }));
+    }
+    // Drain everything before rethrowing so no task can touch `results`
+    // after this frame unwinds.
+    std::exception_ptr first_error;
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+  std::vector<SingleJobResult> Run(
+      const std::vector<SingleJobScenario>& scenarios);
+  std::vector<FleetResult> Run(const std::vector<FleetScenario>& scenarios);
+
+ private:
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // owned_pool_.get() or the external/shared pool
+};
+
+/// One-shot conveniences: build an engine, sweep, return the results.
+std::vector<SingleJobResult> RunSingleJobSweep(
+    const std::vector<SingleJobScenario>& scenarios,
+    const SweepOptions& options = {});
+std::vector<FleetResult> RunFleetSweep(
+    const std::vector<FleetScenario>& scenarios,
+    const SweepOptions& options = {});
+
+}  // namespace dlrover
+
+#endif  // DLROVER_HARNESS_SWEEP_H_

@@ -85,4 +85,10 @@ size_t ThreadPool::QueuedTasks() const {
   return tasks_.size();
 }
 
+ThreadPool& SharedThreadPool() {
+  // Magic-static: thread-safe one-time construction; joined at exit.
+  static ThreadPool pool(0);
+  return pool;
+}
+
 }  // namespace dlrover

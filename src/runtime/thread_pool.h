@@ -74,6 +74,13 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+/// Process-wide pool sized to the hardware concurrency, constructed on
+/// first use. Shared by nested data-parallel work (NSGA-II population
+/// evaluation, bench sweeps without an explicit pool) so the process never
+/// oversubscribes: ParallelFor callers always participate themselves, so
+/// work completes even when every shared thread is busy with an outer task.
+ThreadPool& SharedThreadPool();
+
 }  // namespace dlrover
 
 #endif  // DLROVER_RUNTIME_THREAD_POOL_H_

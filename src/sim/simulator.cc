@@ -5,13 +5,38 @@
 
 namespace dlrover {
 
+uint32_t Simulator::ArmSlot(Callback cb) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  EventSlot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.armed = true;
+  ++live_events_;
+  return slot;
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  EventSlot& s = slots_[slot];
+  s.armed = false;
+  s.cb = nullptr;
+  ++s.gen;  // any heap entry or EventId carrying the old generation is stale
+  --live_events_;
+  free_slots_.push_back(slot);
+}
+
 EventId Simulator::ScheduleAt(SimTime at, Callback cb, std::string label) {
   (void)label;  // Labels are for debugging; not stored in release builds.
   const SimTime when = std::max(at, now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id,
-                    std::make_shared<Callback>(std::move(cb))});
-  return id;
+  const uint32_t slot = ArmSlot(std::move(cb));
+  const uint32_t gen = slots_[slot].gen;
+  queue_.push(HeapEntry{when, next_seq_++, slot, gen});
+  return MakeId(slot, gen);
 }
 
 EventId Simulator::ScheduleAfter(Duration delay, Callback cb,
@@ -21,23 +46,32 @@ EventId Simulator::ScheduleAfter(Duration delay, Callback cb,
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == 0) return false;
-  // Lazily deleted: mark and skip when popped.
-  return cancelled_.insert(id).second;
+  const uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+  const uint32_t slot = static_cast<uint32_t>(slot_plus_one - 1);
+  const uint32_t gen = static_cast<uint32_t>(id & kGenMask);
+  EventSlot& s = slots_[slot];
+  // A fired, cancelled, or recycled slot carries a newer generation: the
+  // handle is stale and cancelling it is a no-op reporting false.
+  if (!s.armed || s.gen != gen) return false;
+  ReleaseSlot(slot);
+  return true;
 }
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const HeapEntry top = queue_.top();
     queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.at;
+    EventSlot& s = slots_[top.slot];
+    if (!s.armed || s.gen != top.gen) continue;  // cancelled: skip lazily
+    // Move the callback out and recycle the slot *before* invoking: the
+    // callback may schedule new events (growing or reusing the slab) or
+    // Cancel its own now-stale id.
+    Callback cb = std::move(s.cb);
+    ReleaseSlot(top.slot);
+    now_ = top.at;
     ++executed_events_;
-    (*ev.cb)();
+    cb();
     return true;
   }
   return false;
@@ -45,9 +79,9 @@ bool Simulator::Step() {
 
 void Simulator::RunUntil(SimTime deadline) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
+    const HeapEntry& top = queue_.top();
+    const EventSlot& s = slots_[top.slot];
+    if (!s.armed || s.gen != top.gen) {
       queue_.pop();
       continue;
     }

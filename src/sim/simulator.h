@@ -3,10 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -14,13 +12,25 @@
 
 namespace dlrover {
 
-/// Opaque handle identifying a scheduled event; usable to cancel it.
+/// Opaque handle identifying a scheduled event; usable to cancel it. Encodes
+/// a slab slot plus a generation tag, so a handle becomes stale the moment
+/// its event fires or is cancelled — cancelling a stale handle is a safe
+/// O(1) no-op even after the slot has been recycled for a newer event.
+/// 0 is never a valid id (PeriodicTask and friends use it as "none").
 using EventId = uint64_t;
 
 /// Discrete-event simulation engine. Single-threaded: all entities (cluster,
 /// jobs, schedulers) schedule callbacks on one shared timeline. Events firing
 /// at the same timestamp run in scheduling order (stable FIFO tie-break) so
 /// runs are fully deterministic.
+///
+/// Storage layout: callbacks live in a slab of recycled slots (no per-event
+/// heap allocation beyond what the callback's own captures need), and the
+/// time-ordered heap holds only small {time, seq, slot, generation} entries.
+/// Cancellation bumps the slot's generation, which both invalidates the
+/// heap entry lazily (popped entries with a stale generation are skipped)
+/// and frees the slot for immediate reuse — there is no tombstone set to
+/// grow, and Cancel of an already-fired event correctly reports false.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -40,8 +50,9 @@ class Simulator {
   /// Schedules `cb` to run `delay` seconds from now.
   EventId ScheduleAfter(Duration delay, Callback cb, std::string label = "");
 
-  /// Cancels a pending event. Returns true if the event existed and had not
-  /// yet fired.
+  /// Cancels a pending event. Returns true only if the event existed and
+  /// had not yet fired; ids of already-fired (or never-scheduled, or
+  /// already-cancelled) events return false.
   bool Cancel(EventId id);
 
   /// Runs a single event. Returns false if the queue is empty.
@@ -58,27 +69,52 @@ class Simulator {
 
   /// Number of events executed so far (for tests and microbenches).
   uint64_t executed_events() const { return executed_events_; }
-  /// Number of events currently pending (including cancelled-but-unpopped).
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently scheduled and not yet fired or cancelled.
+  size_t pending_events() const { return live_events_; }
 
  private:
-  struct Event {
+  /// Heap entry: 24 bytes, trivially copyable. The callback stays in the
+  /// slab; stale entries (generation mismatch) are skipped on pop.
+  struct HeapEntry {
     SimTime at;
     uint64_t seq;  // FIFO tie-break for equal timestamps.
-    EventId id;
-    std::shared_ptr<Callback> cb;
-    bool operator>(const Event& other) const {
+    uint32_t slot;
+    uint32_t gen;
+    bool operator>(const HeapEntry& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
     }
   };
 
+  /// One slab slot. `gen` counts how many times the slot has been armed or
+  /// disarmed; an EventId carries the generation at scheduling time, so any
+  /// later fire/cancel bumps `gen` and invalidates the id.
+  struct EventSlot {
+    Callback cb;
+    uint32_t gen = 1;
+    bool armed = false;
+  };
+
+  static constexpr uint32_t kGenMask = 0xffffffffu;
+
+  EventId MakeId(uint32_t slot, uint32_t gen) const {
+    // slot+1 keeps every valid id nonzero (slot 0, any generation).
+    return (static_cast<uint64_t>(slot) + 1) << 32 | gen;
+  }
+
+  /// Pops a free slot (or grows the slab) and arms it with `cb`.
+  uint32_t ArmSlot(Callback cb);
+  /// Disarms a slot after fire/cancel: bumps the generation and recycles it.
+  void ReleaseSlot(uint32_t slot);
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   uint64_t executed_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  size_t live_events_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      queue_;
+  std::vector<EventSlot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 /// Repeats a callback at a fixed interval until stopped or the owner is

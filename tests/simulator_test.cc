@@ -40,6 +40,81 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_EQ(sim.executed_events(), 0u);
 }
 
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  // The event already executed: cancelling its id must report false (the
+  // pre-generation-tag implementation wrongly returned true and leaked a
+  // tombstone for every such call).
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelNeverScheduledReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(0));
+  EXPECT_FALSE(sim.Cancel(12345));
+  EXPECT_FALSE(sim.Cancel(~EventId{0}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // And none of those bogus cancels may disturb a real event.
+  bool fired = false;
+  sim.ScheduleAt(1.0, [&] { fired = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StaleIdCannotCancelRecycledSlot) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  const EventId a = sim.ScheduleAt(1.0, [&] { first = true; });
+  EXPECT_TRUE(sim.Cancel(a));
+  // The slot is recycled for a new event; the stale id must not touch it.
+  const EventId b = sim.ScheduleAt(2.0, [&] { second = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.Cancel(a));
+  sim.RunToCompletion();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, CancelDoesNotLeakPendingState) {
+  Simulator sim;
+  // Repeated schedule/cancel cycles must not accumulate tombstones or
+  // grow the pending count; fired events release their slots too.
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = sim.ScheduleAt(1.0, [] {});
+    EXPECT_TRUE(sim.Cancel(id));
+    EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorTest, CallbackMayCancelItsOwnFiringId) {
+  Simulator sim;
+  EventId self = 0;
+  bool cancel_result = true;
+  self = sim.ScheduleAt(1.0, [&] {
+    // By the time the callback runs its id is stale; self-cancel is a safe
+    // no-op (it must not disturb the recycled slot).
+    cancel_result = sim.Cancel(self);
+    sim.ScheduleAt(2.0, [] {});
+  });
+  sim.RunToCompletion();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
 TEST(SimulatorTest, SchedulingInPastClampsToNow) {
   Simulator sim;
   sim.ScheduleAt(10.0, [] {});
