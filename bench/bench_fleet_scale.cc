@@ -1,0 +1,173 @@
+// Fleet-scale hot-path benchmark: runs a Fig 3-shaped mixed fleet (half
+// DLRover-managed, half manual) at 1x, 5x, and 20x the base size (48 jobs /
+// 60 nodes), once with the optimized hot path (inline event callbacks, slab
+// pods, O(1) cluster accounting, memoized iteration model) and once with
+// FleetScenario::legacy_hot_path, which reruns the per-call scan paths the
+// optimizations replaced. Both paths must produce identical fleet outcomes
+// — the bench verifies that in-process and fails otherwise — so the
+// speedup column measures pure hot-path cost. Results land in
+// BENCH_fleet_scale.json: events/sec, wall seconds, peak RSS, and speedup
+// per scale.
+//
+// Usage: bench_fleet_scale [max_scale]   (default 20; ctest runs 1)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+struct ScaleRun {
+  int scale = 1;
+  int num_jobs = 0;
+  int num_nodes = 0;
+  uint64_t events = 0;
+  double optimized_seconds = 0.0;
+  double legacy_seconds = 0.0;
+  double optimized_eps = 0.0;
+  double legacy_eps = 0.0;
+  double peak_rss_mb = 0.0;  // process peak after the optimized run
+  bool outcomes_match = false;
+};
+
+FleetScenario ScaledScenario(int scale, bool legacy) {
+  FleetScenario scenario;
+  // Fig 3 shape: an all-manual fleet. No brain/NSGA-II planning in the
+  // loop, so events/sec measures the event hot path itself rather than
+  // plan optimization (which both paths pay identically).
+  scenario.dlrover_fraction = 0.0;
+  scenario.workload.num_jobs = 48 * scale;
+  scenario.workload.arrival_span = Hours(8);
+  scenario.cluster.num_nodes = 60 * scale;
+  scenario.horizon = Hours(30);
+  scenario.seed = 11;
+  scenario.legacy_hot_path = legacy;
+  return scenario;
+}
+
+double PeakRssMb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB -> MiB
+}
+
+bool SameOutcomes(const FleetResult& a, const FleetResult& b) {
+  if (a.executed_events != b.executed_events ||
+      a.pods_preempted != b.pods_preempted ||
+      a.crashes_injected != b.crashes_injected ||
+      a.stragglers_injected != b.stragglers_injected ||
+      a.jobs.size() != b.jobs.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    if (a.jobs[i].completed != b.jobs[i].completed ||
+        a.jobs[i].jct != b.jobs[i].jct ||
+        a.jobs[i].pending_time != b.jobs[i].pending_time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ScaleRun RunScale(int scale) {
+  ScaleRun run;
+  run.scale = scale;
+  run.num_jobs = 48 * scale;
+  run.num_nodes = 60 * scale;
+
+  // Optimized first: the process-wide RSS high-water mark then reflects the
+  // optimized path, not the scan-path baseline that follows.
+  auto start = std::chrono::steady_clock::now();
+  const FleetResult optimized = RunFleet(ScaledScenario(scale, false));
+  run.optimized_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.peak_rss_mb = PeakRssMb();
+
+  start = std::chrono::steady_clock::now();
+  const FleetResult legacy = RunFleet(ScaledScenario(scale, true));
+  run.legacy_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  run.events = optimized.executed_events;
+  run.optimized_eps =
+      static_cast<double>(run.events) / run.optimized_seconds;
+  run.legacy_eps = static_cast<double>(run.events) / run.legacy_seconds;
+  run.outcomes_match = SameOutcomes(optimized, legacy);
+  return run;
+}
+
+void Run(int max_scale) {
+  PrintBanner("fleet-scale hot path: optimized vs legacy scan paths");
+
+  std::vector<ScaleRun> runs;
+  for (int scale : {1, 5, 20}) {
+    if (scale > max_scale) continue;
+    std::printf("running scale %dx (%d jobs / %d nodes)...\n", scale,
+                48 * scale, 60 * scale);
+    std::fflush(stdout);
+    runs.push_back(RunScale(scale));
+  }
+
+  bool all_match = true;
+  TablePrinter table({"scale", "jobs", "nodes", "events", "opt events/s",
+                      "legacy events/s", "speedup", "peak RSS", "outcomes"});
+  for (const ScaleRun& r : runs) {
+    all_match = all_match && r.outcomes_match;
+    table.AddRow({StrFormat("%dx", r.scale), StrFormat("%d", r.num_jobs),
+                  StrFormat("%d", r.num_nodes),
+                  StrFormat("%llu", static_cast<unsigned long long>(r.events)),
+                  StrFormat("%.3g", r.optimized_eps),
+                  StrFormat("%.3g", r.legacy_eps),
+                  StrFormat("%.2fx", r.optimized_eps / r.legacy_eps),
+                  StrFormat("%.0f MiB", r.peak_rss_mb),
+                  r.outcomes_match ? "identical" : "DIVERGED"});
+  }
+  table.Print();
+  std::printf("\nlegacy vs optimized outcomes: %s\n",
+              all_match ? "identical at every scale" : "DIVERGED");
+
+  FILE* json = OpenBenchJson("BENCH_fleet_scale.json", "fleet_scale");
+  if (json == nullptr) std::exit(1);
+  std::fprintf(json, "  \"outcomes_match\": %s,\n",
+               all_match ? "true" : "false");
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ScaleRun& r = runs[i];
+    std::fprintf(
+        json,
+        "    {\"scale\": %d, \"jobs\": %d, \"nodes\": %d, "
+        "\"events\": %llu, \"optimized_seconds\": %.4f, "
+        "\"legacy_seconds\": %.4f, \"optimized_events_per_sec\": %.1f, "
+        "\"legacy_events_per_sec\": %.1f, \"speedup_vs_legacy\": %.3f, "
+        "\"peak_rss_mb\": %.1f}%s\n",
+        r.scale, r.num_jobs, r.num_nodes,
+        static_cast<unsigned long long>(r.events), r.optimized_seconds,
+        r.legacy_seconds, r.optimized_eps, r.legacy_eps,
+        r.optimized_eps / r.legacy_eps, r.peak_rss_mb,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_fleet_scale.json\n");
+
+  if (!all_match) std::exit(1);
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main(int argc, char** argv) {
+  int max_scale = 20;
+  if (argc > 1) max_scale = std::atoi(argv[1]);
+  dlrover::Run(max_scale);
+  return 0;
+}

@@ -102,14 +102,9 @@ void Run() {
   std::printf("hardware threads: %u\n",
               std::thread::hardware_concurrency());
 
-  FILE* json = std::fopen("BENCH_micro_train_throughput.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_micro_train_throughput.json\n");
-    return;
-  }
-  std::fprintf(json, "{\n  \"bench\": \"micro_train_throughput\",\n");
-  std::fprintf(json, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
+  FILE* json = OpenBenchJson("BENCH_micro_train_throughput.json",
+                             "micro_train_throughput");
+  if (json == nullptr) return;
   std::fprintf(json, "  \"total_batches\": %llu,\n",
                static_cast<unsigned long long>(BenchOptions().total_batches));
   std::fprintf(json, "  \"batch_size\": %llu,\n",

@@ -112,13 +112,8 @@ void Run() {
               hardware, static_cast<unsigned long long>(total_events),
               determinism_ok ? "ok" : "FAILED");
 
-  FILE* json = std::fopen("BENCH_sweep_scaling.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_sweep_scaling.json\n");
-    std::exit(1);
-  }
-  std::fprintf(json, "{\n  \"bench\": \"sweep_scaling\",\n");
-  std::fprintf(json, "  \"hardware_threads\": %u,\n", hardware);
+  FILE* json = OpenBenchJson("BENCH_sweep_scaling.json", "sweep_scaling");
+  if (json == nullptr) std::exit(1);
   std::fprintf(json, "  \"num_scenarios\": %zu,\n", scenarios.size());
   std::fprintf(json, "  \"events_per_sweep\": %llu,\n",
                static_cast<unsigned long long>(total_events));

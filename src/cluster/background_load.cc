@@ -55,7 +55,7 @@ void BackgroundLoad::Reconcile() {
           std::move(spec),
           [this](Pod& pod) {
             // Online service pods run hot: report near-full usage.
-            pod.usage = pod.spec.request * 0.8;
+            cluster_->ReportUsage(pod.id, pod.spec.request * 0.8);
           },
           [](Pod&, PodStopReason) {});
       pods_.push_back(id);

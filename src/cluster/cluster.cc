@@ -75,6 +75,7 @@ Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
         options.heterogeneity_sigma > 0.0
             ? rng_.LogNormal(1.0, options.heterogeneity_sigma)
             : 1.0;
+    capacity_total_ += node.capacity;
     nodes_.push_back(node);
   }
   pump_task_ = std::make_unique<PeriodicTask>(
@@ -84,15 +85,28 @@ Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
 
 PodId Cluster::CreatePod(PodSpec spec, std::function<void(Pod&)> on_running,
                          std::function<void(Pod&, PodStopReason)> on_stopped) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    // Re-arming a recycled slot is the moment the previous tenant's id goes
+    // stale: until now a terminated pod was still resolvable by its id.
+    ++slots_[slot].gen;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
   auto pod = std::make_unique<Pod>();
-  pod->id = next_pod_id_++;
+  pod->id = MakeId(slot, slots_[slot].gen);
   pod->spec = std::move(spec);
   pod->submit_time = sim_->Now();
   pod->on_running = std::move(on_running);
   pod->on_stopped = std::move(on_stopped);
   const PodId id = pod->id;
   Pod& ref = *pod;
-  pods_[id] = std::move(pod);
+  slots_[slot].pod = pod.get();
+  if (options_.legacy_pod_index) legacy_index_.emplace(id, pod.get());
+  directory_.push_back(std::move(pod));
   ++counters_.pods_created;
 
   if (!TryPlace(ref)) {
@@ -130,11 +144,13 @@ bool Cluster::TryPlace(Pod& pod) {
 
   Node& node = nodes_[static_cast<size_t>(best)];
   node.allocated += pod.spec.request;
+  allocated_total_ += pod.spec.request;
   node.pods.push_back(pod.id);
   pod.node = node.id;
   pod.phase = PodPhase::kStarting;
   pod.speed_factor = node.speed_factor;
   ++counters_.placements;
+  ++mutation_version_;
 
   Duration startup = rng_.Uniform(options_.min_pod_startup,
                                   options_.max_pod_startup);
@@ -155,12 +171,12 @@ bool Cluster::TryPreemptFor(Pod& pod) {
     std::vector<PodId> candidates = node.pods;
     std::sort(candidates.begin(), candidates.end(),
               [this](PodId a, PodId b) {
-                return static_cast<int>(pods_[a]->spec.priority) <
-                       static_cast<int>(pods_[b]->spec.priority);
+                return static_cast<int>(Resolve(a)->spec.priority) <
+                       static_cast<int>(Resolve(b)->spec.priority);
               });
     for (PodId vid : candidates) {
       if (pod.spec.request.FitsIn(would_free)) break;
-      Pod& victim = *pods_[vid];
+      Pod& victim = *Resolve(vid);
       if (static_cast<int>(victim.spec.priority) >=
           static_cast<int>(pod.spec.priority)) {
         continue;
@@ -171,8 +187,13 @@ bool Cluster::TryPreemptFor(Pod& pod) {
     if (pod.spec.request.FitsIn(would_free)) {
       for (PodId vid : victims) {
         ++counters_.pods_preempted;
-        Terminate(*pods_[vid], PodPhase::kPreempted,
-                  PodStopReason::kPreemption);
+        // A victim's stop callback can transitively kill (and recycle the
+        // slot of) a later victim in this list; a stale id then resolves
+        // null and the Terminate it would have received is a no-op anyway.
+        if (Pod* victim = Resolve(vid)) {
+          Terminate(*victim, PodPhase::kPreempted,
+                    PodStopReason::kPreemption);
+        }
       }
       return !victims.empty();
     }
@@ -181,45 +202,53 @@ bool Cluster::TryPreemptFor(Pod& pod) {
 }
 
 void Cluster::FinishStartup(PodId id) {
-  auto it = pods_.find(id);
-  if (it == pods_.end()) return;
-  Pod& pod = *it->second;
-  if (pod.phase != PodPhase::kStarting) return;  // killed while starting
-  pod.phase = PodPhase::kRunning;
-  pod.start_time = sim_->Now();
-  if (pod.on_running) pod.on_running(pod);
+  Pod* pod = Resolve(id);
+  if (pod == nullptr) return;
+  if (pod->phase != PodPhase::kStarting) return;  // killed while starting
+  pod->phase = PodPhase::kRunning;
+  pod->start_time = sim_->Now();
+  ++mutation_version_;
+  if (pod->on_running) pod->on_running(*pod);
 }
 
 void Cluster::KillPod(PodId id, bool graceful_success) {
-  auto it = pods_.find(id);
-  if (it == pods_.end()) return;
-  Pod& pod = *it->second;
-  if (pod.terminal()) return;
-  Terminate(pod, graceful_success ? PodPhase::kSucceeded : PodPhase::kKilled,
+  Pod* pod = Resolve(id);
+  if (pod == nullptr) return;
+  if (pod->terminal()) return;
+  Terminate(*pod, graceful_success ? PodPhase::kSucceeded : PodPhase::kKilled,
             graceful_success ? PodStopReason::kCompleted
                              : PodStopReason::kOwnerKill);
 }
 
 void Cluster::FailPod(PodId id, PodStopReason reason) {
-  auto it = pods_.find(id);
-  if (it == pods_.end()) return;
-  Pod& pod = *it->second;
-  if (pod.phase != PodPhase::kRunning && pod.phase != PodPhase::kStarting) {
+  Pod* pod = Resolve(id);
+  if (pod == nullptr) return;
+  if (pod->phase != PodPhase::kRunning && pod->phase != PodPhase::kStarting) {
     return;
   }
   ++counters_.pods_failed;
-  Terminate(pod, PodPhase::kFailed, reason);
+  Terminate(*pod, PodPhase::kFailed, reason);
 }
 
 void Cluster::DegradePod(PodId id, double speed_factor) {
   Pod* pod = GetMutablePod(id);
   if (pod == nullptr || pod->terminal()) return;
   pod->speed_factor = speed_factor;
+  ++mutation_version_;
 }
 
 void Cluster::FailNode(NodeId id) {
   Node& node = nodes_[id];
+  if (node.healthy) {
+    // The node leaves the healthy set: drop its capacity and whatever is
+    // still allocated on it from the running totals. The per-pod releases
+    // below keep the node-local `allocated` in sync but skip the cluster
+    // total, which this subtraction already covers.
+    capacity_total_ -= node.capacity;
+    allocated_total_ -= node.allocated;
+  }
   node.healthy = false;
+  ++mutation_version_;
   const std::vector<PodId> victims = node.pods;
   for (PodId pid : victims) {
     FailPod(pid, PodStopReason::kCrash);
@@ -233,6 +262,7 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   // pod must be a no-op — in particular it must not fire callbacks again.
   if (pod.terminal()) return;
   const bool was_pending = pod.phase == PodPhase::kPending;
+  if (pod.phase == PodPhase::kRunning) usage_total_ -= pod.usage;
   if (pod.phase == PodPhase::kStarting || pod.phase == PodPhase::kRunning) {
     ReleaseFromNode(pod);
   }
@@ -243,13 +273,20 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   pod.phase = phase;
   pod.end_time = sim_->Now();
   pod.usage = {};
+  if (options_.legacy_pod_index) legacy_index_.erase(pod.id);
+  ++mutation_version_;
   if (pod.on_stopped) pod.on_stopped(pod, reason);
+  // Only now does the slot become recyclable (the stop callback above may
+  // read the pod by id); the pod itself stays resolvable — and visible to
+  // VisitPods — until a later CreatePod re-arms the slot.
+  free_slots_.push_back(static_cast<uint32_t>((pod.id >> 32) - 1));
   // Freed capacity may unblock pending pods.
   PumpPendingQueue();
 }
 
 void Cluster::ReleaseFromNode(Pod& pod) {
   Node& node = nodes_[pod.node];
+  if (node.healthy) allocated_total_ -= pod.spec.request;
   node.allocated -= pod.spec.request;
   node.allocated.cpu = std::max(0.0, node.allocated.cpu);
   node.allocated.memory = std::max(0.0, node.allocated.memory);
@@ -273,8 +310,8 @@ void Cluster::PumpPendingQueue() {
     // Highest priority first, FIFO within a class.
     std::stable_sort(pending_.begin(), pending_.end(),
                      [this](PodId a, PodId b) {
-                       return static_cast<int>(pods_[a]->spec.priority) >
-                              static_cast<int>(pods_[b]->spec.priority);
+                       return static_cast<int>(Resolve(a)->spec.priority) >
+                              static_cast<int>(Resolve(b)->spec.priority);
                      });
     const std::vector<PodId> snapshot(pending_.begin(), pending_.end());
     pending_.clear();  // nested CreatePod may add fresh ids meanwhile
@@ -294,21 +331,41 @@ void Cluster::PumpPendingQueue() {
   pumping_ = false;
 }
 
-const Pod* Cluster::GetPod(PodId id) const {
-  auto it = pods_.find(id);
-  return it == pods_.end() ? nullptr : it->second.get();
+Pod* Cluster::Resolve(PodId id) const {
+  if (options_.legacy_pod_index) {
+    // Pay the pre-slab cost: a tree walk over the live-pod map. Misses
+    // (terminal or stale ids) fall through to the slab so semantics stay
+    // identical to the optimized path.
+    auto it = legacy_index_.find(id);
+    if (it != legacy_index_.end()) return it->second;
+  }
+  const uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return nullptr;
+  const PodSlot& s = slots_[slot_plus_one - 1];
+  // A recycled slot carries a newer generation: the stale id resolves null.
+  if (s.gen != static_cast<uint32_t>(id & kGenMask)) return nullptr;
+  return s.pod;
 }
 
-Pod* Cluster::GetMutablePod(PodId id) {
-  auto it = pods_.find(id);
-  return it == pods_.end() ? nullptr : it->second.get();
-}
+const Pod* Cluster::GetPod(PodId id) const { return Resolve(id); }
+
+Pod* Cluster::GetMutablePod(PodId id) { return Resolve(id); }
 
 void Cluster::VisitPods(const std::function<void(const Pod&)>& fn) const {
-  for (const auto& [id, pod] : pods_) fn(*pod);
+  for (const auto& pod : directory_) fn(*pod);
 }
 
-ResourceSpec Cluster::TotalCapacity() const {
+void Cluster::ReportUsage(PodId id, const ResourceSpec& usage) {
+  Pod* pod = Resolve(id);
+  if (pod == nullptr || pod->terminal()) return;
+  if (pod->phase == PodPhase::kRunning) {
+    usage_total_ += usage;
+    usage_total_ -= pod->usage;
+  }
+  pod->usage = usage;
+}
+
+ResourceSpec Cluster::ScanCapacity() const {
   ResourceSpec total;
   for (const Node& node : nodes_) {
     if (node.healthy) total += node.capacity;
@@ -316,7 +373,7 @@ ResourceSpec Cluster::TotalCapacity() const {
   return total;
 }
 
-ResourceSpec Cluster::TotalAllocated() const {
+ResourceSpec Cluster::ScanAllocated() const {
   ResourceSpec total;
   for (const Node& node : nodes_) {
     if (node.healthy) total += node.allocated;
@@ -324,12 +381,24 @@ ResourceSpec Cluster::TotalAllocated() const {
   return total;
 }
 
-ResourceSpec Cluster::TotalUsage() const {
+ResourceSpec Cluster::ScanUsage() const {
   ResourceSpec total;
-  for (const auto& [id, pod] : pods_) {
+  for (const auto& pod : directory_) {
     if (pod->phase == PodPhase::kRunning) total += pod->usage;
   }
   return total;
+}
+
+ResourceSpec Cluster::TotalCapacity() const {
+  return options_.incremental_accounting ? capacity_total_ : ScanCapacity();
+}
+
+ResourceSpec Cluster::TotalAllocated() const {
+  return options_.incremental_accounting ? allocated_total_ : ScanAllocated();
+}
+
+ResourceSpec Cluster::TotalUsage() const {
+  return options_.incremental_accounting ? usage_total_ : ScanUsage();
 }
 
 ClusterUsage Cluster::Usage() const {
@@ -352,7 +421,9 @@ ClusterUsage Cluster::Usage() const {
 
 bool Cluster::UnderScarcity() const {
   const ResourceSpec cap = TotalCapacity();
-  if (cap.cpu <= 0) return true;
+  // No healthy capacity: nothing can start, so there is no startup to slow
+  // down — and dividing by zero below would poison the fraction with NaN.
+  if (cap.cpu <= 0) return false;
   const double free_frac = 1.0 - TotalAllocated().cpu / cap.cpu;
   return free_frac < options_.scarcity_threshold;
 }

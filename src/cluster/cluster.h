@@ -45,6 +45,16 @@ struct ClusterOptions {
   /// Retry interval for the pending queue.
   Duration reschedule_interval = Seconds(15);
   uint64_t seed = 17;
+  /// Maintain running capacity/allocated/usage totals so TotalCapacity /
+  /// TotalAllocated / TotalUsage / Usage are O(1). When false the totals are
+  /// recomputed by scanning nodes and the whole pod directory on every call
+  /// (the pre-optimization behaviour, kept for perf comparison benches).
+  bool incremental_accounting = true;
+  /// Routes every pod lookup through a std::map index maintained alongside
+  /// the slab, reconstructing the pre-slab lookup cost model (tree walk,
+  /// node allocation per pod) for before/after benches. Results are
+  /// identical either way.
+  bool legacy_pod_index = false;
 };
 
 /// Aggregate utilisation sample used by experiment reporting.
@@ -64,6 +74,15 @@ struct ClusterUsage {
 /// The DLRM system (per the paper, Section 2.1) has no control over the
 /// cluster: it can only request pods and observe their lifecycle, which is
 /// exactly the interface exposed here.
+///
+/// Pod bookkeeping uses the same slab + generation pattern as the
+/// Simulator's events: a PodId encodes {slot+1, generation}, lookup is an
+/// O(1) array index with a generation check, and a slot is recycled for a
+/// new pod only after its previous tenant terminated. A terminated pod stays
+/// resolvable by its id until its slot is reused; after reuse the stale id
+/// safely resolves to null. The directory of every pod ever created is kept
+/// (in creation order) so VisitPods matches the previous std::map-by-id
+/// iteration exactly.
 class Cluster {
  public:
   Cluster(Simulator* sim, const ClusterOptions& options);
@@ -88,10 +107,16 @@ class Cluster {
 
   const Pod* GetPod(PodId id) const;
   Pod* GetMutablePod(PodId id);
-  /// Visits every pod (including terminal ones) in id order.
+  /// Visits every pod (including terminal ones) in creation order — which is
+  /// id order for all pods whose slot has not been recycled.
   void VisitPods(const std::function<void(const Pod&)>& fn) const;
   const Node& GetNode(NodeId id) const { return nodes_[id]; }
   size_t num_nodes() const { return nodes_.size(); }
+
+  /// Records live resource usage for a pod. Writes `pod.usage` and keeps the
+  /// cluster-wide usage total in sync; all usage reports must go through
+  /// here rather than mutating `pod.usage` directly.
+  void ReportUsage(PodId id, const ResourceSpec& usage);
 
   /// Total cluster capacity across healthy nodes.
   ResourceSpec TotalCapacity() const;
@@ -105,7 +130,15 @@ class Cluster {
   size_t PendingCount() const { return pending_.size(); }
 
   /// True when free CPU is below the scarcity threshold (startup slows down).
+  /// A cluster with zero healthy capacity reports false: scarcity only slows
+  /// down startups, and with no capacity nothing can start at all.
   bool UnderScarcity() const;
+
+  /// Monotonic counter bumped on every pod state mutation (placement,
+  /// startup, termination, degradation, node failure). Lets callers cache
+  /// derived state (e.g. the memoized iteration law in TrainingJob) and
+  /// invalidate it precisely when any pod's phase or speed may have changed.
+  uint64_t mutation_version() const { return mutation_version_; }
 
   Simulator* sim() { return sim_; }
   const ClusterOptions& options() const { return options_; }
@@ -120,23 +153,52 @@ class Cluster {
   const Counters& counters() const { return counters_; }
 
  private:
+  /// Slab slot backing one PodId. `gen` is bumped when the slot is re-armed
+  /// for a new pod, which is what invalidates the previous tenant's id.
+  struct PodSlot {
+    Pod* pod = nullptr;
+    uint32_t gen = 1;
+  };
+
+  static constexpr uint32_t kGenMask = 0xffffffffu;
+
+  static PodId MakeId(uint32_t slot, uint32_t gen) {
+    // slot+1 keeps every valid id nonzero (callers use 0 as "none").
+    return (static_cast<uint64_t>(slot) + 1) << 32 | gen;
+  }
+
   bool TryPlace(Pod& pod);
   bool TryPreemptFor(Pod& pod);
   void FinishStartup(PodId id);
   void Terminate(Pod& pod, PodPhase phase, PodStopReason reason);
   void ReleaseFromNode(Pod& pod);
   void PumpPendingQueue();
+  /// Slab lookup without const fuss; shared by GetPod/GetMutablePod.
+  Pod* Resolve(PodId id) const;
+
+  ResourceSpec ScanCapacity() const;
+  ResourceSpec ScanAllocated() const;
+  ResourceSpec ScanUsage() const;
 
   Simulator* sim_;
   ClusterOptions options_;
   Rng rng_;
   std::vector<Node> nodes_;
-  std::map<PodId, std::unique_ptr<Pod>> pods_;
+  /// Every pod ever created, in creation order; pointers are stable.
+  std::vector<std::unique_ptr<Pod>> directory_;
+  std::vector<PodSlot> slots_;
+  std::vector<uint32_t> free_slots_;
+  /// Live-pod map maintained only under options_.legacy_pod_index.
+  std::map<PodId, Pod*> legacy_index_;
   std::deque<PodId> pending_;
   bool pumping_ = false;
   bool repump_ = false;
-  PodId next_pod_id_ = 1;
   Counters counters_;
+  uint64_t mutation_version_ = 0;
+  /// Running totals (valid when options_.incremental_accounting).
+  ResourceSpec capacity_total_;
+  ResourceSpec allocated_total_;
+  ResourceSpec usage_total_;
   std::unique_ptr<PeriodicTask> pump_task_;
 };
 

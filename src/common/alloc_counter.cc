@@ -1,0 +1,18 @@
+#include "common/alloc_counter.h"
+
+namespace dlrover {
+
+namespace internal {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_hooks_linked{false};
+}  // namespace internal
+
+uint64_t AllocationCount() {
+  return internal::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool AllocationCountingEnabled() {
+  return internal::g_alloc_hooks_linked.load(std::memory_order_relaxed);
+}
+
+}  // namespace dlrover

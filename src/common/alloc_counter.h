@@ -1,0 +1,27 @@
+#ifndef DLROVER_COMMON_ALLOC_COUNTER_H_
+#define DLROVER_COMMON_ALLOC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dlrover {
+
+/// Number of successful `operator new` calls since process start, counted by
+/// the replacement hooks in alloc_hooks.cc. Always callable; returns 0 when
+/// the hooks are not linked into this binary (see AllocationCountingEnabled).
+/// Binaries opt into counting either via the DLROVER_COUNT_ALLOCS cmake
+/// option (whole build) or by compiling alloc_hooks.cc into one target (the
+/// allocation-regression guard test does this so tier-1 always checks).
+uint64_t AllocationCount();
+
+/// True when the operator-new counting hooks are linked into this binary.
+bool AllocationCountingEnabled();
+
+namespace internal {
+extern std::atomic<uint64_t> g_alloc_count;
+extern std::atomic<bool> g_alloc_hooks_linked;
+}  // namespace internal
+
+}  // namespace dlrover
+
+#endif  // DLROVER_COMMON_ALLOC_COUNTER_H_

@@ -5,25 +5,36 @@
 namespace dlrover {
 
 void OomPredictor::Observe(SimTime now, Bytes used) {
-  samples_.push_back({now, used});
-  while (samples_.size() > options_.window) samples_.pop_front();
+  const size_t cap = std::max<size_t>(1, options_.window);
+  if (ring_.size() < cap) {
+    // Warm-up: grow until the window is full; head_ stays at 0 so insertion
+    // order is chronological order.
+    ring_.push_back({now, used});
+    return;
+  }
+  // Full: overwrite the oldest slot in place — no allocation.
+  ring_[head_] = {now, used};
+  head_ = (head_ + 1) % cap;
 }
 
 double OomPredictor::SlopeBytesPerSec() const {
-  if (samples_.size() < options_.min_samples) return 0.0;
+  if (ring_.size() < options_.min_samples) return 0.0;
   // Ordinary least squares slope of mem over time.
   double mean_t = 0.0;
   double mean_m = 0.0;
-  for (const Sample& s : samples_) {
+  const size_t n_samples = ring_.size();
+  for (size_t i = 0; i < n_samples; ++i) {
+    const Sample& s = At(i);
     mean_t += s.t;
     mean_m += s.mem;
   }
-  const double n = static_cast<double>(samples_.size());
+  const double n = static_cast<double>(n_samples);
   mean_t /= n;
   mean_m /= n;
   double num = 0.0;
   double den = 0.0;
-  for (const Sample& s : samples_) {
+  for (size_t i = 0; i < n_samples; ++i) {
+    const Sample& s = At(i);
     num += (s.t - mean_t) * (s.mem - mean_m);
     den += (s.t - mean_t) * (s.t - mean_t);
   }
@@ -32,8 +43,8 @@ double OomPredictor::SlopeBytesPerSec() const {
 }
 
 Bytes OomPredictor::ProjectAt(SimTime future_time) const {
-  if (samples_.empty()) return 0.0;
-  const Sample& last = samples_.back();
+  if (ring_.empty()) return 0.0;
+  const Sample& last = At(ring_.size() - 1);
   const double slope = std::max(0.0, SlopeBytesPerSec());
   const double horizon = std::max(0.0, future_time - last.t);
   return last.mem + slope * horizon;
@@ -41,7 +52,7 @@ Bytes OomPredictor::ProjectAt(SimTime future_time) const {
 
 std::optional<Bytes> OomPredictor::RecommendLimit(
     Bytes current_limit, SimTime completion_time) const {
-  if (samples_.size() < options_.min_samples) return std::nullopt;
+  if (ring_.size() < options_.min_samples) return std::nullopt;
   const Bytes projected = ProjectAt(completion_time);
   if (projected <= current_limit * options_.headroom_fraction) {
     return std::nullopt;

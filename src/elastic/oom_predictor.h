@@ -2,8 +2,8 @@
 #define DLROVER_ELASTIC_OOM_PREDICTOR_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "common/units.h"
 
@@ -26,6 +26,10 @@ struct OomPredictorOptions {
 /// so a windowed linear fit of memory-vs-time extrapolated to the job's
 /// estimated completion time tells us whether the PS will blow its limit
 /// before the job finishes — early enough to pre-scale its memory.
+///
+/// Samples live in a fixed-capacity ring buffer: once the window is warm,
+/// Observe overwrites the oldest slot in place, so the steady-state
+/// profile-tick path performs no heap allocation.
 class OomPredictor {
  public:
   explicit OomPredictor(const OomPredictorOptions& options = {})
@@ -46,15 +50,24 @@ class OomPredictor {
   std::optional<Bytes> RecommendLimit(Bytes current_limit,
                                       SimTime completion_time) const;
 
-  size_t sample_count() const { return samples_.size(); }
+  size_t sample_count() const { return ring_.size(); }
 
  private:
   struct Sample {
     SimTime t;
     Bytes mem;
   };
+
+  /// i-th oldest retained sample (0 = oldest). Iterating i ascending walks
+  /// the window chronologically, matching the old deque front-to-back order
+  /// (the least-squares sums depend on it bit-for-bit).
+  const Sample& At(size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
   OomPredictorOptions options_;
-  std::deque<Sample> samples_;
+  std::vector<Sample> ring_;
+  size_t head_ = 0;  // index of the oldest sample once the ring is full
 };
 
 }  // namespace dlrover

@@ -31,7 +31,8 @@ StatusOr<DataShard> ShardQueue::NextShardLocked(uint64_t max_batches) {
     // Fresh index per dispatch: a late report from the worker that failed
     // this range earlier must not be able to complete the re-served copy.
     shard.index = next_index_++;
-    outstanding_[shard.index] = shard;
+    outstanding_.push_back(shard);
+    if (options_.legacy_index) legacy_outstanding_.emplace(shard.index, shard);
     return shard;
   }
 
@@ -43,7 +44,8 @@ StatusOr<DataShard> ShardQueue::NextShardLocked(uint64_t max_batches) {
   shard.start_batch = cursor_;
   shard.end_batch = std::min(cursor_ + want, options_.total_batches);
   cursor_ = shard.end_batch;
-  outstanding_[shard.index] = shard;
+  outstanding_.push_back(shard);
+  if (options_.legacy_index) legacy_outstanding_.emplace(shard.index, shard);
   return shard;
 }
 
@@ -66,12 +68,16 @@ StatusOr<DataShard> ShardQueue::WaitNextShard(uint64_t max_batches) {
 
 Status ShardQueue::ReportCompleted(const DataShard& shard) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = outstanding_.find(shard.index);
+  if (options_.legacy_index) legacy_outstanding_.erase(shard.index);
+  auto it = std::find_if(
+      outstanding_.begin(), outstanding_.end(),
+      [&](const DataShard& s) { return s.index == shard.index; });
   if (it == outstanding_.end()) {
     return NotFoundError("completion for unknown shard");
   }
-  completed_batches_ += it->second.batches();
-  outstanding_.erase(it);
+  completed_batches_ += it->batches();
+  *it = outstanding_.back();
+  outstanding_.pop_back();
   // Wake blocked workers: either terminal (all done) or, if this was the
   // last outstanding shard with data still queued, nothing changes for
   // them — notify_all keeps the logic simple and exits are cheap.
@@ -82,12 +88,16 @@ Status ShardQueue::ReportCompleted(const DataShard& shard) {
 Status ShardQueue::ReportFailed(const DataShard& shard,
                                 uint64_t processed_batches) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = outstanding_.find(shard.index);
+  if (options_.legacy_index) legacy_outstanding_.erase(shard.index);
+  auto it = std::find_if(
+      outstanding_.begin(), outstanding_.end(),
+      [&](const DataShard& s) { return s.index == shard.index; });
   if (it == outstanding_.end()) {
     return NotFoundError("failure report for unknown shard");
   }
-  DataShard owned = it->second;
-  outstanding_.erase(it);
+  DataShard owned = *it;
+  *it = outstanding_.back();
+  outstanding_.pop_back();
   processed_batches = std::min(processed_batches, owned.batches());
   completed_batches_ += processed_batches;
   if (processed_batches < owned.batches()) {
@@ -108,7 +118,7 @@ uint64_t ShardQueue::completed_batches() const {
 
 uint64_t ShardQueue::OutstandingBatchesLocked() const {
   uint64_t total = 0;
-  for (const auto& [idx, shard] : outstanding_) total += shard.batches();
+  for (const DataShard& shard : outstanding_) total += shard.batches();
   return total;
 }
 
@@ -134,6 +144,7 @@ void ShardQueue::FastForwardTo(uint64_t batches) {
   completed_batches_ = batches;
   requeued_.clear();
   outstanding_.clear();
+  legacy_outstanding_.clear();
   cv_.notify_all();
 }
 

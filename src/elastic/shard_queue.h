@@ -31,6 +31,10 @@ struct ShardQueueOptions {
   uint64_t default_shard_batches = 128;
   /// Lower bound when shrinking shards for stragglers.
   uint64_t min_shard_batches = 16;
+  /// Mirrors outstanding-shard bookkeeping through the pre-optimization
+  /// std::map (a tree-node allocation per dispatch), reconstructing the old
+  /// cost model for before/after benches. Results are identical either way.
+  bool legacy_index = false;
 };
 
 /// The shards queue: partitions training data into numerous small
@@ -103,8 +107,13 @@ class ShardQueue {
   uint64_t next_index_ = 0;      // shard index allocator
   uint64_t completed_batches_ = 0;
   std::deque<DataShard> requeued_;
-  /// Outstanding shards keyed by shard index.
-  std::map<uint64_t, DataShard> outstanding_;
+  /// Outstanding shards (at most one per active worker, so a handful).
+  /// A flat vector with linear find + swap-pop beats a map here and — the
+  /// real point — reuses its capacity, so the steady-state dispatch path
+  /// stops allocating a map node per served shard.
+  std::vector<DataShard> outstanding_;
+  /// Mirror maintained only under options_.legacy_index (cost model).
+  std::map<uint64_t, DataShard> legacy_outstanding_;
 };
 
 }  // namespace dlrover

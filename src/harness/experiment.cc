@@ -395,8 +395,11 @@ Distribution FleetResult::JctDistribution(bool dlrover_only,
 
 FleetResult RunFleet(const FleetScenario& scenario) {
   Simulator sim;
+  sim.set_boxed_callbacks(scenario.legacy_hot_path);
   ClusterOptions cluster_options = scenario.cluster;
   cluster_options.seed = scenario.seed * 13 + 1;
+  cluster_options.incremental_accounting = !scenario.legacy_hot_path;
+  cluster_options.legacy_pod_index = scenario.legacy_hot_path;
   Cluster cluster(&sim, cluster_options);
 
   std::unique_ptr<BackgroundLoad> background;
@@ -464,6 +467,8 @@ FleetResult RunFleet(const FleetScenario& scenario) {
     sim.ScheduleAt(gen.arrival, [&, i, manual_config] {
       const GeneratedJob& g = trace[i];
       JobSpec spec = g.spec;
+      spec.memoize_iteration = !scenario.legacy_hot_path;
+      spec.legacy_shard_index = scenario.legacy_hot_path;
       JobConfig config;
       if (outcomes[i].used_dlrover) {
         spec.data_mode = DataMode::kDynamicSharding;

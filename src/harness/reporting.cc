@@ -1,6 +1,8 @@
 #include "harness/reporting.h"
 
 #include <cstdarg>
+#include <ctime>
+#include <thread>
 
 namespace dlrover {
 
@@ -58,6 +60,30 @@ std::string FormatPercent(double fraction) {
 
 void PrintBanner(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+FILE* OpenBenchJson(const std::string& path, const std::string& bench_name) {
+  FILE* json = std::fopen(path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return nullptr;
+  }
+#ifdef DLROVER_BUILD_TYPE
+  const char* build_type = DLROVER_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm utc{}; gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  std::fprintf(json, "{\n  \"bench\": \"%s\",\n", bench_name.c_str());
+  std::fprintf(json, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "  \"build_type\": \"%s\",\n", build_type);
+  std::fprintf(json, "  \"generated_utc\": \"%s\",\n", stamp);
+  return json;
 }
 
 }  // namespace dlrover

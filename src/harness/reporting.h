@@ -35,6 +35,13 @@ std::string FormatPercent(double fraction);
 /// Prints a banner line for a bench section.
 void PrintBanner(const std::string& title);
 
+/// Opens `path` for writing and stamps the shared BENCH_*.json header:
+/// opening brace plus "bench", "hardware_threads", "build_type", and
+/// "generated_utc" fields (all followed by a trailing comma, so callers
+/// continue with their own fields and write the closing brace themselves).
+/// Returns nullptr after printing to stderr when the file cannot be opened.
+FILE* OpenBenchJson(const std::string& path, const std::string& bench_name);
+
 }  // namespace dlrover
 
 #endif  // DLROVER_HARNESS_REPORTING_H_

@@ -59,8 +59,10 @@ TrainingJob::TrainingJob(Simulator* sim, Cluster* cluster, const JobSpec& spec,
   if (spec_.data_mode == DataMode::kDynamicSharding) {
     ShardQueueOptions options;
     options.total_batches = spec_.total_steps;
+    options.legacy_index = spec_.legacy_shard_index;
     shard_queue_ = std::make_unique<ShardQueue>(options);
   }
+  if (spec_.history_reserve > 0) history_.reserve(spec_.history_reserve);
   stats_.submit_time = sim_->Now();
   last_checkpoint_.trained_batches = 0;
   last_checkpoint_.saved_at = sim_->Now();
@@ -110,6 +112,7 @@ void TrainingJob::Start() {
   if (spec_.data_mode == DataMode::kStaticPartition) {
     RepartitionStatic(0);
   }
+  InvalidateIterationCache();
   profile_task_->Start();
   checkpoint_task_->Start();
 }
@@ -257,10 +260,52 @@ void TrainingJob::StartNextShard(WorkerState& worker) {
 double TrainingJob::WorkerIterTime(const WorkerState& worker) const {
   const Pod* pod = cluster_->GetPod(worker.pod);
   const double speed = pod != nullptr ? pod->speed_factor : 1.0;
-  return ComputeIteration(profile_, env_, spec_.batch_size,
-                          ActiveWorkerCount(), config_, speed,
-                          CurrentPsGroupState())
-      .Total();
+  if (!spec_.memoize_iteration) {
+    return ComputeIteration(profile_, env_, spec_.batch_size,
+                            ActiveWorkerCount(), config_, speed,
+                            CurrentPsGroupState())
+        .Total();
+  }
+  return CachedIteration(ActiveWorkerCount(), speed).Total();
+}
+
+IterationBreakdown TrainingJob::CachedIteration(int active_workers,
+                                                double worker_speed) const {
+  const uint64_t cluster_version = cluster_->mutation_version();
+  if (cluster_version != iter_cache_cluster_version_ ||
+      job_version_ != iter_cache_job_version_ ||
+      active_workers != iter_cache_active_) {
+    // New generation: rebuild the PS-group snapshot (exactly what
+    // CurrentPsGroupState produces, reusing the vectors' capacity) and drop
+    // the per-speed entries.
+    group_cache_.shares.clear();
+    group_cache_.speeds.clear();
+    for (const auto& ps : ps_) {
+      if (ps->retired) continue;
+      const Pod* pod = cluster_->GetPod(ps->pod);
+      group_cache_.shares.push_back(ps->share);
+      group_cache_.speeds.push_back(pod != nullptr ? pod->speed_factor : 1.0);
+    }
+    if (group_cache_.shares.empty()) {
+      group_cache_.shares.push_back(1.0);
+      group_cache_.speeds.push_back(1.0);
+    }
+    iter_cache_.clear();
+    iter_cache_cluster_version_ = cluster_version;
+    iter_cache_job_version_ = job_version_;
+    iter_cache_active_ = active_workers;
+  }
+  for (const IterCacheEntry& entry : iter_cache_) {
+    if (entry.speed == worker_speed) return entry.iter;
+  }
+  // A generation rarely sees more than a couple of distinct speeds (healthy
+  // 1.0 plus a straggler or two); cap the linear scan regardless.
+  if (iter_cache_.size() >= 64) iter_cache_.clear();
+  iter_cache_.push_back(IterCacheEntry{
+      worker_speed,
+      ComputeIteration(profile_, env_, spec_.batch_size, active_workers,
+                       config_, worker_speed, group_cache_)});
+  return iter_cache_.back().iter;
 }
 
 PsGroupState TrainingJob::CurrentPsGroupState() const {
@@ -439,6 +484,7 @@ void TrainingJob::RecoverFromPsLoss(PsState& ps, bool was_oom) {
         std::max(config_.ps_memory * 1.5, MaxPsMemory() * 1.3);
   }
   CreatePsPod(ps);  // reuse the same logical PS (same share)
+  InvalidateIterationCache();
 }
 
 void TrainingJob::RestartFromCheckpoint(const std::string& why) {
@@ -490,6 +536,7 @@ void TrainingJob::RestartFromCheckpoint(const std::string& why) {
   if (spec_.data_mode == DataMode::kStaticPartition) {
     RepartitionStatic(static_completed_);
   }
+  InvalidateIterationCache();
 }
 
 Status TrainingJob::ApplyPlan(const JobConfig& new_config,
@@ -535,6 +582,7 @@ Status TrainingJob::ApplyPlan(const JobConfig& new_config,
       }
     }
     config_.num_workers = new_config.num_workers;
+    InvalidateIterationCache();
     return Status::OK();
   }
 
@@ -565,6 +613,7 @@ void TrainingJob::BeginStopAndRestart(const JobConfig& new_config) {
     KillAllPods(false);
     restart_kill_time_ = sim_->Now();
     config_ = new_config;
+    InvalidateIterationCache();
     workers_.clear();
     ps_.clear();
     for (int i = 0; i < config_.num_workers; ++i) {
@@ -703,6 +752,7 @@ void TrainingJob::FinishMigrationIfReady() {
     staged_ps_.clear();
     config_ = *pending_config_;
     pending_config_.reset();
+    InvalidateIterationCache();
     ++stats_.migrations;
     transition_ = TransitionKind::kNone;
     state_ = JobState::kRunning;
@@ -824,6 +874,7 @@ void TrainingJob::KillAllPods(bool graceful) {
   retire_all(ps_);
   retire_all(staged_workers_);
   retire_all(staged_ps_);
+  InvalidateIterationCache();
   auto kill_all = [&](auto& members) {
     for (auto& m : members) {
       if (m->pod != 0) cluster_->KillPod(m->pod, graceful);
@@ -919,10 +970,17 @@ void TrainingJob::UpdateMemoryAndUsage() {
   const Bytes emb = profile_.EmbeddingBytesAt(
       static_cast<double>(batches_done()) *
       static_cast<double>(spec_.batch_size));
-  const PsGroupState group = CurrentPsGroupState();
-  const IterationBreakdown healthy = ComputeIteration(
-      profile_, env_, spec_.batch_size, std::max(1, ActiveWorkerCount()),
-      config_, 1.0, group);
+  const int active = std::max(1, ActiveWorkerCount());
+  const bool memoize = spec_.memoize_iteration;
+  // Unmemoized path keeps its own group copy; the memoized path reuses the
+  // cache's snapshot (valid for this tick once CachedIteration ran).
+  PsGroupState local_group;
+  if (!memoize) local_group = CurrentPsGroupState();
+  const IterationBreakdown healthy =
+      memoize ? CachedIteration(active, 1.0)
+              : ComputeIteration(profile_, env_, spec_.batch_size, active,
+                                 config_, 1.0, local_group);
+  const PsGroupState& group = memoize ? group_cache_ : local_group;
   const double t_iter = std::max(1e-9, healthy.Total());
 
   // Parameter servers: memory tracks embedding growth; CPU tracks the share
@@ -930,7 +988,8 @@ void TrainingJob::UpdateMemoryAndUsage() {
   // relative to a balanced peer.
   const double balanced_inv_p =
       1.0 / std::max<size_t>(1, group.shares.size());
-  std::vector<PsState*> live_ps;
+  std::vector<PsState*>& live_ps = live_ps_scratch_;
+  live_ps.clear();
   for (auto& ps : ps_) {
     if (!ps->retired && ps->pod_running) live_ps.push_back(ps.get());
   }
@@ -943,10 +1002,11 @@ void TrainingJob::UpdateMemoryAndUsage() {
     const double busy =
         std::clamp((healthy.t_upd + healthy.t_emb) / t_iter * relative_load,
                    0.0, 1.0);
-    pod->usage.cpu =
-        std::min(config_.ps_cpu, profile_.max_ps_parallelism) * busy;
-    pod->usage.memory =
+    ResourceSpec usage;
+    usage.cpu = std::min(config_.ps_cpu, profile_.max_ps_parallelism) * busy;
+    usage.memory =
         profile_.ps_static_bytes + emb / static_cast<double>(live_ps.size());
+    cluster_->ReportUsage(ps->pod, usage);
   }
 
   // Workers: CPU busy during gradient computation; memory is a working set.
@@ -955,14 +1015,16 @@ void TrainingJob::UpdateMemoryAndUsage() {
     Pod* pod = cluster_->GetMutablePod(w->pod);
     if (pod == nullptr) continue;
     const IterationBreakdown mine =
-        ComputeIteration(profile_, env_, spec_.batch_size,
-                         std::max(1, ActiveWorkerCount()), config_,
-                         pod->speed_factor, group);
+        memoize ? CachedIteration(active, pod->speed_factor)
+                : ComputeIteration(profile_, env_, spec_.batch_size, active,
+                                   config_, pod->speed_factor, local_group);
     const double t_mine = std::max(1e-9, mine.Total());
-    pod->usage.cpu =
+    ResourceSpec usage;
+    usage.cpu =
         std::min(config_.worker_cpu, profile_.max_worker_parallelism) *
         std::clamp(mine.t_grad / t_mine, 0.0, 1.0);
-    pod->usage.memory = profile_.worker_static_bytes * 0.85;
+    usage.memory = profile_.worker_static_bytes * 0.85;
+    cluster_->ReportUsage(w->pod, usage);
   }
 
   // OOM semantics: a PS whose usage exceeds its limit is OOM-killed.

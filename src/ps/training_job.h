@@ -82,6 +82,18 @@ struct JobSpec {
   /// Models TensorFlow's tensor-granularity placement (paper: hot PSes).
   std::vector<double> ps_shares;
   uint64_t seed = 1234;
+  /// Memoize the §4.1 iteration law on (active workers, config, PS-group
+  /// state, worker speed) so steady-state shard dispatch skips re-deriving
+  /// Eqns 2–5. The cache is exact (the law is a pure function); disabling it
+  /// reproduces the pre-optimization evaluation path for perf comparisons.
+  bool memoize_iteration = true;
+  /// Pre-reserve this many ThroughputSample slots (0 = grow on demand).
+  /// Long-horizon runs that must stay allocation-free in steady state set
+  /// this to cover the whole horizon's profile ticks.
+  size_t history_reserve = 0;
+  /// Routes shard bookkeeping through the pre-optimization std::map (see
+  /// ShardQueueOptions::legacy_index); only for before/after benches.
+  bool legacy_shard_index = false;
 };
 
 /// One profiling snapshot; consumed by the optimizer's model fitter and by
@@ -244,6 +256,16 @@ class TrainingJob {
   void InterruptWorker(WorkerState& worker);  // requeue with partial credit
   double WorkerIterTime(const WorkerState& worker) const;
   PsGroupState CurrentPsGroupState() const;
+  /// Memoized ComputeIteration. The cache key is (cluster mutation version,
+  /// job mutation version, active worker count); worker speed selects an
+  /// entry within the cached generation. Any pod phase/speed change bumps
+  /// the cluster version and any config/PS-set change bumps the job version,
+  /// so a hit is guaranteed to be byte-identical to recomputing.
+  IterationBreakdown CachedIteration(int active_workers,
+                                     double worker_speed) const;
+  /// Invalidates CachedIteration after job-side mutations (config change,
+  /// PS set rebuilt, pods retired).
+  void InvalidateIterationCache() { ++job_version_; }
 
   // Data accounting (mode-dependent).
   StatusOr<DataShard> NextShardFor(WorkerState& worker);
@@ -320,6 +342,22 @@ class TrainingJob {
   uint64_t window_batches_ = 0;
   SimTime window_start_ = 0.0;
   double last_throughput_ = 0.0;
+
+  // Iteration-law memoization (see CachedIteration). The group cache
+  // replicates CurrentPsGroupState for the cached generation; entries map a
+  // worker speed to its precomputed breakdown.
+  struct IterCacheEntry {
+    double speed = 0.0;
+    IterationBreakdown iter;
+  };
+  uint64_t job_version_ = 0;
+  mutable uint64_t iter_cache_cluster_version_ = ~uint64_t{0};
+  mutable uint64_t iter_cache_job_version_ = ~uint64_t{0};
+  mutable int iter_cache_active_ = -1;
+  mutable PsGroupState group_cache_;
+  mutable std::vector<IterCacheEntry> iter_cache_;
+  // Reused scratch for UpdateMemoryAndUsage (avoids a per-tick allocation).
+  mutable std::vector<PsState*> live_ps_scratch_;
 
   std::unique_ptr<PeriodicTask> profile_task_;
   std::unique_ptr<PeriodicTask> checkpoint_task_;

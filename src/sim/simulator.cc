@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace dlrover {
@@ -32,6 +33,10 @@ void Simulator::ReleaseSlot(uint32_t slot) {
 
 EventId Simulator::ScheduleAt(SimTime at, Callback cb, std::string label) {
   (void)label;  // Labels are for debugging; not stored in release builds.
+  if (boxed_callbacks_) {
+    auto boxed = std::make_unique<Callback>(std::move(cb));
+    cb = Callback([b = std::move(boxed)] { (*b)(); });
+  }
   const SimTime when = std::max(at, now_);
   const uint32_t slot = ArmSlot(std::move(cb));
   const uint32_t gen = slots_[slot].gen;

@@ -2,11 +2,11 @@
 #define DLROVER_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "common/inline_callback.h"
 #include "common/status.h"
 #include "common/units.h"
 
@@ -33,7 +33,10 @@ using EventId = uint64_t;
 /// grow, and Cancel of an already-fired event correctly reports false.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer-optimized: closures up to InlineCallback::kInlineBytes are
+  /// stored inline in the event slab, so steady-state scheduling never
+  /// touches the heap.
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -66,6 +69,12 @@ class Simulator {
 
   /// Runs until the event queue is fully drained.
   void RunToCompletion();
+
+  /// Emulates the pre-inline-callback dispatch cost model for before/after
+  /// benchmarking: every scheduled callback is boxed on the heap behind an
+  /// extra indirection, the way std::function stored out-of-line captures.
+  /// Execution order and results are identical either way.
+  void set_boxed_callbacks(bool boxed) { boxed_callbacks_ = boxed; }
 
   /// Number of events executed so far (for tests and microbenches).
   uint64_t executed_events() const { return executed_events_; }
@@ -108,6 +117,7 @@ class Simulator {
   void ReleaseSlot(uint32_t slot);
 
   SimTime now_ = 0.0;
+  bool boxed_callbacks_ = false;
   uint64_t next_seq_ = 0;
   uint64_t executed_events_ = 0;
   size_t live_events_ = 0;

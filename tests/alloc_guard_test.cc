@@ -1,0 +1,75 @@
+// Allocation regression guard for the event hot path. The build compiles the
+// counting operator-new replacement (src/common/alloc_hooks.cc) into this
+// binary, warms up a single training job until every pooled structure (event
+// slab, shard queue, iteration cache, usage scratch) has reached steady
+// state, and then asserts that simulating thousands more events performs
+// ZERO heap allocations. Any new per-event allocation in Simulator, Cluster,
+// ShardQueue, or TrainingJob turns this red.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/alloc_counter.h"
+#include "ps/training_job.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+TEST(AllocGuardTest, HooksAreLinkedAndCounting) {
+  ASSERT_TRUE(AllocationCountingEnabled());
+  const uint64_t before = AllocationCount();
+  // Call the replaced operator directly: unlike a new-expression, a direct
+  // call is not eligible for allocation elision.
+  void* p = ::operator new(64);
+  const uint64_t after = AllocationCount();
+  ::operator delete(p);
+  EXPECT_GT(after, before);
+}
+
+TEST(AllocGuardTest, WarmSingleJobRunIsAllocationFree) {
+  Simulator sim;
+  ClusterOptions cluster_options;
+  cluster_options.num_nodes = 20;
+  cluster_options.node_capacity = {32.0, GiB(192)};
+  Cluster cluster(&sim, cluster_options);
+
+  JobSpec spec;
+  spec.name = "alloc-guard";
+  spec.model = ModelKind::kWideDeep;
+  spec.total_steps = 2000000;  // Long enough that the queue never drains.
+  // Pre-size the per-window history so steady state never grows it.
+  spec.history_reserve = 1 << 14;
+
+  JobConfig config;
+  config.num_workers = 8;
+  config.num_ps = 2;
+  config.worker_cpu = 8.0;
+  config.ps_cpu = 4.0;
+  config.worker_memory = GiB(8);
+  config.ps_memory = GiB(48);
+
+  TrainingJob job(&sim, &cluster, spec, config);
+  job.Start();
+
+  // Warm-up: startup, first profile windows, shard-queue capacity growth,
+  // iteration-cache population all happen here.
+  sim.RunUntil(Minutes(30));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+
+  constexpr int kEvents = 5000;
+  const uint64_t allocs_before = AllocationCount();
+  int stepped = 0;
+  for (; stepped < kEvents; ++stepped) {
+    if (!sim.Step()) break;
+  }
+  const uint64_t allocs_after = AllocationCount();
+
+  ASSERT_EQ(stepped, kEvents) << "event queue drained during measurement";
+  EXPECT_EQ(allocs_after - allocs_before, 0u)
+      << "hot path allocated " << (allocs_after - allocs_before)
+      << " times across " << kEvents << " events";
+}
+
+}  // namespace
+}  // namespace dlrover

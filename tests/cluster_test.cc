@@ -136,7 +136,7 @@ TEST(ClusterTest, UsageAggregation) {
   Cluster cluster(&sim, TinyCluster(1, 16.0));
   const PodId id = cluster.CreatePod(TrainingPod(8.0), nullptr, nullptr);
   sim.RunUntil(Seconds(20));
-  cluster.GetMutablePod(id)->usage = {4.0, GiB(4)};
+  cluster.ReportUsage(id, {4.0, GiB(4)});
   const ClusterUsage usage = cluster.Usage();
   EXPECT_DOUBLE_EQ(usage.cpu_allocated_fraction, 0.5);
   EXPECT_DOUBLE_EQ(usage.cpu_used_fraction, 0.25);
@@ -160,6 +160,102 @@ TEST(ClusterTest, VisitPodsSeesEverything) {
   int count = 0;
   cluster.VisitPods([&](const Pod&) { ++count; });
   EXPECT_EQ(count, 5);
+}
+
+// A terminated pod stays resolvable (for post-mortem inspection) until its
+// slab slot is re-armed by a new pod; from then on the old id is stale and
+// every lookup or kill through it must be a safe no-op.
+TEST(ClusterTest, StalePodIdIsNullAfterSlotReuse) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  const PodId dead = cluster.CreatePod(TrainingPod(4.0), nullptr, nullptr);
+  cluster.KillPod(dead);
+  ASSERT_NE(cluster.GetPod(dead), nullptr);
+  EXPECT_EQ(cluster.GetPod(dead)->phase, PodPhase::kKilled);
+
+  // Reuses the freed slot with a bumped generation.
+  const PodId fresh = cluster.CreatePod(TrainingPod(4.0), nullptr, nullptr);
+  EXPECT_NE(fresh, dead);
+  EXPECT_EQ(cluster.GetPod(dead), nullptr);
+  ASSERT_NE(cluster.GetPod(fresh), nullptr);
+  EXPECT_EQ(cluster.GetPod(fresh)->id, fresh);
+
+  // Operations through the stale id must not touch the new tenant.
+  cluster.KillPod(dead);
+  cluster.FailPod(dead, PodStopReason::kCrash);
+  EXPECT_EQ(cluster.GetPod(fresh)->phase, PodPhase::kStarting);
+}
+
+// VisitPods iterates in creation order regardless of slot recycling; the
+// failure injector draws one Bernoulli per visited pod, so this order is
+// part of the deterministic-output contract.
+TEST(ClusterTest, VisitPodsKeepsCreationOrderAcrossSlotReuse) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(2, 16.0));
+  std::vector<PodId> created;
+  for (int i = 0; i < 4; ++i) {
+    created.push_back(cluster.CreatePod(TrainingPod(2.0), nullptr, nullptr));
+  }
+  cluster.KillPod(created[1]);
+  cluster.KillPod(created[2]);
+  for (int i = 0; i < 3; ++i) {
+    created.push_back(cluster.CreatePod(TrainingPod(2.0), nullptr, nullptr));
+  }
+  std::vector<PodId> visited;
+  cluster.VisitPods([&](const Pod& pod) { visited.push_back(pod.id); });
+  EXPECT_EQ(visited, created);
+}
+
+// Regression: a fully failed cluster has zero capacity; UnderScarcity must
+// report false instead of dividing by zero.
+TEST(ClusterTest, UnderScarcityFalseOnZeroCapacity) {
+  Simulator sim;
+  Cluster cluster(&sim, TinyCluster(1, 16.0));
+  cluster.CreatePod(TrainingPod(15.0), nullptr, nullptr);
+  EXPECT_TRUE(cluster.UnderScarcity());
+  cluster.FailNode(0);
+  EXPECT_DOUBLE_EQ(cluster.TotalCapacity().cpu, 0.0);
+  EXPECT_FALSE(cluster.UnderScarcity());
+}
+
+// Incremental totals must agree with a fresh per-node scan at every point
+// of the pod lifecycle, including node failure.
+TEST(ClusterTest, IncrementalAccountingMatchesScan) {
+  Simulator sim;
+  ClusterOptions scan_options = TinyCluster(3, 16.0);
+  scan_options.incremental_accounting = false;
+  Simulator scan_sim;
+
+  auto check = [](Cluster& incremental, Cluster& scan) {
+    EXPECT_DOUBLE_EQ(incremental.TotalCapacity().cpu,
+                     scan.TotalCapacity().cpu);
+    EXPECT_DOUBLE_EQ(incremental.TotalAllocated().cpu,
+                     scan.TotalAllocated().cpu);
+    EXPECT_DOUBLE_EQ(incremental.TotalUsage().cpu, scan.TotalUsage().cpu);
+    EXPECT_DOUBLE_EQ(incremental.TotalAllocated().memory,
+                     scan.TotalAllocated().memory);
+  };
+
+  Cluster incremental(&sim, TinyCluster(3, 16.0));
+  Cluster scan(&scan_sim, scan_options);
+  std::vector<PodId> a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(incremental.CreatePod(TrainingPod(6.0), nullptr, nullptr));
+    b.push_back(scan.CreatePod(TrainingPod(6.0), nullptr, nullptr));
+  }
+  sim.RunUntil(Seconds(20));
+  scan_sim.RunUntil(Seconds(20));
+  incremental.ReportUsage(a[0], {3.0, GiB(3)});
+  scan.ReportUsage(b[0], {3.0, GiB(3)});
+  check(incremental, scan);
+
+  incremental.KillPod(a[1]);
+  scan.KillPod(b[1]);
+  check(incremental, scan);
+
+  incremental.FailNode(0);
+  scan.FailNode(0);
+  check(incremental, scan);
 }
 
 // Regression: killing pods from inside a preemption-victim callback must

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace dlrover {
@@ -190,6 +192,49 @@ TEST(PeriodicTaskTest, DoubleStartIsNoOp) {
   task.Start();
   sim.RunUntil(35.0);
   EXPECT_EQ(ticks, 3);  // not doubled
+}
+
+// Captures larger than InlineCallback's inline buffer spill to the heap
+// fallback; the callback must still run, move, and destroy correctly.
+TEST(InlineCallbackTest, LargeCaptureUsesHeapFallback) {
+  Simulator sim;
+  std::array<double, 32> payload{};  // 256 bytes, well over the inline limit
+  payload[0] = 1.5;
+  payload[31] = 2.5;
+  static_assert(sizeof(payload) > InlineCallback::kInlineBytes);
+  double sum = 0.0;
+  sim.ScheduleAt(1.0, [payload, &sum] { sum = payload[0] + payload[31]; });
+  sim.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+// Move-only captures (the common case: unique_ptr-owned state handed to the
+// event) must compile and execute through the inline storage.
+TEST(InlineCallbackTest, MoveOnlyCaptureRuns) {
+  Simulator sim;
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  sim.ScheduleAt(1.0, [p = std::move(owned), &seen] { seen = *p; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(seen, 7);
+}
+
+// Cancelling must destroy the stored callable (heap fallback included)
+// without running it — destruction is observable via shared_ptr use count.
+TEST(InlineCallbackTest, CancelDestroysWithoutInvoking) {
+  Simulator sim;
+  auto tracker = std::make_shared<int>(0);
+  std::array<char, 100> bulk{};  // force the heap fallback path
+  int runs = 0;
+  const EventId id = sim.ScheduleAt(1.0, [tracker, bulk, &runs] {
+    (void)bulk;
+    ++runs;
+  });
+  EXPECT_EQ(tracker.use_count(), 2);
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(tracker.use_count(), 1);  // capture destroyed on cancel
+  sim.RunUntil(2.0);
+  EXPECT_EQ(runs, 0);
 }
 
 }  // namespace

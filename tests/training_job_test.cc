@@ -35,6 +35,17 @@ JobConfig TunedConfig() {
   return config;
 }
 
+std::vector<PodId> RunningWorkerPods(const Cluster& cluster) {
+  std::vector<PodId> ids;
+  cluster.VisitPods([&](const Pod& pod) {
+    if (pod.phase == PodPhase::kRunning &&
+        pod.spec.name.find("worker") != std::string::npos) {
+      ids.push_back(pod.id);
+    }
+  });
+  return ids;
+}
+
 TEST(TrainingJobTest, RunsToCompletion) {
   Simulator sim;
   Cluster cluster(&sim, SmallCluster());
@@ -78,13 +89,10 @@ TEST(TrainingJobTest, SurvivesWorkerCrashWithDynamicSharding) {
   ASSERT_EQ(job.state(), JobState::kRunning);
   // Crash two workers: shards must be re-queued, replacements created.
   int crashed = 0;
-  for (PodId id = 1; id < 20 && crashed < 2; ++id) {
-    const Pod* pod = cluster.GetPod(id);
-    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
-        pod->spec.name.find("worker") != std::string::npos) {
-      cluster.FailPod(id, PodStopReason::kCrash);
-      ++crashed;
-    }
+  for (PodId id : RunningWorkerPods(cluster)) {
+    if (crashed >= 2) break;
+    cluster.FailPod(id, PodStopReason::kCrash);
+    ++crashed;
   }
   ASSERT_EQ(crashed, 2);
   sim.RunUntil(Hours(6));
@@ -104,14 +112,9 @@ TEST(TrainingJobTest, StaticPartitionRestartsOnWorkerCrash) {
   job.Start();
   sim.RunUntil(Minutes(5));
   ASSERT_EQ(job.state(), JobState::kRunning);
-  for (PodId id = 1; id < 20; ++id) {
-    const Pod* pod = cluster.GetPod(id);
-    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
-        pod->spec.name.find("worker") != std::string::npos) {
-      cluster.FailPod(id, PodStopReason::kCrash);
-      break;
-    }
-  }
+  const std::vector<PodId> crash_targets = RunningWorkerPods(cluster);
+  ASSERT_FALSE(crash_targets.empty());
+  cluster.FailPod(crash_targets.front(), PodStopReason::kCrash);
   sim.RunUntil(Hours(8));
   ASSERT_EQ(job.state(), JobState::kCompleted);
   EXPECT_EQ(job.stats().full_restarts, 1);
@@ -206,14 +209,9 @@ TEST(TrainingJobTest, StragglerMitigationShrinksShards) {
   sim.RunUntil(Minutes(5));
   ASSERT_EQ(job.state(), JobState::kRunning);
   // Degrade one worker pod to 3% speed (paper's straggler experiment).
-  for (PodId id = 1; id < 20; ++id) {
-    const Pod* pod = cluster.GetPod(id);
-    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
-        pod->spec.name.find("worker") != std::string::npos) {
-      cluster.DegradePod(id, 0.03);
-      break;
-    }
-  }
+  const std::vector<PodId> degrade_targets = RunningWorkerPods(cluster);
+  ASSERT_FALSE(degrade_targets.empty());
+  cluster.DegradePod(degrade_targets.front(), 0.03);
   PeriodicTask mitigate(&sim, Seconds(30), [&job] { job.MitigateStragglers(); });
   mitigate.Start();
   sim.RunUntil(Minutes(30));
