@@ -8,10 +8,15 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "dlrm/metrics.h"
+#include "dlrm/model_checkpoint.h"
+#include "elastic/chaos.h"
+#include "elastic/heartbeat.h"
 #include "runtime/thread_pool.h"
 
 namespace dlrover {
@@ -283,46 +288,147 @@ TrainResult AsyncPsTrainer::RunTicks() {
   return std::move(result_);
 }
 
-TrainResult AsyncPsTrainer::RunThreads() {
-  // Per-worker control block. Elastic events cannot preempt a real thread
-  // mid-batch; they set flags that the worker observes at batch boundaries,
-  // which is also how real PS workers drain on scale-in.
+/// Shared state and logic of ExecMode::kThreads. One instance lives on the
+/// stack of RunThreads for the duration of a run; worker tasks and the
+/// fault-tolerance supervisor all operate through it.
+///
+/// Locking order (outer to inner): commit_gate -> state_mu -> queue mutex.
+/// Workers hold commit_gate shared around their push+commit critical
+/// section; the supervisor holds it exclusive while fencing a worker,
+/// checkpointing, or restoring — so a checkpoint is a true quiescent cut
+/// and a fenced worker can never slip one more update in after its shard
+/// was reclaimed.
+struct AsyncPsTrainer::ThreadRuntime {
+  /// Per-worker control block. Elastic events and chaos faults cannot
+  /// preempt a real thread mid-batch; they set flags the worker observes
+  /// at batch boundaries, which is also how real PS workers drain.
   struct WorkerCtl {
     int id = 0;
     std::atomic<bool> stop{false};   // graceful scale-in: requeue + exit
-    std::atomic<bool> crash{false};  // abrupt failure: same, picked abruptly
-    std::atomic<int> stall_us{0};    // straggler injection per batch
+    std::atomic<bool> crash{false};  // scripted failure: requeue + exit
+    /// Chaos crash: dies without reporting anything; the supervisor (or
+    /// the end-of-run reclaim) must recover its shard.
+    std::atomic<bool> hard_crash{false};
+    /// The supervisor declared this worker dead and reclaimed its shard;
+    /// any in-flight update must be dropped, never committed.
+    std::atomic<bool> fenced{false};
+    /// Chaos stall: alive but silent until fenced.
+    std::atomic<bool> stalled{false};
+    std::atomic<int> stall_us{0};  // straggler injection per batch
+    std::atomic<bool> exited{false};
+    /// End-of-run drain worker: chaos must skip it or a fault could keep
+    /// the run from ever terminating.
+    std::atomic<bool> immune{false};
+    std::atomic<uint64_t> beats{0};        // committed batches (progress)
+    std::atomic<double> last_beat_s{0.0};  // runtime clock of last commit
+    bool monitored = false;                // under state_mu
   };
 
-  const size_t pool_threads =
-      options_.num_threads > 0 ? static_cast<size_t>(options_.num_threads)
-                               : static_cast<size_t>(std::max(1, options_.num_workers));
-  ThreadPool pool(pool_threads);
+  /// Registry of dispatched-but-unreported shards: who holds what, and how
+  /// much is already reflected in committed state. This is what lets the
+  /// supervisor reclaim a dead worker's shard with the exact processed
+  /// prefix, and what makes checkpoints consistent with out-of-order shard
+  /// completion.
+  struct InFlight {
+    uint64_t shard_index = 0;
+    DataShard shard;
+    int owner = 0;
+    uint64_t epoch = 0;
+    uint64_t processed = 0;
+    bool finished = false;  // fully processed; completion report was lost
+  };
 
-  // state_mu guards committed_, result_, next_event_, the worker control
-  // list and the future list. Everything inside is O(1)-ish bookkeeping;
-  // the expensive pull/compute/push runs outside the lock.
+  AsyncPsTrainer* t;
+  const AsyncTrainerOptions& opts;
+  ChaosInjector* chaos;
+  const bool ft;
+  ThreadPool pool;
+
+  // state_mu guards committed_, result_, next_event_, ctls, futures,
+  // inflight, monitor and last_eval. Everything inside is O(1)-ish
+  // bookkeeping; the expensive pull/compute/push runs outside the lock.
   std::mutex state_mu;
+  std::shared_mutex commit_gate;
   std::vector<std::shared_ptr<WorkerCtl>> ctls;
   std::vector<std::future<void>> futures;
+  std::vector<InFlight> inflight;
   uint64_t last_eval = 0;
+  std::atomic<uint64_t> committed_approx{0};
+  /// Bumped on every restore. A worker may commit only under the epoch it
+  /// acquired its shard in, so shards rolled back by a restore are
+  /// abandoned instead of double-trained.
+  std::atomic<uint64_t> epoch{0};
 
-  std::function<void(std::shared_ptr<WorkerCtl>)> worker_loop;
+  // Fault-tolerance machinery (constructed always, inert unless ft).
+  CheckpointVault vault;
+  HeartbeatMonitor monitor;
+  FaultToleranceStats stats;
+  Rng backoff_rng;
+  int replacements_done = 0;
+  int restore_attempts = 0;
+  std::thread supervisor;
+  std::atomic<bool> supervisor_stop{false};
+  const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
 
-  auto spawn_worker_locked = [&]() {
+  explicit ThreadRuntime(AsyncPsTrainer* trainer)
+      : t(trainer),
+        opts(trainer->options_),
+        chaos(trainer->options_.chaos),
+        ft(trainer->options_.fault_tolerance.enabled),
+        pool(trainer->options_.num_threads > 0
+                 ? static_cast<size_t>(trainer->options_.num_threads)
+                 : static_cast<size_t>(
+                       std::max(1, trainer->options_.num_workers))),
+        vault(trainer->options_.fault_tolerance.keep_checkpoints),
+        monitor(MonitorOptions(trainer->options_)),
+        backoff_rng(trainer->options_.seed ^ 0xb0ffull) {}
+
+  static HeartbeatMonitorOptions MonitorOptions(const AsyncTrainerOptions& o) {
+    HeartbeatMonitorOptions m;
+    m.failure_timeout = o.fault_tolerance.heartbeat_timeout_ms / 1000.0;
+    m.min_observation = 0.0;
+    return m;
+  }
+
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  bool ChaosTake(const WorkerCtl& ctl, ChaosFaultKind kind) {
+    return chaos != nullptr && !ctl.immune.load() &&
+           chaos->Take(kind, committed_approx.load());
+  }
+
+  int EffectiveStrikes() const {
+    if (opts.give_up_deadline_strikes > 0) return opts.give_up_deadline_strikes;
+    // Chaos without a supervisor can strand shards forever; an unprotected
+    // fleet must eventually give up instead of hanging the run.
+    if (chaos != nullptr && !ft) return 40;
+    return 0;  // never give up
+  }
+
+  std::shared_ptr<WorkerCtl> SpawnWorkerLocked() {
     auto ctl = std::make_shared<WorkerCtl>();
-    ctl->id = next_worker_id_++;
+    ctl->id = t->next_worker_id_++;
+    ctl->last_beat_s.store(NowSeconds());
     ctls.push_back(ctl);
-    futures.push_back(pool.Submit([&worker_loop, ctl]() { worker_loop(ctl); }));
-  };
+    if (ft) {
+      monitor.AddMember(static_cast<uint64_t>(ctl->id), NowSeconds());
+      ctl->monitored = true;
+    }
+    futures.push_back(pool.Submit([this, ctl]() { WorkerLoop(ctl); }));
+    return ctl;
+  }
 
-  auto fire_events_locked = [&]() {
-    while (next_event_ < options_.events.size() &&
-           options_.events[next_event_].at_batches <= committed_) {
-      const ElasticEvent& event = options_.events[next_event_++];
+  void FireEventsLocked() {
+    while (t->next_event_ < opts.events.size() &&
+           opts.events[t->next_event_].at_batches <= t->committed_) {
+      const ElasticEvent& event = opts.events[t->next_event_++];
       switch (event.kind) {
         case ElasticEvent::Kind::kAddWorkers: {
-          for (int i = 0; i < event.count; ++i) spawn_worker_locked();
+          for (int i = 0; i < event.count; ++i) SpawnWorkerLocked();
           break;
         }
         case ElasticEvent::Kind::kRemoveWorkers: {
@@ -342,7 +448,7 @@ TrainResult AsyncPsTrainer::RunThreads() {
               continue;  // crash a healthy worker, as in tick mode
             }
             c->crash.store(true);
-            spawn_worker_locked();  // replacement joins via the queue
+            SpawnWorkerLocked();  // replacement joins via the queue
             break;
           }
           break;
@@ -353,127 +459,508 @@ TrainResult AsyncPsTrainer::RunThreads() {
               continue;
             }
             const double speed = std::max(event.speed, 1e-3);
-            c->stall_us.store(static_cast<int>(
-                options_.straggler_stall_us / speed));
+            c->stall_us.store(
+                static_cast<int>(opts.straggler_stall_us / speed));
             break;
           }
           break;
         }
       }
     }
-  };
+  }
 
-  auto commit_batch = [&](uint64_t batch_index) {
+  /// Registers a freshly acquired shard. Fails when a restore happened
+  /// since `my_epoch` was read — the caller must hand the shard back (a
+  /// stale index bounces off the queue harmlessly) and retry.
+  bool RegisterShard(const WorkerCtl& ctl, const DataShard& shard,
+                     uint64_t my_epoch) {
+    std::lock_guard<std::mutex> lock(state_mu);
+    if (epoch.load() != my_epoch) return false;
+    InFlight entry;
+    entry.shard_index = shard.index;
+    entry.shard = shard;
+    entry.owner = ctl.id;
+    entry.epoch = my_epoch;
+    inflight.push_back(entry);
+    return true;
+  }
+
+  void UnregisterShard(uint64_t shard_index) {
+    std::lock_guard<std::mutex> lock(state_mu);
+    for (auto it = inflight.begin(); it != inflight.end(); ++it) {
+      if (it->shard_index == shard_index) {
+        inflight.erase(it);
+        return;
+      }
+    }
+  }
+
+  void MarkFinishedUnreported(uint64_t shard_index) {
+    std::lock_guard<std::mutex> lock(state_mu);
+    for (InFlight& entry : inflight) {
+      if (entry.shard_index == shard_index) {
+        entry.finished = true;
+        return;
+      }
+    }
+  }
+
+  /// Push + commit under the shared gate. Returns false when the worker is
+  /// fenced or its epoch is stale: the update is dropped and the caller
+  /// abandons the shard (the supervisor owns its fate now).
+  bool CommitBatch(WorkerCtl& ctl, const DataShard& shard, uint64_t my_epoch,
+                   uint64_t batch_index, const DlrmGradients& grads,
+                   bool* crash_after_push) {
     bool do_eval = false;
     uint64_t eval_at = 0;
     {
-      std::lock_guard<std::mutex> lock(state_mu);
-      if (batch_index < result_.times_trained.size()) {
-        uint8_t& times = result_.times_trained[batch_index];
-        if (times < 255) ++times;
-        if (times > 1) ++result_.batches_duplicated;
+      std::shared_lock<std::shared_mutex> gate(commit_gate);
+      if (ctl.fenced.load() || epoch.load() != my_epoch) return false;
+      t->model_->ApplyGradients(grads, opts.learning_rate);
+      uint64_t now_committed = 0;
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        if (batch_index < t->result_.times_trained.size()) {
+          uint8_t& times = t->result_.times_trained[batch_index];
+          if (times < 255) ++times;
+          if (times > 1) ++t->result_.batches_duplicated;
+        }
+        ++t->committed_;
+        now_committed = t->committed_;
+        committed_approx.store(now_committed);
+        for (InFlight& entry : inflight) {
+          if (entry.shard_index == shard.index) {
+            ++entry.processed;
+            break;
+          }
+        }
+        ctl.beats.fetch_add(1);
+        ctl.last_beat_s.store(NowSeconds());
+        FireEventsLocked();
+        if (t->committed_ - last_eval >= opts.eval_every_batches) {
+          last_eval = t->committed_;
+          eval_at = t->committed_;
+          do_eval = true;
+        }
       }
-      ++committed_;
-      fire_events_locked();
-      if (committed_ - last_eval >= options_.eval_every_batches) {
-        last_eval = committed_;
-        eval_at = committed_;
-        do_eval = true;
+      // Crash-after-push: the batch is committed (and must not be redone);
+      // the worker dies before it can ever report the shard.
+      if (chaos != nullptr && !ctl.immune.load() &&
+          chaos->Take(ChaosFaultKind::kCrashAfterPush, now_committed)) {
+        *crash_after_push = true;
       }
     }
     if (do_eval) {
       // Predict is thread-safe; only the curve append needs the lock.
-      const std::vector<double> probs = model_->Predict(eval_batch_);
+      const std::vector<double> probs = t->model_->Predict(t->eval_batch_);
       EvalPoint point;
       point.batches = eval_at;
-      point.test_logloss = LogLoss(probs, eval_labels_);
-      point.test_auc = Auc(probs, eval_labels_);
+      point.test_logloss = LogLoss(probs, t->eval_labels_);
+      point.test_auc = Auc(probs, t->eval_labels_);
       std::lock_guard<std::mutex> lock(state_mu);
-      result_.curve.push_back(point);
+      t->result_.curve.push_back(point);
     }
-  };
+    return true;
+  }
 
-  worker_loop = [&](std::shared_ptr<WorkerCtl> ctl) {
-    while (!ctl->stop.load() && !ctl->crash.load()) {
-      auto shard_or = queue_->WaitNextShard();
+  void WorkerLoop(std::shared_ptr<WorkerCtl> ctl) {
+    const double wait_s = std::max(1.0, opts.shard_wait_timeout_ms) / 1000.0;
+    const int max_strikes = EffectiveStrikes();
+    int strikes = 0;
+    while (!ctl->stop.load() && !ctl->crash.load() &&
+           !ctl->hard_crash.load() && !ctl->fenced.load()) {
+      const uint64_t my_epoch = epoch.load();
+      auto shard_or = t->queue_->WaitNextShardFor(wait_s);
+      if (shard_or.status().code() == StatusCode::kDeadlineExceeded) {
+        if (max_strikes > 0 && ++strikes >= max_strikes) break;
+        continue;  // re-check control flags, then wait again
+      }
       if (!shard_or.ok()) break;  // terminal: nothing can be served again
+      strikes = 0;
       const DataShard shard = *shard_or;
+      if (!RegisterShard(*ctl, shard, my_epoch)) {
+        // A restore slipped between the epoch read and the dispatch. If the
+        // shard came from the restored queue it goes straight back intact;
+        // if it predates the restore its index is already retired.
+        const Status s = t->queue_->ReportFailed(shard, 0);
+        (void)s;
+        continue;
+      }
       uint64_t pos = 0;
-      bool aborted = false;
+      bool aborted = false;    // graceful: self-report the prefix
+      bool abandoned = false;  // fenced/hard-crash: report nothing
+      bool stale = false;      // a restore retired this shard mid-flight
       for (; pos < shard.batches(); ++pos) {
+        while (ctl->stalled.load() && !ctl->fenced.load() &&
+               !ctl->stop.load() && !ctl->crash.load() &&
+               !ctl->hard_crash.load()) {
+          // Heartbeat silence: alive, making no progress. Only the
+          // supervisor's fence (or shutdown) releases the worker.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
         if (ctl->stop.load() || ctl->crash.load()) {
           aborted = true;
           break;
         }
+        if (ctl->hard_crash.load() || ctl->fenced.load()) {
+          abandoned = true;
+          break;
+        }
         const uint64_t batch_index = shard.start_batch + pos;
-        const CriteoBatch batch = data_->Batch(
-            batch_index * options_.batch_size, options_.batch_size);
+        const CriteoBatch batch = t->data_->Batch(
+            batch_index * opts.batch_size, opts.batch_size);
         // Pull -> compute -> push with real staleness: other workers push
         // between this snapshot and this push.
-        const ParamSnapshot snapshot = model_->TakeSnapshot(batch);
+        const ParamSnapshot snapshot = t->model_->TakeSnapshot(batch);
         DlrmGradients grads;
-        model_->ForwardBackward(batch, snapshot, &grads);
+        t->model_->ForwardBackward(batch, snapshot, &grads);
         const int stall = ctl->stall_us.load();
         if (stall > 0) {
           std::this_thread::sleep_for(std::chrono::microseconds(stall));
         }
-        model_->ApplyGradients(grads, options_.learning_rate);
-        commit_batch(batch_index);
+        if (ChaosTake(*ctl, ChaosFaultKind::kCrashBeforePush)) {
+          // Dies with the gradient computed but not pushed: this batch was
+          // never committed and must be re-served.
+          ctl->hard_crash.store(true);
+          abandoned = true;
+          break;
+        }
+        bool crash_after_push = false;
+        if (!CommitBatch(*ctl, shard, my_epoch, batch_index, grads,
+                         &crash_after_push)) {
+          if (ctl->fenced.load() || ctl->hard_crash.load()) {
+            abandoned = true;
+          } else {
+            // The gate rejected the push because a restore bumped the
+            // epoch: this shard's index is retired and its data is
+            // re-served by the rolled-back queue. The worker itself is
+            // healthy — it drops the shard and fetches fresh work.
+            stale = true;
+          }
+          break;
+        }
+        if (crash_after_push) {
+          ctl->hard_crash.store(true);
+          abandoned = true;
+          break;
+        }
       }
       if (aborted) {
         // Exactly-once: the committed prefix is credited, the remainder is
         // re-served to someone else (with a fresh shard index).
-        const Status s = queue_->ReportFailed(shard, pos);
-        assert(s.ok());
+        UnregisterShard(shard.index);
+        const Status s = t->queue_->ReportFailed(shard, pos);
+        assert(s.ok() || s.code() == StatusCode::kNotFound);
         (void)s;
         break;
       }
-      const Status s = queue_->ReportCompleted(shard);
-      assert(s.ok());
+      if (abandoned) break;  // leave the registry entry for the supervisor
+      if (stale) continue;   // registry entry already cleared by the restore
+      if (ChaosTake(*ctl, ChaosFaultKind::kLoseShardReport)) {
+        // The work is done but the completion report evaporates. The
+        // registry entry stays, flagged, until the supervisor reaps it.
+        MarkFinishedUnreported(shard.index);
+        continue;
+      }
+      UnregisterShard(shard.index);
+      const Status s = t->queue_->ReportCompleted(shard);
+      // A shard dispatched before a restore names a retired index; its
+      // completion is void (the data was rolled back and re-served).
+      assert(s.ok() || s.code() == StatusCode::kNotFound);
       (void)s;
     }
-  };
-
-  Evaluate(&result_);  // initial point, before any worker starts
-  {
-    std::lock_guard<std::mutex> lock(state_mu);
-    for (int i = 0; i < options_.num_workers; ++i) spawn_worker_locked();
+    ctl->exited.store(true);
   }
 
-  // Join all workers, including ones spawned by events mid-run.
-  for (;;) {
-    std::vector<std::future<void>> joinable;
+  // ---- Supervisor (fault-tolerance) ----------------------------------
+
+  /// Declares a worker dead, reclaims its shards with their processed
+  /// prefixes, and spawns a replacement if the budget allows. Takes the
+  /// gate exclusively: no commit can be in flight while the fence goes up,
+  /// so the reclaimed remainder can never lose a racing update.
+  void FenceAndReclaim(uint64_t member_id, bool replace) {
+    std::unique_lock<std::shared_mutex> gate(commit_gate);
+    std::lock_guard<std::mutex> lock(state_mu);
+    std::shared_ptr<WorkerCtl> victim;
+    for (const auto& c : ctls) {
+      if (static_cast<uint64_t>(c->id) == member_id) {
+        victim = c;
+        break;
+      }
+    }
+    if (!victim || victim->fenced.load()) return;
+    victim->fenced.store(true);
+    ++stats.workers_fenced;
+    if (victim->monitored) {
+      monitor.RemoveMember(member_id);
+      victim->monitored = false;
+    }
+    ReclaimEntriesOfLocked(victim->id);
+    if (replace && !victim->stop.load()) {
+      if (replacements_done < opts.fault_tolerance.max_replacements) {
+        ++replacements_done;
+        ++stats.workers_replaced;
+        SpawnWorkerLocked();
+      } else {
+        ++stats.degraded_exits;  // smaller fleet from here on
+      }
+    }
+  }
+
+  /// Requires state_mu (and, for live owners, the exclusive gate).
+  void ReclaimEntriesOfLocked(int owner) {
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->owner != owner) {
+        ++it;
+        continue;
+      }
+      const Status s = t->queue_->ReportFailed(it->shard, it->processed);
+      assert(s.ok() || s.code() == StatusCode::kNotFound);
+      (void)s;
+      ++stats.shards_reclaimed;
+      it = inflight.erase(it);
+    }
+  }
+
+  /// Reaps registry entries whose owner already exited (chaos hard crash)
+  /// and finished shards whose completion report was lost. No gate needed:
+  /// the owner is gone, nothing races on these entries.
+  void ReapOrphansLocked() {
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      bool reap = false;
+      if (it->finished) {
+        reap = true;
+        ++stats.lost_reports_reaped;
+      } else {
+        for (const auto& c : ctls) {
+          if (c->id == it->owner) {
+            reap = c->exited.load();
+            break;
+          }
+        }
+      }
+      if (!reap) {
+        ++it;
+        continue;
+      }
+      // processed == batches for lost reports: ReportFailed credits the
+      // full prefix and re-queues nothing — the lost completion, recovered.
+      const Status s = t->queue_->ReportFailed(it->shard, it->processed);
+      assert(s.ok() || s.code() == StatusCode::kNotFound);
+      (void)s;
+      if (!it->finished) ++stats.shards_reclaimed;
+      it = inflight.erase(it);
+    }
+    for (const auto& c : ctls) {
+      if (c->monitored && c->exited.load()) {
+        monitor.RemoveMember(static_cast<uint64_t>(c->id));
+        c->monitored = false;
+      }
+    }
+  }
+
+  void InjectStallLocked() {
+    for (const auto& c : ctls) {
+      if (c->stop.load() || c->crash.load() || c->hard_crash.load() ||
+          c->fenced.load() || c->stalled.load() || c->exited.load() ||
+          c->immune.load()) {
+        continue;
+      }
+      c->stalled.store(true);
+      ++stats.stalls_injected;
+      return;
+    }
+  }
+
+  /// Captures a checkpoint under a quiescent cut: model blob, queue
+  /// snapshot netted of every in-flight processed prefix, and the audit
+  /// histogram — all consistent with `committed_`.
+  void TakeCheckpoint() {
+    ModelCheckpoint ckpt;
+    {
+      std::unique_lock<std::shared_mutex> gate(commit_gate);
+      std::lock_guard<std::mutex> lock(state_mu);
+      ckpt.committed_batches = t->committed_;
+      ckpt.batches_duplicated = t->result_.batches_duplicated;
+      ckpt.times_trained = t->result_.times_trained;
+      std::vector<ShardProgress> progress;
+      progress.reserve(inflight.size());
+      for (const InFlight& entry : inflight) {
+        progress.push_back({entry.shard_index, entry.processed});
+      }
+      ckpt.queue = t->queue_->SnapshotState(progress);
+      t->model_->ExportState(&ckpt.model);
+    }
+    ++stats.checkpoints_taken;
+    if (chaos != nullptr &&
+        chaos->Take(ChaosFaultKind::kFailCheckpointWrite,
+                    ckpt.committed_batches)) {
+      ++stats.checkpoint_writes_failed;
+      vault.CommitCorrupted(std::move(ckpt));
+      return;
+    }
+    vault.Commit(std::move(ckpt));
+  }
+
+  /// Parameter state is gone: wait out an exponential backoff (capped,
+  /// seeded jitter — the cost of standing up a replacement PS), then roll
+  /// model, queue, audit and counters back to the newest checkpoint that
+  /// passes its checksum. Gives up (degraded: live state kept) when the
+  /// restore budget is exhausted or no generation verifies.
+  void PerformRestore() {
+    if (restore_attempts >= opts.fault_tolerance.max_restores) return;
+    ++restore_attempts;
+    const double base = opts.fault_tolerance.restore_backoff_base_ms;
+    const double cap = opts.fault_tolerance.restore_backoff_cap_ms;
+    double delay_ms =
+        base * static_cast<double>(1ull << std::min(restore_attempts - 1, 20));
+    delay_ms = std::min(delay_ms, cap) * backoff_rng.Uniform(0.5, 1.5);
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(delay_ms * 1000.0)));
+    }
+    std::unique_lock<std::shared_mutex> gate(commit_gate);
+    std::lock_guard<std::mutex> lock(state_mu);
+    const ModelCheckpoint* ckpt = vault.LatestValid();
+    if (ckpt == nullptr) return;  // nothing trustworthy to restore from
+    epoch.fetch_add(1);
+    const Status s = t->model_->ImportState(ckpt->model);
+    assert(s.ok());
+    (void)s;
+    t->queue_->RestoreState(ckpt->queue);
+    if (t->committed_ > ckpt->committed_batches) {
+      stats.batches_rolled_back += t->committed_ - ckpt->committed_batches;
+    }
+    t->committed_ = ckpt->committed_batches;
+    committed_approx.store(t->committed_);
+    t->result_.times_trained = ckpt->times_trained;
+    t->result_.batches_duplicated = ckpt->batches_duplicated;
+    last_eval = std::min(last_eval, t->committed_);
+    // Every in-flight shard predates the restore; owners will notice their
+    // stale epoch and abandon. The restored queue re-serves the data.
+    inflight.clear();
+    ++stats.restores;
+  }
+
+  void SupervisorLoop() {
+    const auto poll = std::chrono::microseconds(static_cast<int64_t>(
+        std::max(0.1, opts.fault_tolerance.supervisor_poll_ms) * 1000.0));
+    uint64_t last_ckpt = committed_approx.load();
+    while (!supervisor_stop.load()) {
+      std::this_thread::sleep_for(poll);
+      const uint64_t committed = committed_approx.load();
+      if (chaos != nullptr) {
+        if (chaos->Take(ChaosFaultKind::kStallWorker, committed)) {
+          std::lock_guard<std::mutex> lock(state_mu);
+          InjectStallLocked();
+        }
+        if (chaos->Take(ChaosFaultKind::kPsFailure, committed)) {
+          PerformRestore();
+          last_ckpt = committed_approx.load();
+        }
+      }
+      std::vector<uint64_t> dead;
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        ReapOrphansLocked();
+        const double now = NowSeconds();
+        for (const auto& c : ctls) {
+          if (!c->monitored) continue;
+          monitor.Heartbeat(static_cast<uint64_t>(c->id),
+                            c->last_beat_s.load(), c->beats.load());
+        }
+        dead = monitor.DetectFailures(now);
+      }
+      for (uint64_t member : dead) FenceAndReclaim(member, /*replace=*/true);
+      const uint64_t now_committed = committed_approx.load();
+      if (now_committed >= last_ckpt &&
+          now_committed - last_ckpt >=
+              opts.fault_tolerance.checkpoint_every_batches) {
+        TakeCheckpoint();
+        last_ckpt = committed_approx.load();
+      }
+      if (now_committed < last_ckpt) last_ckpt = now_committed;  // rolled back
+    }
+    // Final cut at shutdown: captures end-of-run state and consumes any
+    // still-pending torn-write fault scheduled near the tail.
+    if (committed_approx.load() > last_ckpt) TakeCheckpoint();
+  }
+
+  // ---- Run ------------------------------------------------------------
+
+  TrainResult Run() {
+    t->Evaluate(&t->result_);  // initial point, before any worker starts
+    if (ft) TakeCheckpoint();  // generation 0: a restore target always exists
     {
       std::lock_guard<std::mutex> lock(state_mu);
-      joinable.swap(futures);
+      for (int i = 0; i < opts.num_workers; ++i) SpawnWorkerLocked();
     }
-    if (joinable.empty()) break;
-    for (std::future<void>& f : joinable) f.get();
-  }
+    if (ft) supervisor = std::thread([this]() { SupervisorLoop(); });
 
-  // Events may have stopped every worker while data was still queued; drain
-  // the remainder inline (a fresh worker that no event can touch).
-  while (!queue_->AllDone()) {
-    auto ctl = std::make_shared<WorkerCtl>();
-    ctl->id = next_worker_id_++;
-    worker_loop(ctl);
-  }
+    // Join all workers, including ones spawned by events or the supervisor
+    // mid-run.
+    auto join_all = [this]() {
+      for (;;) {
+        std::vector<std::future<void>> joinable;
+        {
+          std::lock_guard<std::mutex> lock(state_mu);
+          joinable.swap(futures);
+        }
+        if (joinable.empty()) break;
+        for (std::future<void>& f : joinable) f.get();
+      }
+    };
+    join_all();
+    if (ft) {
+      supervisor_stop.store(true);
+      supervisor.join();
+      join_all();  // replacements spawned in the shutdown race window
+    }
 
-  // Concurrent commits record eval points slightly out of order.
-  std::sort(result_.curve.begin(), result_.curve.end(),
-            [](const EvalPoint& a, const EvalPoint& b) {
-              return a.batches < b.batches;
-            });
-  Evaluate(&result_);
-  result_.batches_committed = committed_;
-  uint64_t never_trained = 0;
-  for (uint8_t times : result_.times_trained) {
-    if (times == 0) ++never_trained;
+    if (opts.drain_remainder) {
+      // Every worker has exited; whatever the registry still holds belongs
+      // to the dead. Return the unprocessed remainders, then train the
+      // leftovers inline (a fresh worker no event or fault can touch).
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        for (const InFlight& entry : inflight) {
+          const Status s =
+              t->queue_->ReportFailed(entry.shard, entry.processed);
+          assert(s.ok() || s.code() == StatusCode::kNotFound);
+          (void)s;
+        }
+        inflight.clear();
+      }
+      while (!t->queue_->AllDone()) {
+        auto ctl = std::make_shared<WorkerCtl>();
+        ctl->id = t->next_worker_id_++;
+        ctl->immune.store(true);
+        WorkerLoop(ctl);
+      }
+    }
+
+    // Concurrent commits record eval points slightly out of order.
+    std::sort(t->result_.curve.begin(), t->result_.curve.end(),
+              [](const EvalPoint& a, const EvalPoint& b) {
+                return a.batches < b.batches;
+              });
+    t->Evaluate(&t->result_);
+    t->result_.batches_committed = t->committed_;
+    uint64_t never_trained = 0;
+    for (uint8_t times : t->result_.times_trained) {
+      if (times == 0) ++never_trained;
+    }
+    t->result_.batches_skipped = never_trained;
+    t->result_.final_logloss = t->result_.curve.back().test_logloss;
+    t->result_.final_auc = t->result_.curve.back().test_auc;
+    t->result_.ft = stats;
+    return std::move(t->result_);
   }
-  result_.batches_skipped = never_trained;
-  result_.final_logloss = result_.curve.back().test_logloss;
-  result_.final_auc = result_.curve.back().test_auc;
-  return std::move(result_);
+};
+
+TrainResult AsyncPsTrainer::RunThreads() {
+  ThreadRuntime runtime(this);
+  return runtime.Run();
 }
 
 }  // namespace dlrover

@@ -12,6 +12,8 @@
 
 namespace dlrover {
 
+class ChaosInjector;
+
 /// A scripted elasticity/instability event, triggered when the global
 /// number of committed batches reaches `at_batches`.
 struct ElasticEvent {
@@ -40,6 +42,35 @@ enum class ExecMode : int {
   kThreads = 1,
 };
 
+/// Fault-tolerance layer for ExecMode::kThreads (opt-in; default off keeps
+/// the runtime exactly as before). When enabled, a supervisor thread runs
+/// alongside the workers: it feeds worker progress into a HeartbeatMonitor,
+/// fences and reclaims the shards of dead or silent workers, takes periodic
+/// checksummed checkpoints (model + data cut + audit under one quiescent
+/// gate), and restores from the latest valid generation when parameter
+/// state is lost — with seeded exponential backoff, bounded by
+/// `max_restores`, degrading to fewer workers when the replacement budget
+/// is exhausted.
+struct FaultToleranceOptions {
+  bool enabled = false;
+  /// Committed batches between periodic checkpoints (a generation-0
+  /// checkpoint is always taken before training starts).
+  uint64_t checkpoint_every_batches = 128;
+  /// Checkpoint generations the in-memory vault retains.
+  size_t keep_checkpoints = 3;
+  /// Worker silence (no commit) before the supervisor declares it failed.
+  double heartbeat_timeout_ms = 500.0;
+  double supervisor_poll_ms = 2.0;
+  /// Restore-attempt budget and backoff shape (base * 2^attempt, capped,
+  /// with deterministic seeded jitter in [0.5, 1.5)).
+  int max_restores = 5;
+  double restore_backoff_base_ms = 1.0;
+  double restore_backoff_cap_ms = 50.0;
+  /// Replacement workers the supervisor may spawn before degrading
+  /// gracefully to a smaller fleet.
+  int max_replacements = 64;
+};
+
 struct AsyncTrainerOptions {
   int num_workers = 8;
   uint64_t batch_size = 128;
@@ -64,12 +95,46 @@ struct AsyncTrainerOptions {
   uint64_t eval_start = 50'000'000;
   uint64_t eval_size = 4096;
   uint64_t seed = 11;
+  /// kThreads only: fault-tolerance supervisor (see FaultToleranceOptions).
+  FaultToleranceOptions fault_tolerance;
+  /// kThreads only: deterministic fault injector, not owned. Faults fire at
+  /// their scheduled committed-batch counts; nullptr disables chaos.
+  ChaosInjector* chaos = nullptr;
+  /// kThreads only: wall-clock slice for ShardQueue::WaitNextShardFor. A
+  /// worker whose wait deadline expires re-checks its control flags and
+  /// retries, so nobody blocks forever behind a dead shard holder.
+  double shard_wait_timeout_ms = 20.0;
+  /// kThreads only: consecutive expired waits before a worker gives up and
+  /// exits (how an unsupervised fleet avoids hanging when a crashed worker
+  /// took the last outstanding shard to its grave). 0 = auto: unlimited
+  /// normally, 40 when chaos is injected without the fault-tolerance
+  /// supervisor.
+  int give_up_deadline_strikes = 0;
+  /// kThreads only: after the fleet exits, train whatever the queue still
+  /// holds inline (the legacy guarantee that every run completes). The
+  /// fault-tolerance bench disables this on its unprotected arm so lost
+  /// batches stay lost, Table-4 style.
+  bool drain_remainder = true;
 };
 
 struct EvalPoint {
   uint64_t batches = 0;
   double test_logloss = 0.0;
   double test_auc = 0.0;
+};
+
+/// What the fault-tolerance supervisor did during a threaded run.
+struct FaultToleranceStats {
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_writes_failed = 0;  // torn writes (chaos-injected)
+  uint64_t restores = 0;
+  uint64_t batches_rolled_back = 0;  // committed work redone after restores
+  uint64_t workers_fenced = 0;
+  uint64_t workers_replaced = 0;
+  uint64_t shards_reclaimed = 0;
+  uint64_t lost_reports_reaped = 0;
+  uint64_t stalls_injected = 0;
+  uint64_t degraded_exits = 0;  // workers lost without a replacement
 };
 
 struct TrainResult {
@@ -82,6 +147,8 @@ struct TrainResult {
   /// Histogram sanity: per-batch training multiplicity (tests assert
   /// all-ones under dynamic sharding).
   std::vector<uint8_t> times_trained;
+  /// Supervisor activity (zeros unless fault_tolerance.enabled).
+  FaultToleranceStats ft;
 };
 
 /// Trains a MiniDlrm with asynchronous parameter-server semantics:
@@ -120,6 +187,11 @@ class AsyncPsTrainer {
     uint64_t part_cursor = 0;
     uint64_t part_stride = 0;
   };
+
+  /// Shared state + logic of the threaded execution mode (defined in the
+  /// .cc): worker control blocks, the in-flight shard registry, the commit
+  /// gate and the fault-tolerance supervisor.
+  struct ThreadRuntime;
 
   bool FetchWork(Worker& worker);
   void StartBatch(Worker& worker, uint64_t batch_index);

@@ -1,5 +1,8 @@
 #include "dlrm/emb_store.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/rng.h"
 
 namespace dlrover {
@@ -84,6 +87,68 @@ void EmbStore::ApplyWideGradient(int feature, uint64_t bucket, double grad,
   std::lock_guard<std::mutex> lock(stripe.mu);
   double& w = stripe.wide.emplace(key, 0.0).first->second;
   w -= learning_rate * grad;
+}
+
+void EmbStore::ExportAll(EmbStoreSnapshot* out) const {
+  std::vector<std::pair<uint64_t, std::vector<double>>> rows;
+  std::vector<std::pair<uint64_t, double>> wides;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& kv : stripe.emb) rows.emplace_back(kv.first, kv.second);
+    for (const auto& kv : stripe.wide) wides.emplace_back(kv.first, kv.second);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(wides.begin(), wides.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out->emb_keys.clear();
+  out->emb_values.clear();
+  out->wide_keys.clear();
+  out->wide_values.clear();
+  out->emb_keys.reserve(rows.size());
+  out->emb_values.reserve(rows.size() *
+                          static_cast<size_t>(options_.emb_dim));
+  for (const auto& kv : rows) {
+    out->emb_keys.push_back(kv.first);
+    out->emb_values.insert(out->emb_values.end(), kv.second.begin(),
+                           kv.second.end());
+  }
+  out->wide_keys.reserve(wides.size());
+  out->wide_values.reserve(wides.size());
+  for (const auto& kv : wides) {
+    out->wide_keys.push_back(kv.first);
+    out->wide_values.push_back(kv.second);
+  }
+}
+
+Status EmbStore::ImportAll(const EmbStoreSnapshot& snapshot) {
+  const size_t dim = static_cast<size_t>(options_.emb_dim);
+  if (snapshot.emb_values.size() != snapshot.emb_keys.size() * dim) {
+    return InvalidArgumentError("embedding snapshot has wrong value count");
+  }
+  if (snapshot.wide_values.size() != snapshot.wide_keys.size()) {
+    return InvalidArgumentError("wide snapshot has wrong value count");
+  }
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.emb.clear();
+    stripe.wide.clear();
+  }
+  for (size_t i = 0; i < snapshot.emb_keys.size(); ++i) {
+    const uint64_t key = snapshot.emb_keys[i];
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.emb.emplace(
+        key, std::vector<double>(snapshot.emb_values.begin() + i * dim,
+                                 snapshot.emb_values.begin() + (i + 1) * dim));
+  }
+  for (size_t i = 0; i < snapshot.wide_keys.size(); ++i) {
+    const uint64_t key = snapshot.wide_keys[i];
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.wide.emplace(key, snapshot.wide_values[i]);
+  }
+  return Status::OK();
 }
 
 size_t EmbStore::MaterializedRows() const {

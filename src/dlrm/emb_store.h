@@ -7,7 +7,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dlrover {
+
+/// Canonical (sorted-by-key) dump of every materialized embedding row and
+/// wide weight. Used by model checkpoints: sorting makes the byte layout
+/// independent of stripe hash order, so two exports of identical state
+/// produce identical arrays (and identical checksums).
+struct EmbStoreSnapshot {
+  std::vector<uint64_t> emb_keys;
+  std::vector<double> emb_values;  // emb_dim values per key, concatenated
+  std::vector<uint64_t> wide_keys;
+  std::vector<double> wide_values;  // one value per key
+};
 
 struct EmbStoreOptions {
   int num_features = 26;
@@ -64,6 +77,18 @@ class EmbStore {
   /// stripe lock in turn; the result is a consistent lower bound under
   /// concurrent writers.
   size_t MaterializedRows() const;
+
+  /// Dumps every materialized row/weight in canonical key order. Takes the
+  /// stripe locks one at a time, so concurrent writers must be quiesced by
+  /// the caller (the trainer's commit gate) for the cut to be consistent.
+  void ExportAll(EmbStoreSnapshot* out) const;
+
+  /// Replaces the store contents with a snapshot: all stripes are cleared
+  /// first, so keys absent from the snapshot revert to their deterministic
+  /// lazy init on next touch — exactly the state of a store that never saw
+  /// the rolled-back updates. Rejects malformed snapshots (value array
+  /// lengths inconsistent with the key counts and emb_dim).
+  Status ImportAll(const EmbStoreSnapshot& snapshot);
 
   size_t stripe_count() const { return stripes_.size(); }
   const EmbStoreOptions& options() const { return options_; }

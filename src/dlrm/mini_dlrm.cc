@@ -448,4 +448,57 @@ double MiniDlrm::Evaluate(const CriteoBatch& batch) const {
 
 size_t MiniDlrm::MaterializedRows() const { return store_.MaterializedRows(); }
 
+namespace {
+
+/// Fixed traversal of every dense parameter. Export, import, and size
+/// counting must all walk the same order, so they share this visitor.
+template <typename Params, typename Fn>
+void VisitDenseParams(Params& p, Fn&& fn) {
+  for (auto& v : p.dense_proj.data()) fn(v);
+  for (auto& m : p.mlp_w) {
+    for (auto& v : m.data()) fn(v);
+  }
+  for (auto& vec : p.mlp_b) {
+    for (auto& v : vec) fn(v);
+  }
+  for (auto& vec : p.cross_w) {
+    for (auto& v : vec) fn(v);
+  }
+  for (auto& vec : p.cross_b) {
+    for (auto& v : vec) fn(v);
+  }
+  for (auto& v : p.cross_out_w) fn(v);
+  for (auto& vec : p.fm_proj) {
+    for (auto& v : vec) fn(v);
+  }
+  for (auto& v : p.fm_w) fn(v);
+  fn(p.bias);
+}
+
+}  // namespace
+
+void MiniDlrm::ExportState(DlrmStateBlob* out) const {
+  out->dense.clear();
+  {
+    std::shared_lock<std::shared_mutex> lock(params_mu_);
+    VisitDenseParams(params_, [out](const double& v) {
+      out->dense.push_back(v);
+    });
+  }
+  store_.ExportAll(&out->sparse);
+}
+
+Status MiniDlrm::ImportState(const DlrmStateBlob& blob) {
+  std::unique_lock<std::shared_mutex> lock(params_mu_);
+  size_t expected = 0;
+  VisitDenseParams(params_, [&expected](const double&) { ++expected; });
+  if (blob.dense.size() != expected) {
+    return InvalidArgumentError("dense blob does not match model shape");
+  }
+  size_t i = 0;
+  VisitDenseParams(params_, [&blob, &i](double& v) { v = blob.dense[i++]; });
+  lock.unlock();
+  return store_.ImportAll(blob.sparse);
+}
+
 }  // namespace dlrover

@@ -64,6 +64,15 @@ struct DlrmGradients {
   SparseRows rows;
 };
 
+/// Serialized full model state: every dense parameter flattened in a fixed
+/// traversal order plus the canonical sparse-store dump. This is the
+/// payload a model checkpoint stores and checksums; the layout depends only
+/// on the model config, never on thread interleaving.
+struct DlrmStateBlob {
+  std::vector<double> dense;
+  EmbStoreSnapshot sparse;
+};
+
 /// A small but real deep recommendation model with three selectable
 /// architectures (the paper's Model-X/Y/Z):
 ///   Wide&Deep — MLP tower + wide per-id linear head;
@@ -105,6 +114,18 @@ class MiniDlrm {
 
   /// Number of embedding rows materialized so far (memory growth proxy).
   size_t MaterializedRows() const;
+
+  /// Serializes the complete model (dense + materialized sparse state) into
+  /// `out`. Takes the dense read lock and the stripe locks one at a time;
+  /// for a consistent cut the caller must quiesce concurrent pushes (the
+  /// trainer holds its commit gate exclusively while checkpointing).
+  void ExportState(DlrmStateBlob* out) const;
+
+  /// Restores the model from a blob produced by ExportState on a model of
+  /// the same config. Unmaterialized rows revert to their deterministic
+  /// lazy init. Rejects blobs whose dense length or sparse shape does not
+  /// match this model.
+  Status ImportState(const DlrmStateBlob& blob);
 
   const MiniDlrmConfig& config() const { return config_; }
   int input_width() const { return n0_; }

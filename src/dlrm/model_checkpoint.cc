@@ -1,0 +1,107 @@
+#include "dlrm/model_checkpoint.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dlrover {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche step used across the codebase for
+/// deterministic hashing (EmbStore row init, Rng seeding).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+struct ChecksumFold {
+  uint64_t state = 0x5851f42d4c957f2dull;
+
+  void U64(uint64_t v) { state = Mix(state ^ v); }
+
+  void F64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  void U64s(const std::vector<uint64_t>& vs) {
+    U64(vs.size());
+    for (uint64_t v : vs) U64(v);
+  }
+
+  void F64s(const std::vector<double>& vs) {
+    U64(vs.size());
+    for (double v : vs) F64(v);
+  }
+};
+
+}  // namespace
+
+uint64_t CheckpointVault::Checksum(const ModelCheckpoint& ckpt) {
+  ChecksumFold fold;
+  fold.U64(ckpt.format_version);
+  fold.U64(ckpt.committed_batches);
+  fold.U64(ckpt.batches_duplicated);
+  fold.F64s(ckpt.model.dense);
+  fold.U64s(ckpt.model.sparse.emb_keys);
+  fold.F64s(ckpt.model.sparse.emb_values);
+  fold.U64s(ckpt.model.sparse.wide_keys);
+  fold.F64s(ckpt.model.sparse.wide_values);
+  fold.U64(ckpt.queue.cursor);
+  fold.U64(ckpt.queue.completed_batches);
+  fold.U64(ckpt.queue.pending.size());
+  for (const DataShard& shard : ckpt.queue.pending) {
+    fold.U64(shard.start_batch);
+    fold.U64(shard.end_batch);
+  }
+  fold.U64(ckpt.times_trained.size());
+  for (uint8_t t : ckpt.times_trained) fold.U64(t);
+  return fold.state;
+}
+
+bool CheckpointVault::Verify(const ModelCheckpoint& ckpt) {
+  return ckpt.format_version == 1 && Checksum(ckpt) == ckpt.checksum;
+}
+
+CheckpointVault::CheckpointVault(size_t keep) : keep_(keep == 0 ? 1 : keep) {}
+
+uint64_t CheckpointVault::Store(ModelCheckpoint ckpt) {
+  ckpt.generation = next_generation_++;
+  const uint64_t generation = ckpt.generation;
+  ring_.push_back(std::move(ckpt));
+  while (ring_.size() > keep_) ring_.pop_front();
+  return generation;
+}
+
+uint64_t CheckpointVault::Commit(ModelCheckpoint ckpt) {
+  ckpt.checksum = Checksum(ckpt);
+  return Store(std::move(ckpt));
+}
+
+uint64_t CheckpointVault::CommitCorrupted(ModelCheckpoint ckpt) {
+  ckpt.checksum = Checksum(ckpt);
+  // Damage the payload after checksumming — a torn write. Prefer a dense
+  // weight; fall back to the batch counter for empty models.
+  if (!ckpt.model.dense.empty()) {
+    ckpt.model.dense[ckpt.model.dense.size() / 2] += 1.0;
+  } else {
+    ckpt.committed_batches ^= 1;
+  }
+  return Store(std::move(ckpt));
+}
+
+const ModelCheckpoint* CheckpointVault::LatestValid() const {
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (Verify(*it)) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace dlrover

@@ -1,0 +1,84 @@
+#ifndef DLROVER_DLRM_MODEL_CHECKPOINT_H_
+#define DLROVER_DLRM_MODEL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "dlrm/mini_dlrm.h"
+#include "elastic/shard_queue.h"
+
+namespace dlrover {
+
+/// A versioned, checksummed snapshot of everything the threaded trainer
+/// needs to resume after losing its parameter state: the full model blob,
+/// the data-consumption cut, and the exactly-once audit. Model parameters
+/// and data position are captured under the same quiescent cut (the
+/// trainer's commit gate), so restoring one restores the other — the
+/// invariant behind `ShardQueue::FastForwardTo`-style rollback, generalized
+/// to out-of-order shard completion.
+struct ModelCheckpoint {
+  /// Bumped when the serialized layout changes; restore rejects unknown
+  /// versions instead of misinterpreting the payload.
+  uint64_t format_version = 1;
+  /// Monotonic generation stamped by the vault at commit time.
+  uint64_t generation = 0;
+
+  uint64_t committed_batches = 0;
+  uint64_t batches_duplicated = 0;
+  DlrmStateBlob model;
+  ShardQueueSnapshot queue;
+  /// Copy of the per-batch training histogram at capture time. Restored
+  /// together with the parameters so the audit reflects the surviving
+  /// lineage, not batches whose updates were rolled back.
+  std::vector<uint8_t> times_trained;
+
+  /// Checksum over every payload field above (not over itself). A torn or
+  /// bit-flipped checkpoint fails verification and the vault falls back to
+  /// an older generation.
+  uint64_t checksum = 0;
+};
+
+/// In-memory checkpoint store keeping the last `keep` generations.
+/// Commit stamps generation + checksum; LatestValid re-verifies checksums
+/// on every call and returns the newest generation that still passes, so a
+/// checkpoint corrupted after commit (or deliberately, via
+/// CommitCorrupted's simulated failed write) is skipped, not trusted.
+/// Not thread-safe: the trainer's supervisor thread is the only writer and
+/// reader.
+class CheckpointVault {
+ public:
+  explicit CheckpointVault(size_t keep = 3);
+
+  /// Stamps and stores a checkpoint; evicts the oldest beyond `keep`.
+  /// Returns the assigned generation.
+  uint64_t Commit(ModelCheckpoint ckpt);
+
+  /// Simulates a failed/torn checkpoint write: the checkpoint is stored
+  /// with a payload byte flipped after the checksum was computed, so
+  /// LatestValid will reject it. Returns the assigned generation.
+  uint64_t CommitCorrupted(ModelCheckpoint ckpt);
+
+  /// Newest stored checkpoint passing checksum verification, or nullptr
+  /// when none does. The pointer stays valid until the next Commit.
+  const ModelCheckpoint* LatestValid() const;
+
+  size_t size() const { return ring_.size(); }
+  uint64_t generations_committed() const { return next_generation_; }
+
+  /// Checksum of the payload fields (excluding `checksum` itself).
+  static uint64_t Checksum(const ModelCheckpoint& ckpt);
+  static bool Verify(const ModelCheckpoint& ckpt);
+
+ private:
+  uint64_t Store(ModelCheckpoint ckpt);
+
+  size_t keep_;
+  uint64_t next_generation_ = 0;
+  std::deque<ModelCheckpoint> ring_;  // oldest first
+};
+
+}  // namespace dlrover
+
+#endif  // DLROVER_DLRM_MODEL_CHECKPOINT_H_

@@ -1,0 +1,115 @@
+#include "elastic/chaos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace dlrover {
+
+const char* ChaosFaultKindName(ChaosFaultKind kind) {
+  switch (kind) {
+    case ChaosFaultKind::kCrashBeforePush:
+      return "crash_before_push";
+    case ChaosFaultKind::kCrashAfterPush:
+      return "crash_after_push";
+    case ChaosFaultKind::kStallWorker:
+      return "stall_worker";
+    case ChaosFaultKind::kLoseShardReport:
+      return "lose_shard_report";
+    case ChaosFaultKind::kFailCheckpointWrite:
+      return "fail_checkpoint_write";
+    case ChaosFaultKind::kPsFailure:
+      return "ps_failure";
+  }
+  return "unknown";
+}
+
+ChaosInjector::ChaosInjector(std::vector<ChaosFault> schedule)
+    : schedule_(std::move(schedule)) {
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const ChaosFault& a, const ChaosFault& b) {
+              if (a.at_batches != b.at_batches) {
+                return a.at_batches < b.at_batches;
+              }
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  for (const ChaosFault& fault : schedule_) {
+    triggers_[static_cast<int>(fault.kind)].push_back(fault.at_batches);
+  }
+}
+
+ChaosInjector ChaosInjector::FromSeed(const ChaosScheduleOptions& options) {
+  Rng rng(options.seed ^ 0xc8a05ull);
+  const double begin =
+      std::max(0.0, std::min(options.window_begin, options.window_end));
+  const double end = std::min(1.0, std::max(options.window_end, begin));
+  const double span = static_cast<double>(options.total_batches);
+  auto draw = [&](int count, ChaosFaultKind kind,
+                  std::vector<ChaosFault>* out) {
+    for (int i = 0; i < count; ++i) {
+      const double u = rng.Uniform(begin, end);
+      ChaosFault fault;
+      fault.at_batches = static_cast<uint64_t>(u * span);
+      fault.kind = kind;
+      out->push_back(fault);
+    }
+  };
+  std::vector<ChaosFault> schedule;
+  draw(options.crashes_before_push, ChaosFaultKind::kCrashBeforePush,
+       &schedule);
+  draw(options.crashes_after_push, ChaosFaultKind::kCrashAfterPush, &schedule);
+  draw(options.stalls, ChaosFaultKind::kStallWorker, &schedule);
+  draw(options.lost_reports, ChaosFaultKind::kLoseShardReport, &schedule);
+  draw(options.failed_checkpoint_writes, ChaosFaultKind::kFailCheckpointWrite,
+       &schedule);
+  draw(options.ps_failures, ChaosFaultKind::kPsFailure, &schedule);
+  return ChaosInjector(std::move(schedule));
+}
+
+bool ChaosInjector::Take(ChaosFaultKind kind, uint64_t committed_batches) {
+  const int k = static_cast<int>(kind);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cursor_[k] >= triggers_[k].size()) return false;
+  const uint64_t trigger = triggers_[k][cursor_[k]];
+  if (trigger > committed_batches) return false;
+  ++cursor_[k];
+  ChaosFiredRecord record;
+  record.fault.at_batches = trigger;
+  record.fault.kind = kind;
+  record.fired_at_batches = committed_batches;
+  fired_.push_back(record);
+  return true;
+}
+
+bool ChaosInjector::Due(ChaosFaultKind kind, uint64_t committed_batches) const {
+  const int k = static_cast<int>(kind);
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_[k] < triggers_[k].size() &&
+         triggers_[k][cursor_[k]] <= committed_batches;
+}
+
+std::vector<ChaosFiredRecord> ChaosInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+size_t ChaosInjector::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t left = 0;
+  for (int k = 0; k < kNumKinds; ++k) left += triggers_[k].size() - cursor_[k];
+  return left;
+}
+
+std::string ChaosInjector::Describe() const {
+  std::string out;
+  for (const ChaosFault& fault : schedule_) {
+    if (!out.empty()) out += " ";
+    out += ChaosFaultKindName(fault.kind);
+    out += "@";
+    out += std::to_string(fault.at_batches);
+  }
+  return out;
+}
+
+}  // namespace dlrover

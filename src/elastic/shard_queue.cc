@@ -1,6 +1,7 @@
 #include "elastic/shard_queue.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dlrover {
 
@@ -63,6 +64,27 @@ StatusOr<DataShard> ShardQueue::WaitNextShard(uint64_t max_batches) {
       return NotFoundError("shard queue exhausted");
     }
     cv_.wait(lock);
+  }
+}
+
+StatusOr<DataShard> ShardQueue::WaitNextShardFor(double timeout_seconds,
+                                                 uint64_t max_batches) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, timeout_seconds)));
+  for (;;) {
+    if (ServableLocked()) return NextShardLocked(max_batches);
+    if (outstanding_.empty()) {
+      return NotFoundError("shard queue exhausted");
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Re-check once: the wakeup may have raced with the deadline.
+      if (ServableLocked()) return NextShardLocked(max_batches);
+      if (outstanding_.empty()) return NotFoundError("shard queue exhausted");
+      return DeadlineExceededError("timed out waiting for a shard");
+    }
   }
 }
 
@@ -145,6 +167,47 @@ void ShardQueue::FastForwardTo(uint64_t batches) {
   requeued_.clear();
   outstanding_.clear();
   legacy_outstanding_.clear();
+  cv_.notify_all();
+}
+
+ShardQueueSnapshot ShardQueue::SnapshotState(
+    const std::vector<ShardProgress>& in_flight) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardQueueSnapshot snap;
+  snap.cursor = cursor_;
+  snap.completed_batches = completed_batches_;
+  snap.pending.assign(requeued_.begin(), requeued_.end());
+  for (const DataShard& shard : outstanding_) {
+    uint64_t processed = 0;
+    for (const ShardProgress& p : in_flight) {
+      if (p.shard_index == shard.index) {
+        processed = std::min(p.processed_batches, shard.batches());
+        break;
+      }
+    }
+    snap.completed_batches += processed;
+    if (processed < shard.batches()) {
+      DataShard rest = shard;
+      rest.start_batch += processed;
+      snap.pending.push_back(rest);
+    }
+  }
+  return snap;
+}
+
+void ShardQueue::RestoreState(const ShardQueueSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cursor_ = std::min(snapshot.cursor, options_.total_batches);
+  completed_batches_ = snapshot.completed_batches;
+  requeued_.clear();
+  outstanding_.clear();
+  legacy_outstanding_.clear();
+  for (const DataShard& range : snapshot.pending) {
+    if (range.end_batch <= range.start_batch) continue;
+    DataShard shard = range;
+    shard.index = next_index_++;
+    requeued_.push_back(shard);
+  }
   cv_.notify_all();
 }
 

@@ -23,6 +23,26 @@ struct DataShard {
   uint64_t batches() const { return end_batch - start_batch; }
 };
 
+/// Per-shard progress a trainer reports when snapshotting the queue: how
+/// many prefix batches of an outstanding shard are already reflected in
+/// committed model state (and must not be re-served after a restore).
+struct ShardProgress {
+  uint64_t shard_index = 0;
+  uint64_t processed_batches = 0;
+};
+
+/// A consistent cut of the queue's data-consumption state, suitable for
+/// embedding in a model checkpoint. `pending` holds every batch range that
+/// still needs serving (re-queued remainders plus the unprocessed suffix of
+/// each outstanding shard); shard indices are not preserved — restore
+/// assigns fresh ones so stale reports from pre-restore workers are
+/// rejected rather than double-counted.
+struct ShardQueueSnapshot {
+  uint64_t cursor = 0;
+  uint64_t completed_batches = 0;
+  std::vector<DataShard> pending;
+};
+
 /// Options for the dynamic data sharding service (paper Section 5.1).
 struct ShardQueueOptions {
   /// Total number of batches in the training job (its step budget).
@@ -66,6 +86,14 @@ class ShardQueue {
   /// completed or held by nobody.
   StatusOr<DataShard> WaitNextShard(uint64_t max_batches = 0);
 
+  /// WaitNextShard with a wall-clock deadline: returns kDeadlineExceeded
+  /// after `timeout_seconds` without a servable shard. A blocked worker
+  /// would otherwise wait forever when the holder of the last outstanding
+  /// shard dies without reporting — the timeout hands control back so a
+  /// supervisor (or the worker itself) can decide to retry or give up.
+  StatusOr<DataShard> WaitNextShardFor(double timeout_seconds,
+                                       uint64_t max_batches = 0);
+
   /// Marks a previously delivered shard fully processed.
   Status ReportCompleted(const DataShard& shard);
 
@@ -91,6 +119,22 @@ class ShardQueue {
   /// is fresh again. Used when model parameters roll back to a checkpoint:
   /// data consumption must roll back with them to stay consistent.
   void FastForwardTo(uint64_t batches);
+
+  /// Captures a consistent cut of data consumption for checkpointing.
+  /// `in_flight` carries the committed prefix length of each outstanding
+  /// shard (per the trainer's registry); batches beyond those prefixes —
+  /// and every re-queued range — land in `pending` so they are re-served
+  /// after a restore. The snapshot satisfies
+  ///   completed + sum(pending) + (total - cursor) == total.
+  ShardQueueSnapshot SnapshotState(
+      const std::vector<ShardProgress>& in_flight = {}) const;
+
+  /// Resets the queue to a snapshot taken by SnapshotState. Outstanding
+  /// shards are dropped (their unprocessed suffixes are in `pending`);
+  /// pending ranges get fresh indices, so reports naming pre-restore
+  /// indices return kNotFound instead of corrupting the audit. The index
+  /// allocator is never rewound.
+  void RestoreState(const ShardQueueSnapshot& snapshot);
 
   /// Audit: asserts internal bookkeeping is consistent (used by tests).
   Status CheckInvariants() const;

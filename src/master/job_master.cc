@@ -17,6 +17,7 @@ void JobMaster::Tick() {
     task_->Stop();
     return;
   }
+  if (options_.failure_detection) job_->ReapSilentWorkers();
   if (options_.straggler_mitigation) job_->MitigateStragglers();
   if (options_.oom_prevention) job_->MaybePreventOom();
 }

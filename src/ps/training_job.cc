@@ -146,8 +146,18 @@ bool TrainingJob::AllPsRunning() const {
   return !ps_.empty();
 }
 
+Duration TrainingJob::NextRelaunchDelay(int* streak) {
+  const int attempt = ++*streak;
+  if (spec_.relaunch_backoff_base <= 0.0) return 0.0;
+  Duration delay = spec_.relaunch_backoff_base *
+                   static_cast<double>(1ull << std::min(attempt - 1, 20));
+  delay = std::min(delay, spec_.relaunch_backoff_cap);
+  return delay * rng_.Uniform(0.5, 1.5);
+}
+
 void TrainingJob::OnWorkerRunning(WorkerState& worker) {
   worker.pod_running = true;
+  worker_relaunch_streak_ = 0;  // a healthy start resets the backoff
   monitor_.AddMember(static_cast<uint64_t>(worker.index), sim_->Now());
   if (transition_ == TransitionKind::kSeamless) {
     FinishMigrationIfReady();
@@ -159,6 +169,7 @@ void TrainingJob::OnWorkerRunning(WorkerState& worker) {
 
 void TrainingJob::OnPsRunning(PsState& ps) {
   ps.pod_running = true;
+  ps_relaunch_streak_ = 0;  // a healthy start resets the backoff
   if (transition_ == TransitionKind::kSeamless) {
     FinishMigrationIfReady();
     return;
@@ -440,11 +451,25 @@ void TrainingJob::OnWorkerStopped(WorkerState& worker, PodStopReason reason) {
     worker.retired = true;
     if (spec_.auto_replace_failed_workers &&
         transition_ == TransitionKind::kNone) {
-      auto replacement = std::make_unique<WorkerState>();
-      replacement->index = next_worker_index_++;
-      replacement->shard_limit = worker.shard_limit;
-      workers_.push_back(std::move(replacement));
-      CreateWorkerPod(*workers_.back());
+      const Duration delay = NextRelaunchDelay(&worker_relaunch_streak_);
+      const uint64_t shard_limit = worker.shard_limit;
+      auto relaunch = [this, shard_limit] {
+        if (finished() || transition_ != TransitionKind::kNone) return;
+        auto replacement = std::make_unique<WorkerState>();
+        replacement->index = next_worker_index_++;
+        replacement->shard_limit = shard_limit;
+        workers_.push_back(std::move(replacement));
+        CreateWorkerPod(*workers_.back());
+      };
+      if (delay <= 0.0) {
+        relaunch();
+      } else {
+        // Crash-looping protection: wait out the backoff before asking the
+        // scheduler again. Peers keep training; the replacement's absence
+        // is still accounted as pod-wait downtime.
+        stats_.downtime_waiting_pods += delay;
+        sim_->ScheduleAfter(delay, relaunch);
+      }
     }
   } else {
     // Static partitioning cannot absorb a lost worker: full restart.
@@ -483,7 +508,19 @@ void TrainingJob::RecoverFromPsLoss(PsState& ps, bool was_oom) {
     config_.ps_memory =
         std::max(config_.ps_memory * 1.5, MaxPsMemory() * 1.3);
   }
-  CreatePsPod(ps);  // reuse the same logical PS (same share)
+  const Duration delay = NextRelaunchDelay(&ps_relaunch_streak_);
+  if (delay <= 0.0) {
+    CreatePsPod(ps);  // reuse the same logical PS (same share)
+  } else {
+    stats_.downtime_waiting_pods += delay;
+    PsState* p = &ps;
+    sim_->ScheduleAfter(delay, [this, p] {
+      // A full restart in the meantime rebuilt the PS set; this recovery
+      // (and its PsState) is void then.
+      if (finished() || transition_ != TransitionKind::kPsRecovery) return;
+      CreatePsPod(*p);
+    });
+  }
   InvalidateIterationCache();
 }
 
@@ -610,6 +647,11 @@ void TrainingJob::BeginStopAndRestart(const JobConfig& new_config) {
     last_checkpoint_.bytes = ModelBytes();
     last_checkpoint_.store = spec_.use_flash_checkpoint ? cache_.name()
                                                         : rds_.name();
+    // The flash tier persists to RDS off the critical path; without this
+    // the migration checkpoint would exist only in volatile memory.
+    if (spec_.use_flash_checkpoint) {
+      cache_.AsyncFlushToRds(last_checkpoint_.bytes);
+    }
     KillAllPods(false);
     restart_kill_time_ = sim_->Now();
     config_ = new_config;
@@ -798,6 +840,29 @@ int TrainingJob::MitigateStragglers() {
     }
   }
   return mitigated;
+}
+
+int TrainingJob::ReapSilentWorkers() {
+  if (state_ != JobState::kRunning || paused_ ||
+      transition_ != TransitionKind::kNone) {
+    return 0;
+  }
+  const std::vector<uint64_t> silent = monitor_.DetectFailures(sim_->Now());
+  int reaped = 0;
+  for (uint64_t member : silent) {
+    for (auto& w : workers_) {
+      if (static_cast<uint64_t>(w->index) != member) continue;
+      if (w->retired || !w->pod_running) break;
+      // The pod claims Running but reports nothing — half-dead. Kill it;
+      // OnWorkerStopped treats the owner-kill of a non-retired member as a
+      // crash, so the shard is requeued with partial credit and the worker
+      // replaced through the normal (backoff-aware) path.
+      cluster_->KillPod(w->pod);
+      ++reaped;
+      break;
+    }
+  }
+  return reaped;
 }
 
 bool TrainingJob::MaybePreventOom() {

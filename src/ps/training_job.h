@@ -94,6 +94,13 @@ struct JobSpec {
   /// Routes shard bookkeeping through the pre-optimization std::map (see
   /// ShardQueueOptions::legacy_index); only for before/after benches.
   bool legacy_shard_index = false;
+  /// Pod-relaunch backoff: the i-th consecutive relaunch of a failed worker
+  /// (or PS) waits base * 2^(i-1), capped, with deterministic seeded jitter
+  /// in [0.5, 1.5) — so a crash-looping pod cannot hammer the scheduler.
+  /// The wait is charged to JobStats::downtime_waiting_pods. base 0 (the
+  /// default) relaunches immediately, byte-identical to the legacy path.
+  Duration relaunch_backoff_base = 0.0;
+  Duration relaunch_backoff_cap = Seconds(60);
 };
 
 /// One profiling snapshot; consumed by the optimizer's model fitter and by
@@ -175,6 +182,14 @@ class TrainingJob {
   /// Returns true if a pre-scaling migration was initiated.
   bool MaybePreventOom();
 
+  /// Kills workers whose pods are nominally Running but have been silent
+  /// (no heartbeat) beyond the monitor's failure timeout — the half-dead
+  /// pods the paper's job master reaps. The kill funnels through the normal
+  /// crash path, so the shard is requeued with partial credit and the
+  /// worker is replaced (with relaunch backoff). Returns how many were
+  /// reaped.
+  int ReapSilentWorkers();
+
   // --- Observers -----------------------------------------------------------
   JobState state() const { return state_; }
   const JobSpec& spec() const { return spec_; }
@@ -183,6 +198,9 @@ class TrainingJob {
   const std::vector<ThroughputSample>& history() const { return history_; }
   const EnvironmentProfile& environment() const { return env_; }
   const ModelProfile& model_profile() const { return profile_; }
+  /// The in-memory flash-checkpoint tier; tests assert its async RDS flush
+  /// accounting (flushed_bytes) on the migration/restart paths.
+  const CacheStore& flash_cache() const { return cache_; }
 
   uint64_t batches_done() const;
   uint64_t total_batches() const { return spec_.total_steps; }
@@ -248,6 +266,9 @@ class TrainingJob {
   void OnPsRunning(PsState& ps);
   void OnPsStopped(PsState& ps, PodStopReason reason);
   bool AllPsRunning() const;
+  /// Advances `streak` and returns how long to wait before the next
+  /// relaunch of that role (0 when backoff is disabled).
+  Duration NextRelaunchDelay(int* streak);
 
   // Training loop.
   void TryDispatchAll();
@@ -337,6 +358,10 @@ class TrainingJob {
   uint64_t migration_epoch_ = 0;
   int next_worker_index_ = 0;
   int next_ps_index_ = 0;
+  /// Consecutive relaunches without an intervening healthy start; feeds the
+  /// exponential relaunch backoff.
+  int worker_relaunch_streak_ = 0;
+  int ps_relaunch_streak_ = 0;
 
   // Profiling window.
   uint64_t window_batches_ = 0;

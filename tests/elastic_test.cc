@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "elastic/checkpoint.h"
@@ -149,6 +150,99 @@ TEST_P(ShardQueueChaosTest, ExactlyOnceUnderRandomFailures) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardQueueChaosTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+TEST(ShardQueueTest, WaitNextShardForTimesOutWhenNothingIsServable) {
+  ShardQueue queue(SmallQueue(50, 50));
+  auto shard = queue.NextShard();
+  ASSERT_TRUE(shard.ok());
+  // All data is outstanding with its holder: a bounded wait must expire
+  // with kDeadlineExceeded, not block forever or claim exhaustion.
+  auto waited = queue.WaitNextShardFor(0.02);
+  EXPECT_EQ(waited.status().code(), StatusCode::kDeadlineExceeded);
+  // Once the holder fails, the remainder is immediately servable again.
+  ASSERT_TRUE(queue.ReportFailed(*shard, 10).ok());
+  auto retry = queue.WaitNextShardFor(0.02);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->start_batch, 10u);
+}
+
+TEST(ShardQueueTest, WaitNextShardForReportsExhaustionAsNotFound) {
+  ShardQueue queue(SmallQueue(50, 50));
+  auto shard = queue.WaitNextShardFor(0.02);
+  ASSERT_TRUE(shard.ok());
+  ASSERT_TRUE(queue.ReportCompleted(*shard).ok());
+  auto done = queue.WaitNextShardFor(0.02);
+  EXPECT_EQ(done.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardQueueTest, WaitNextShardForWakesOnRequeueFromAnotherThread) {
+  ShardQueue queue(SmallQueue(50, 50));
+  auto shard = queue.NextShard();
+  ASSERT_TRUE(shard.ok());
+  const DataShard held = *shard;
+  std::thread failer([&queue, held] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(queue.ReportFailed(held, 5).ok());
+  });
+  // Generous deadline: the wake must come from the requeue notification,
+  // well before the timeout.
+  auto woken = queue.WaitNextShardFor(5.0);
+  failer.join();
+  ASSERT_TRUE(woken.ok());
+  EXPECT_EQ(woken->start_batch, 5u);
+}
+
+TEST(ShardQueueTest, SnapshotAccountsInFlightPrefixes) {
+  ShardQueue queue(SmallQueue(200, 50));
+  auto done = queue.NextShard();
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(queue.ReportCompleted(*done).ok());
+  auto in_flight = queue.NextShard();
+  ASSERT_TRUE(in_flight.ok());
+
+  // 20 of the outstanding shard's 50 batches are already committed.
+  const std::vector<ShardProgress> progress = {{in_flight->index, 20}};
+  const ShardQueueSnapshot snapshot = queue.SnapshotState(progress);
+  EXPECT_EQ(snapshot.completed_batches, 70u);
+  ASSERT_EQ(snapshot.pending.size(), 1u);
+  EXPECT_EQ(snapshot.pending[0].start_batch, 70u);
+  EXPECT_EQ(snapshot.pending[0].end_batch, 100u);
+  EXPECT_EQ(snapshot.cursor, 100u);
+}
+
+TEST(ShardQueueTest, RestoreStateResumesExactlyOnceFromTheCut) {
+  ShardQueue source(SmallQueue(200, 50));
+  auto first = source.NextShard();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(source.ReportCompleted(*first).ok());
+  auto second = source.NextShard();
+  ASSERT_TRUE(second.ok());
+  const ShardQueueSnapshot snapshot =
+      source.SnapshotState({{second->index, 10}});
+
+  ShardQueue restored(SmallQueue(200, 50));
+  restored.RestoreState(snapshot);
+  EXPECT_EQ(restored.completed_batches(), 60u);
+
+  // Draining the restored queue serves batches [60, 200) exactly once:
+  // the in-flight remainder first, then untouched data from the cursor.
+  std::set<uint64_t> seen;
+  while (true) {
+    auto shard = restored.NextShard();
+    if (!shard.ok()) break;
+    for (uint64_t b = shard->start_batch; b < shard->end_batch; ++b) {
+      EXPECT_TRUE(seen.insert(b).second) << "batch served twice: " << b;
+    }
+    ASSERT_TRUE(restored.ReportCompleted(*shard).ok());
+  }
+  EXPECT_EQ(seen.size(), 140u);
+  EXPECT_EQ(*seen.begin(), 60u);
+  EXPECT_TRUE(restored.AllDone());
+  ASSERT_TRUE(restored.CheckInvariants().ok());
+
+  // Stale indices from the pre-restore lineage bounce off harmlessly.
+  EXPECT_EQ(restored.ReportCompleted(*second).code(), StatusCode::kNotFound);
+}
+
 TEST(HeartbeatMonitorTest, DetectsSilentMemberAsFailed) {
   HeartbeatMonitorOptions options;
   options.failure_timeout = 60.0;
@@ -189,6 +283,80 @@ TEST(HeartbeatMonitorTest, NoStragglersWithFewPeers) {
   monitor.Heartbeat(1, 100.0, 1000);
   monitor.Heartbeat(2, 100.0, 1);
   EXPECT_TRUE(monitor.DetectStragglers(200.0).empty());
+}
+
+TEST(HeartbeatMonitorTest, YoungMemberSuppressesStragglerJudgments) {
+  // A member still inside min_observation has no meaningful rate; the
+  // monitor must withhold judgment on the whole group rather than compare
+  // unbaked numbers.
+  HeartbeatMonitorOptions options;
+  options.min_observation = 50.0;
+  options.straggler_rate_fraction = 0.5;
+  HeartbeatMonitor monitor(options);
+  for (uint64_t id = 1; id <= 3; ++id) monitor.AddMember(id, 0.0);
+  for (int t = 1; t <= 10; ++t) {
+    monitor.Heartbeat(1, t * 10.0, static_cast<uint64_t>(t) * 100);
+    monitor.Heartbeat(2, t * 10.0, static_cast<uint64_t>(t) * 100);
+    monitor.Heartbeat(3, t * 10.0, static_cast<uint64_t>(t) * 1);
+  }
+  EXPECT_EQ(monitor.DetectStragglers(100.0).size(), 1u);
+  // A replacement joins at t=100: even the obvious laggard is not judged
+  // until the newcomer has been observed long enough.
+  monitor.AddMember(4, 100.0);
+  EXPECT_TRUE(monitor.DetectStragglers(120.0).empty());
+  monitor.Heartbeat(4, 150.0, 500);
+  EXPECT_EQ(monitor.DetectStragglers(151.0, /*include_flagged=*/true).size(),
+            1u);
+}
+
+TEST(HeartbeatMonitorTest, AllMembersStalledMeansNoStragglers) {
+  // Zero median rate (a global pause — migration, PS restart) must not
+  // flag the whole fleet, and must not divide by zero.
+  HeartbeatMonitor monitor(HeartbeatMonitorOptions{});
+  for (uint64_t id = 1; id <= 4; ++id) monitor.AddMember(id, 0.0);
+  for (uint64_t id = 1; id <= 4; ++id) monitor.Heartbeat(id, 200.0, 0);
+  EXPECT_TRUE(monitor.DetectStragglers(200.0).empty());
+}
+
+TEST(HeartbeatMonitorTest, IncludeFlaggedReportsKnownStragglersAgain) {
+  HeartbeatMonitorOptions options;
+  options.min_observation = 10.0;
+  HeartbeatMonitor monitor(options);
+  for (uint64_t id = 1; id <= 4; ++id) monitor.AddMember(id, 0.0);
+  for (int t = 1; t <= 10; ++t) {
+    for (uint64_t id = 1; id <= 3; ++id) {
+      monitor.Heartbeat(id, t * 10.0, static_cast<uint64_t>(t) * 100);
+    }
+    monitor.Heartbeat(4, t * 10.0, static_cast<uint64_t>(t) * 10);
+  }
+  ASSERT_EQ(monitor.DetectStragglers(100.0).size(), 1u);
+  EXPECT_TRUE(monitor.DetectStragglers(100.0).empty())
+      << "flagged members are silenced by default";
+  const auto again = monitor.DetectStragglers(100.0, /*include_flagged=*/true);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], 4u);
+}
+
+TEST(HeartbeatMonitorTest, RemovingFlaggedMemberClearsItFromAllVerdicts) {
+  HeartbeatMonitorOptions options;
+  options.min_observation = 10.0;
+  options.failure_timeout = 30.0;
+  HeartbeatMonitor monitor(options);
+  for (uint64_t id = 1; id <= 4; ++id) monitor.AddMember(id, 0.0);
+  for (int t = 1; t <= 10; ++t) {
+    for (uint64_t id = 1; id <= 3; ++id) {
+      monitor.Heartbeat(id, t * 10.0, static_cast<uint64_t>(t) * 100);
+    }
+    monitor.Heartbeat(4, t * 10.0, static_cast<uint64_t>(t) * 10);
+  }
+  ASSERT_EQ(monitor.DetectStragglers(100.0).size(), 1u);
+  monitor.RemoveMember(4);  // the job replaced the straggler
+  EXPECT_EQ(monitor.member_count(), 3u);
+  EXPECT_TRUE(
+      monitor.DetectStragglers(100.0, /*include_flagged=*/true).empty());
+  // Nor can the removed member be reported failed later.
+  EXPECT_TRUE(monitor.DetectFailures(1000.0).size() == 3u)
+      << "only the remaining (now silent) members are reported";
 }
 
 TEST(CheckpointStoreTest, FlashIsOrdersOfMagnitudeFasterThanRds) {

@@ -201,6 +201,96 @@ TEST(TrainingJobTest, OomPreventionAvoidsOomEntirely) {
   EXPECT_GT(job.config().ps_memory, GiB(4.5));
 }
 
+TEST(TrainingJobTest, RelaunchBackoffDelaysWorkerReplacement) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  JobSpec spec = QuickSpec(60000);
+  spec.relaunch_backoff_base = Seconds(20);
+  spec.relaunch_backoff_cap = Seconds(60);
+  TrainingJob job(&sim, &cluster, spec, TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+
+  auto live_worker_pods = [&cluster] {
+    int count = 0;
+    cluster.VisitPods([&](const Pod& pod) {
+      if (!pod.terminal() &&
+          pod.spec.name.find("worker") != std::string::npos) {
+        ++count;
+      }
+    });
+    return count;
+  };
+  const int before = live_worker_pods();
+  const std::vector<PodId> targets = RunningWorkerPods(cluster);
+  ASSERT_FALSE(targets.empty());
+  cluster.FailPod(targets.front(), PodStopReason::kCrash);
+
+  // First-attempt backoff is 20s * jitter in [0.5, 1.5): no replacement pod
+  // may even be requested inside the first 10 seconds.
+  sim.RunUntil(sim.Now() + Seconds(9));
+  EXPECT_EQ(live_worker_pods(), before - 1)
+      << "replacement must wait out the backoff";
+  // Well past the jittered delay the replacement exists and the job heals.
+  sim.RunUntil(sim.Now() + Seconds(60));
+  EXPECT_EQ(live_worker_pods(), before);
+  EXPECT_GT(job.stats().downtime_waiting_pods, 0.0);
+
+  sim.RunUntil(Hours(6));
+  ASSERT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.batches_done(), 60000u);
+  EXPECT_EQ(job.stats().worker_failures, 1);
+}
+
+TEST(TrainingJobTest, StopAndRestartMigrationFlushesFlashCache) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  JobSpec spec = QuickSpec(60000);
+  // Disarm the periodic checkpoint so any flush observed here comes from
+  // the migration path itself.
+  spec.checkpoint_interval = Hours(100);
+  TrainingJob job(&sim, &cluster, spec, TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  ASSERT_DOUBLE_EQ(job.flash_cache().flushed_bytes(), 0.0);
+
+  JobConfig bigger = TunedConfig();
+  bigger.num_ps = 3;
+  ASSERT_TRUE(job.ApplyPlan(bigger, MigrationMode::kStopAndRestart).ok());
+  sim.RunUntil(Hours(6));
+  ASSERT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.stats().migrations, 1);
+  // The migration checkpoint went to the flash tier and must have been
+  // asynchronously persisted to RDS, not left in volatile memory only.
+  EXPECT_GT(job.flash_cache().flushed_bytes(), 0.0);
+}
+
+TEST(TrainingJobTest, ReapSilentWorkersReplacesHalfDeadPod) {
+  Simulator sim;
+  Cluster cluster(&sim, SmallCluster());
+  TrainingJob job(&sim, &cluster, QuickSpec(60000), TunedConfig());
+  job.Start();
+  sim.RunUntil(Minutes(5));
+  ASSERT_EQ(job.state(), JobState::kRunning);
+  EXPECT_EQ(job.ReapSilentWorkers(), 0) << "healthy fleet: nothing to reap";
+
+  // Degrade one worker pod to near-zero speed: the pod stays Running but
+  // will never finish another shard, so its heartbeats stop — the
+  // half-dead failure mode heartbeat timeouts exist for.
+  const std::vector<PodId> targets = RunningWorkerPods(cluster);
+  ASSERT_FALSE(targets.empty());
+  cluster.DegradePod(targets.front(), 1e-4);
+  sim.RunUntil(sim.Now() + Minutes(10));
+  EXPECT_EQ(job.ReapSilentWorkers(), 1);
+  sim.RunUntil(Hours(6));
+  ASSERT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.batches_done(), 60000u);
+  EXPECT_EQ(job.stats().worker_failures, 1);
+  EXPECT_EQ(job.stats().full_restarts, 0);
+}
+
 TEST(TrainingJobTest, StragglerMitigationShrinksShards) {
   Simulator sim;
   Cluster cluster(&sim, SmallCluster());
