@@ -1,0 +1,46 @@
+#ifndef DLROVER_COMMON_DENSE_KERNELS_H_
+#define DLROVER_COMMON_DENSE_KERNELS_H_
+
+#include <cstddef>
+
+namespace dlrover {
+
+/// Runtime-selected implementation of the dense inner loops (dot products,
+/// axpy updates, row accumulation) shared by Matrix and the embedding hot
+/// path.
+///
+/// kScalar is the default and is bit-identical to the historical loops: the
+/// same operations in the same order, no fused multiply-add, so kTicks
+/// goldens and every figure bench stay byte-stable. kSimd switches the
+/// kernels to AVX2/FMA variants when the CPU supports them (checked at
+/// dispatch time; unsupported hardware silently keeps the scalar path).
+/// The SIMD reductions reassociate partial sums and contract mul+add into
+/// FMA, so results differ from scalar in the low bits — callers opt in per
+/// process (the throughput bench, perf builds), never by default.
+enum class DenseKernelMode : int {
+  kScalar = 0,
+  kSimd = 1,
+};
+
+/// Selects the kernel implementation for the whole process. Thread-safe to
+/// call, but intended for startup/bench configuration, not mid-training
+/// flips. Returns the mode actually in effect (kScalar when SIMD was
+/// requested but the CPU lacks AVX2+FMA).
+DenseKernelMode SetDenseKernelMode(DenseKernelMode mode);
+
+/// The mode currently in effect.
+DenseKernelMode ActiveDenseKernelMode();
+
+/// True when this CPU can run the AVX2+FMA kernels.
+bool SimdKernelsAvailable();
+
+/// sum_i a[i] * b[i]. Scalar mode accumulates left to right (bit-identical
+/// to the historical loop); SIMD mode uses 4-lane FMA partial sums.
+double KernelDot(const double* a, const double* b, size_t n);
+
+/// y[i] += alpha * x[i]. Element-wise; scalar mode is mul-then-add.
+void KernelAxpy(size_t n, double alpha, const double* x, double* y);
+
+}  // namespace dlrover
+
+#endif  // DLROVER_COMMON_DENSE_KERNELS_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/dense_kernels.h"
+
 namespace dlrover {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -51,7 +53,7 @@ Matrix Matrix::Multiply(const Matrix& other) const {
           const double v = a_row[k];
           if (v == 0.0) continue;
           const double* b_row = &other.data_[k * n];
-          for (size_t c = 0; c < n; ++c) out_row[c] += v * b_row[c];
+          KernelAxpy(n, v, b_row, out_row);
         }
       }
     }
@@ -64,10 +66,7 @@ std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
   std::vector<double> y(rows_, 0.0);
   const double* xp = x.data();
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = &data_[r * cols_];
-    double acc = 0.0;
-    for (size_t c = 0; c < cols_; ++c) acc += row[c] * xp[c];
-    y[r] = acc;
+    y[r] = KernelDot(&data_[r * cols_], xp, cols_);
   }
   return y;
 }
@@ -82,9 +81,7 @@ void Matrix::ApplyBiasAct(const std::vector<double>& x,
   if (pre != nullptr) pre->resize(rows_);
   const double* xp = x.data();
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = &data_[r * cols_];
-    double acc = 0.0;
-    for (size_t c = 0; c < cols_; ++c) acc += row[c] * xp[c];
+    double acc = KernelDot(&data_[r * cols_], xp, cols_);
     acc += bias[r];
     if (pre != nullptr) (*pre)[r] = acc;
     (*y)[r] = relu ? std::max(0.0, acc) : acc;

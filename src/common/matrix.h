@@ -44,7 +44,10 @@ class Matrix {
   /// Matrix product; requires cols() == other.rows(). Cache-blocked over
   /// (rows, inner) tiles so a tile of `other` rows stays hot in L1/L2; per
   /// output element the inner-dimension accumulation order is unchanged, so
-  /// results are bit-identical to the naive triple loop.
+  /// results are bit-identical to the naive triple loop. The row update runs
+  /// through the runtime-dispatched dense kernels (common/dense_kernels.h):
+  /// the default scalar mode keeps bit-identity, the opt-in SIMD mode
+  /// vectorizes it with AVX2/FMA.
   Matrix Multiply(const Matrix& other) const;
 
   /// Matrix-vector product; requires cols() == x.size().
@@ -55,7 +58,8 @@ class Matrix {
   /// activation, otherwise identity. Writes pre-activation values into
   /// `pre` when non-null (backward needs them). Accumulation order matches
   /// Apply() + separate bias add, so the fused path is bit-identical to the
-  /// unfused one.
+  /// unfused one. Row dot products go through the runtime-dispatched dense
+  /// kernels: scalar (default, bit-identical) or opt-in AVX2/FMA.
   void ApplyBiasAct(const std::vector<double>& x,
                     const std::vector<double>& bias, bool relu,
                     std::vector<double>* y,

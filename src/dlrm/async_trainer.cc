@@ -21,6 +21,26 @@
 
 namespace dlrover {
 
+namespace {
+
+using PhaseClock = std::chrono::steady_clock;
+
+double SecondsSince(PhaseClock::time_point t0) {
+  return std::chrono::duration<double>(PhaseClock::now() - t0).count();
+}
+
+}  // namespace
+
+void PhaseBreakdown::Merge(const PhaseBreakdown& other) {
+  pull_s += other.pull_s;
+  compute_s += other.compute_s;
+  push_s += other.push_s;
+  commit_wait_s += other.commit_wait_s;
+  lock_wait_s += other.lock_wait_s;
+  queue_wait_s += other.queue_wait_s;
+  batches += other.batches;
+}
+
 AsyncPsTrainer::AsyncPsTrainer(MiniDlrm* model, const CriteoSynth* data,
                                const AsyncTrainerOptions& options)
     : model_(model), data_(data), options_(options), rng_(options.seed) {
@@ -101,18 +121,26 @@ bool AsyncPsTrainer::FetchWork(Worker& worker) {
 }
 
 void AsyncPsTrainer::StartBatch(Worker& worker, uint64_t batch_index) {
+  const auto t0 = PhaseClock::now();
   worker.batch_index = batch_index;
   worker.batch = data_->Batch(batch_index * options_.batch_size,
                               options_.batch_size);
   // Pull: the parameters this gradient will be computed against. Slow
   // workers take many ticks to finish, so by push time this is stale.
   worker.snapshot = model_->TakeSnapshot(*worker.batch);
+  result_.phases.pull_s += SecondsSince(t0);
 }
 
 void AsyncPsTrainer::FinishBatch(Worker& worker) {
+  const auto compute_t0 = PhaseClock::now();
   DlrmGradients grads;
   model_->ForwardBackward(*worker.batch, *worker.snapshot, &grads);
+  const auto push_t0 = PhaseClock::now();
+  result_.phases.compute_s +=
+      std::chrono::duration<double>(push_t0 - compute_t0).count();
   model_->ApplyGradients(grads, options_.learning_rate);
+  result_.phases.push_s += SecondsSince(push_t0);
+  ++result_.phases.batches;
 
   if (worker.batch_index < result_.times_trained.size()) {
     uint8_t& times = result_.times_trained[worker.batch_index];
@@ -507,16 +535,25 @@ struct AsyncPsTrainer::ThreadRuntime {
 
   /// Push + commit under the shared gate. Returns false when the worker is
   /// fenced or its epoch is stale: the update is dropped and the caller
-  /// abandons the shard (the supervisor owns its fate now).
+  /// abandons the shard (the supervisor owns its fate now). The push itself
+  /// is the worker's private accumulators merging into the live model
+  /// (dense axpy under the model's write lock, sharded sparse scatter) —
+  /// the gate is held shared, so pushes from different workers overlap.
   bool CommitBatch(WorkerCtl& ctl, const DataShard& shard, uint64_t my_epoch,
-                   uint64_t batch_index, const DlrmGradients& grads,
-                   bool* crash_after_push) {
+                   uint64_t batch_index, DlrmBatchWork* work,
+                   PhaseBreakdown* ph, bool* crash_after_push) {
     bool do_eval = false;
     uint64_t eval_at = 0;
     {
+      const auto gate_t0 = PhaseClock::now();
       std::shared_lock<std::shared_mutex> gate(commit_gate);
       if (ctl.fenced.load() || epoch.load() != my_epoch) return false;
-      t->model_->ApplyGradients(grads, opts.learning_rate);
+      const auto push_t0 = PhaseClock::now();
+      ph->commit_wait_s +=
+          std::chrono::duration<double>(push_t0 - gate_t0).count();
+      t->model_->PushBatch(work, opts.learning_rate);
+      const auto lock_t0 = PhaseClock::now();
+      ph->push_s += std::chrono::duration<double>(lock_t0 - push_t0).count();
       uint64_t now_committed = 0;
       {
         std::lock_guard<std::mutex> lock(state_mu);
@@ -543,6 +580,8 @@ struct AsyncPsTrainer::ThreadRuntime {
           do_eval = true;
         }
       }
+      ph->lock_wait_s += SecondsSince(lock_t0);
+      ++ph->batches;
       // Crash-after-push: the batch is committed (and must not be redone);
       // the worker dies before it can ever report the shard.
       if (chaos != nullptr && !ctl.immune.load() &&
@@ -567,10 +606,17 @@ struct AsyncPsTrainer::ThreadRuntime {
     const double wait_s = std::max(1.0, opts.shard_wait_timeout_ms) / 1000.0;
     const int max_strikes = EffectiveStrikes();
     int strikes = 0;
+    // Everything one batch needs lives in this per-worker workspace; after
+    // the first few batches warm its buffers the loop is allocation-free
+    // (pinned by alloc_guard_test).
+    DlrmBatchWork work;
+    PhaseBreakdown ph;
     while (!ctl->stop.load() && !ctl->crash.load() &&
            !ctl->hard_crash.load() && !ctl->fenced.load()) {
       const uint64_t my_epoch = epoch.load();
+      const auto wait_t0 = PhaseClock::now();
       auto shard_or = t->queue_->WaitNextShardFor(wait_s);
+      ph.queue_wait_s += SecondsSince(wait_t0);
       if (shard_or.status().code() == StatusCode::kDeadlineExceeded) {
         if (max_strikes > 0 && ++strikes >= max_strikes) break;
         continue;  // re-check control flags, then wait again
@@ -607,13 +653,20 @@ struct AsyncPsTrainer::ThreadRuntime {
           break;
         }
         const uint64_t batch_index = shard.start_batch + pos;
-        const CriteoBatch batch = t->data_->Batch(
-            batch_index * opts.batch_size, opts.batch_size);
         // Pull -> compute -> push with real staleness: other workers push
-        // between this snapshot and this push.
-        const ParamSnapshot snapshot = t->model_->TakeSnapshot(batch);
-        DlrmGradients grads;
-        t->model_->ForwardBackward(batch, snapshot, &grads);
+        // between this pull and this worker's push. All three stages run
+        // against the reusable workspace, entirely outside the trainer's
+        // locks — the only shared state touched here is the model's
+        // read-locked dense block and the store's per-stripe gathers.
+        const auto pull_t0 = PhaseClock::now();
+        t->data_->FillBatch(batch_index * opts.batch_size, opts.batch_size,
+                            &work.batch);
+        t->model_->PullBatch(&work);
+        const auto compute_t0 = PhaseClock::now();
+        ph.pull_s +=
+            std::chrono::duration<double>(compute_t0 - pull_t0).count();
+        t->model_->ComputeBatch(&work);
+        ph.compute_s += SecondsSince(compute_t0);
         const int stall = ctl->stall_us.load();
         if (stall > 0) {
           std::this_thread::sleep_for(std::chrono::microseconds(stall));
@@ -626,7 +679,7 @@ struct AsyncPsTrainer::ThreadRuntime {
           break;
         }
         bool crash_after_push = false;
-        if (!CommitBatch(*ctl, shard, my_epoch, batch_index, grads,
+        if (!CommitBatch(*ctl, shard, my_epoch, batch_index, &work, &ph,
                          &crash_after_push)) {
           if (ctl->fenced.load() || ctl->hard_crash.load()) {
             abandoned = true;
@@ -668,6 +721,10 @@ struct AsyncPsTrainer::ThreadRuntime {
       // completion is void (the data was rolled back and re-served).
       assert(s.ok() || s.code() == StatusCode::kNotFound);
       (void)s;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu);
+      t->result_.phases.Merge(ph);
     }
     ctl->exited.store(true);
   }

@@ -137,6 +137,27 @@ struct FaultToleranceStats {
   uint64_t degraded_exits = 0;  // workers lost without a replacement
 };
 
+/// Wall-clock seconds spent in each phase of the training hot loop,
+/// accumulated across workers (a perfectly parallel 4-thread run therefore
+/// shows ~4x the per-phase time of its critical path). Cheap enough to stay
+/// on unconditionally: two steady_clock reads per phase per batch, ~100ns
+/// against multi-millisecond batches.
+struct PhaseBreakdown {
+  double pull_s = 0.0;         // data gen + dense snapshot + sparse gather
+  double compute_s = 0.0;      // forward/backward
+  double push_s = 0.0;         // gradient application (dense + sharded sparse)
+  double commit_wait_s = 0.0;  // acquiring the shared commit gate
+  double lock_wait_s = 0.0;    // state_mu acquisition + commit bookkeeping
+  double queue_wait_s = 0.0;   // blocked on the shard queue
+  uint64_t batches = 0;        // batches these timings cover
+
+  void Merge(const PhaseBreakdown& other);
+  /// Total in-batch time (excludes waiting for the shard queue).
+  double BusySeconds() const {
+    return pull_s + compute_s + push_s + commit_wait_s + lock_wait_s;
+  }
+};
+
 struct TrainResult {
   std::vector<EvalPoint> curve;
   uint64_t batches_committed = 0;
@@ -149,6 +170,8 @@ struct TrainResult {
   std::vector<uint8_t> times_trained;
   /// Supervisor activity (zeros unless fault_tolerance.enabled).
   FaultToleranceStats ft;
+  /// Per-phase time accounting (all workers merged; both exec modes).
+  PhaseBreakdown phases;
 };
 
 /// Trains a MiniDlrm with asynchronous parameter-server semantics:

@@ -39,31 +39,40 @@ CriteoSynth::CriteoSynth(uint64_t seed, double drift_samples)
   teacher_bias_ = -1.2;  // skewed label prior, like CTR data
 }
 
-CriteoSample CriteoSynth::Sample(uint64_t index) const {
+void CriteoSynth::FillSample(uint64_t index, CriteoSample* out) const {
   // Per-sample generator keyed by (seed, index): random access, no state.
   Rng rng(Mix(seed_ ^ Mix(index + 0x9e3779b9)));
-  CriteoSample sample;
-  sample.dense.resize(kNumDense);
+  out->dense.resize(kNumDense);
   for (int d = 0; d < kNumDense; ++d) {
     // Heavy-tailed counts, log-transformed as in standard Criteo pipelines.
     const double raw = rng.LogNormal(1.0, 1.0);
-    sample.dense[d] = static_cast<float>(std::log1p(raw));
+    out->dense[d] = static_cast<float>(std::log1p(raw));
   }
-  sample.cats.resize(kNumCategorical);
+  out->cats.resize(kNumCategorical);
   for (int f = 0; f < kNumCategorical; ++f) {
-    sample.cats[f] = rng.Zipf(vocab_sizes_[f], zipf_exponents_[f]);
+    out->cats[f] = rng.Zipf(vocab_sizes_[f], zipf_exponents_[f]);
   }
-  const double p = TeacherProbability(sample, index);
-  sample.label = rng.Bernoulli(p) ? 1.0f : 0.0f;
+  const double p = TeacherProbability(*out, index);
+  out->label = rng.Bernoulli(p) ? 1.0f : 0.0f;
+}
+
+CriteoSample CriteoSynth::Sample(uint64_t index) const {
+  CriteoSample sample;
+  FillSample(index, &sample);
   return sample;
+}
+
+void CriteoSynth::FillBatch(uint64_t start, uint64_t count,
+                            CriteoBatch* out) const {
+  out->samples.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FillSample(start + i, &out->samples[i]);
+  }
 }
 
 CriteoBatch CriteoSynth::Batch(uint64_t start, uint64_t count) const {
   CriteoBatch batch;
-  batch.samples.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    batch.samples.push_back(Sample(start + i));
-  }
+  FillBatch(start, count, &batch);
   return batch;
 }
 

@@ -51,6 +51,12 @@ class CriteoSynth {
   /// Materializes samples [start, start + count).
   CriteoBatch Batch(uint64_t start, uint64_t count) const;
 
+  /// In-place variants for the training hot loop: identical values to
+  /// Sample/Batch, but reusing the caller's buffers — once `out` has been
+  /// filled at this size, refills perform zero heap allocations.
+  void FillSample(uint64_t index, CriteoSample* out) const;
+  void FillBatch(uint64_t start, uint64_t count, CriteoBatch* out) const;
+
   /// Vocabulary size of categorical feature `f`.
   uint64_t VocabSize(int f) const { return vocab_sizes_[f]; }
 

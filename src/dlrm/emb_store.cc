@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/dense_kernels.h"
 #include "common/rng.h"
 
 namespace dlrover {
@@ -36,12 +37,16 @@ EmbStore::EmbStore(const EmbStoreOptions& options)
   stripe_mask_ = stripes_.size() - 1;
 }
 
-EmbStore::Stripe& EmbStore::StripeFor(uint64_t key) const {
+size_t EmbStore::StripeIndexFor(uint64_t key) const {
   // Finalizer-style mix so adjacent buckets of one feature spread across
   // stripes instead of marching through them in lockstep.
   uint64_t x = key * 0x9e3779b97f4a7c15ull;
   x ^= x >> 32;
-  return stripes_[x & stripe_mask_];
+  return static_cast<size_t>(x & stripe_mask_);
+}
+
+EmbStore::Stripe& EmbStore::StripeFor(uint64_t key) const {
+  return stripes_[StripeIndexFor(key)];
 }
 
 std::vector<double>& EmbStore::MaterializeRowLocked(Stripe& stripe,
@@ -67,7 +72,7 @@ double EmbStore::GetWide(int feature, uint64_t bucket) const {
   const uint64_t key = Key(feature, bucket);
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.wide.emplace(key, 0.0).first->second;
+  return stripe.wide.try_emplace(key, 0.0).first->second;
 }
 
 void EmbStore::ApplyRowGradient(int feature, uint64_t bucket,
@@ -85,8 +90,87 @@ void EmbStore::ApplyWideGradient(int feature, uint64_t bucket, double grad,
   const uint64_t key = Key(feature, bucket);
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  double& w = stripe.wide.emplace(key, 0.0).first->second;
+  double& w = stripe.wide.try_emplace(key, 0.0).first->second;
   w -= learning_rate * grad;
+}
+
+void EmbStore::GroupByStripe(const uint64_t* keys, size_t n,
+                             BatchScratch* scratch) const {
+  scratch->stripe_of.resize(n);
+  scratch->start.assign(stripes_.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = static_cast<uint32_t>(StripeIndexFor(keys[i]));
+    scratch->stripe_of[i] = s;
+    ++scratch->start[s];
+  }
+  uint32_t running = 0;
+  for (size_t s = 0; s < scratch->start.size(); ++s) {
+    const uint32_t count = scratch->start[s];
+    scratch->start[s] = running;
+    running += count;
+  }
+  scratch->order.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    scratch->order[scratch->start[scratch->stripe_of[i]]++] =
+        static_cast<uint32_t>(i);
+  }
+  // start[s] now holds the END offset of stripe s's group.
+}
+
+void EmbStore::GatherRows(const uint64_t* keys, size_t n, double* rows_out,
+                          double* wide_out, BatchScratch* scratch) const {
+  const size_t dim = static_cast<size_t>(options_.emb_dim);
+  GroupByStripe(keys, n, scratch);
+  uint32_t begin = 0;
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    const uint32_t end = scratch->start[s];
+    if (end == begin) continue;
+    Stripe& stripe = stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (uint32_t o = begin; o < end; ++o) {
+      const uint32_t i = scratch->order[o];
+      const uint64_t key = keys[i];
+      const int feature = static_cast<int>(key / options_.hash_buckets);
+      const uint64_t bucket = key % options_.hash_buckets;
+      const std::vector<double>& row =
+          MaterializeRowLocked(stripe, feature, bucket, key);
+      std::copy(row.begin(), row.end(), rows_out + i * dim);
+      if (wide_out != nullptr) {
+        wide_out[i] = stripe.wide.try_emplace(key, 0.0).first->second;
+      }
+    }
+    begin = end;
+  }
+}
+
+void EmbStore::ScatterApply(const uint64_t* keys, size_t n,
+                            const double* row_grads, const double* wide_grads,
+                            double learning_rate, BatchScratch* scratch) {
+  const size_t dim = static_cast<size_t>(options_.emb_dim);
+  GroupByStripe(keys, n, scratch);
+  uint32_t begin = 0;
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    const uint32_t end = scratch->start[s];
+    if (end == begin) continue;
+    Stripe& stripe = stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (uint32_t o = begin; o < end; ++o) {
+      const uint32_t i = scratch->order[o];
+      const uint64_t key = keys[i];
+      const int feature = static_cast<int>(key / options_.hash_buckets);
+      const uint64_t bucket = key % options_.hash_buckets;
+      std::vector<double>& row =
+          MaterializeRowLocked(stripe, feature, bucket, key);
+      // row += (-lr) * grad: IEEE-identical to the per-key
+      // `row[r] -= lr * grad[r]` (negation is exact), SIMD-able in kSimd.
+      KernelAxpy(dim, -learning_rate, row_grads + i * dim, row.data());
+      if (wide_grads != nullptr) {
+        double& w = stripe.wide.try_emplace(key, 0.0).first->second;
+        w -= learning_rate * wide_grads[i];
+      }
+    }
+    begin = end;
+  }
 }
 
 void EmbStore::ExportAll(EmbStoreSnapshot* out) const {

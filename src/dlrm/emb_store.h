@@ -73,6 +73,42 @@ class EmbStore {
   void ApplyWideGradient(int feature, uint64_t bucket, double grad,
                          double learning_rate);
 
+  /// Reusable scratch for the batched gather/scatter calls below: holds the
+  /// stripe-bucketing work arrays so steady-state batches allocate nothing.
+  /// One instance per worker thread; never shared concurrently.
+  struct BatchScratch {
+    std::vector<uint32_t> stripe_of;   // per key: owning stripe
+    std::vector<uint32_t> start;       // per stripe: offset into order
+    std::vector<uint32_t> order;       // key indices grouped by stripe
+  };
+
+  /// Packs (feature, bucket) into the store's canonical key. Batched calls
+  /// take packed keys so one array round-trips pull -> grad -> push.
+  uint64_t PackKey(int feature, uint64_t bucket) const {
+    return Key(feature, bucket);
+  }
+
+  /// Batched gather for the training hot path: copies the rows for `keys`
+  /// (packed via PackKey, any order, duplicates allowed) into
+  /// `rows_out[i * emb_dim ...]`, materializing missing rows, and — when
+  /// `wide_out` is non-null — the wide weights into `wide_out[i]`. Keys are
+  /// grouped by stripe first, so each touched stripe's lock is taken exactly
+  /// once per call instead of once per key: one lock round-trip covers the
+  /// whole batch. Thread-safe against concurrent per-key and batched calls.
+  void GatherRows(const uint64_t* keys, size_t n, double* rows_out,
+                  double* wide_out, BatchScratch* scratch) const;
+
+  /// Batched SGD push, the scatter side of GatherRows: for every key,
+  /// row -= learning_rate * row_grads[i * emb_dim ...] (and, when
+  /// `wide_grads` is non-null, wide -= learning_rate * wide_grads[i]).
+  /// Missing rows are materialized first, matching the per-key calls. Keys
+  /// are grouped by stripe: one lock acquisition per touched stripe per
+  /// batch — this is the sharded gradient application of the parallel
+  /// trainer. Per-row arithmetic is identical to ApplyRowGradient.
+  void ScatterApply(const uint64_t* keys, size_t n, const double* row_grads,
+                    const double* wide_grads, double learning_rate,
+                    BatchScratch* scratch);
+
   /// Embedding rows materialized so far (memory growth proxy). Takes each
   /// stripe lock in turn; the result is a consistent lower bound under
   /// concurrent writers.
@@ -104,7 +140,12 @@ class EmbStore {
   uint64_t Key(int feature, uint64_t bucket) const {
     return static_cast<uint64_t>(feature) * options_.hash_buckets + bucket;
   }
+  size_t StripeIndexFor(uint64_t key) const;
   Stripe& StripeFor(uint64_t key) const;
+  /// Counting-sorts key indices by owning stripe into scratch->order;
+  /// group s spans [s == 0 ? 0 : start[s-1], start[s]).
+  void GroupByStripe(const uint64_t* keys, size_t n,
+                     BatchScratch* scratch) const;
   /// Requires the stripe lock; inserts the deterministic init if absent.
   std::vector<double>& MaterializeRowLocked(Stripe& stripe, int feature,
                                             uint64_t bucket,

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/dense_kernels.h"
+
 namespace dlrover {
 
 namespace {
@@ -381,34 +383,41 @@ double MiniDlrm::ForwardBackward(const CriteoBatch& batch,
   return loss * inv_n;
 }
 
+void MiniDlrm::ApplyDenseGradientsLocked(const DenseParams& grads,
+                                         double learning_rate) {
+  // p += (-lr) * g throughout: IEEE-identical to the historical
+  // `p[i] -= lr * g[i]` (negation is exact), and SIMD-able under
+  // DenseKernelMode::kSimd.
+  const double neg_lr = -learning_rate;
+  auto axpy = [neg_lr](const std::vector<double>& g, std::vector<double>& p) {
+    KernelAxpy(p.size(), neg_lr, g.data(), p.data());
+  };
+  KernelAxpy(params_.dense_proj.data().size(), neg_lr,
+             grads.dense_proj.data().data(), params_.dense_proj.data().data());
+  for (size_t l = 0; l < params_.mlp_w.size(); ++l) {
+    KernelAxpy(params_.mlp_w[l].data().size(), neg_lr,
+               grads.mlp_w[l].data().data(), params_.mlp_w[l].data().data());
+    axpy(grads.mlp_b[l], params_.mlp_b[l]);
+  }
+  for (size_t l = 0; l < params_.cross_w.size(); ++l) {
+    axpy(grads.cross_w[l], params_.cross_w[l]);
+    axpy(grads.cross_b[l], params_.cross_b[l]);
+  }
+  if (!params_.cross_out_w.empty()) {
+    axpy(grads.cross_out_w, params_.cross_out_w);
+  }
+  for (size_t h = 0; h < params_.fm_proj.size(); ++h) {
+    axpy(grads.fm_proj[h], params_.fm_proj[h]);
+  }
+  if (!params_.fm_w.empty()) axpy(grads.fm_w, params_.fm_w);
+  params_.bias -= learning_rate * grads.bias;
+}
+
 void MiniDlrm::ApplyGradients(const DlrmGradients& grads,
                               double learning_rate) {
   const double lr = learning_rate;
-  auto axpy = [lr](const std::vector<double>& g, std::vector<double>& p) {
-    for (size_t i = 0; i < p.size(); ++i) p[i] -= lr * g[i];
-  };
   std::unique_lock<std::shared_mutex> lock(params_mu_);
-  for (size_t i = 0; i < params_.dense_proj.data().size(); ++i) {
-    params_.dense_proj.data()[i] -= lr * grads.dense.dense_proj.data()[i];
-  }
-  for (size_t l = 0; l < params_.mlp_w.size(); ++l) {
-    for (size_t i = 0; i < params_.mlp_w[l].data().size(); ++i) {
-      params_.mlp_w[l].data()[i] -= lr * grads.dense.mlp_w[l].data()[i];
-    }
-    axpy(grads.dense.mlp_b[l], params_.mlp_b[l]);
-  }
-  for (size_t l = 0; l < params_.cross_w.size(); ++l) {
-    axpy(grads.dense.cross_w[l], params_.cross_w[l]);
-    axpy(grads.dense.cross_b[l], params_.cross_b[l]);
-  }
-  if (!params_.cross_out_w.empty()) {
-    axpy(grads.dense.cross_out_w, params_.cross_out_w);
-  }
-  for (size_t h = 0; h < params_.fm_proj.size(); ++h) {
-    axpy(grads.dense.fm_proj[h], params_.fm_proj[h]);
-  }
-  if (!params_.fm_w.empty()) axpy(grads.dense.fm_w, params_.fm_w);
-  params_.bias -= lr * grads.dense.bias;
+  ApplyDenseGradientsLocked(grads.dense, lr);
   lock.unlock();
 
   // Sparse push: per-stripe locking inside the store, no global lock.
@@ -499,6 +508,325 @@ Status MiniDlrm::ImportState(const DlrmStateBlob& blob) {
   VisitDenseParams(params_, [&blob, &i](double& v) { v = blob.dense[i++]; });
   lock.unlock();
   return store_.ImportAll(blob.sparse);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free batch hot path (ExecMode::kThreads workers).
+//
+// Same math as TakeSnapshot / ForwardBackward / ApplyGradients, restructured
+// around flat reusable buffers: the per-sample field vectors live directly in
+// the concatenated x0 buffer, embedding rows are gathered once per batch into
+// a flat array indexed by a slot table, and gradients accumulate into
+// per-worker flat arrays that PushBatch scatters in one sharded pass. Every
+// floating-point statement keeps the legacy order, so losses and updates are
+// bit-identical (pinned by mini_dlrm_test.FastPathMatchesLegacyBitExact).
+// ---------------------------------------------------------------------------
+
+void MiniDlrm::EnsureWork(DlrmBatchWork* work) const {
+  if (work->initialized) return;
+  Rng dummy(0);
+  work->dense_grads = MakeDenseParams(config_, n0_, /*zero=*/true, &dummy);
+  const size_t n0 = static_cast<size_t>(n0_);
+  work->x0.resize(n0);
+  work->dfields.resize(n0);
+  work->dx0.resize(n0);
+  const size_t layers = work->dense_grads.mlp_w.size();
+  work->mlp_pre.resize(layers);
+  work->mlp_post.resize(layers);
+  if (config_.arch == ModelKind::kDcn) {
+    work->cross_x.assign(static_cast<size_t>(config_.cross_layers) + 1,
+                         std::vector<double>(n0));
+    work->cross_s.resize(static_cast<size_t>(config_.cross_layers));
+    work->dxl.resize(n0);
+    work->dprev.resize(n0);
+  }
+  if (config_.arch == ModelKind::kXDeepFm) {
+    work->fm_t.resize(static_cast<size_t>(config_.fm_maps) * (1 + kNumCat));
+    work->fm_f.resize(static_cast<size_t>(config_.fm_maps));
+    work->fm_s.resize(static_cast<size_t>(config_.fm_maps));
+  }
+  work->initialized = true;
+}
+
+void MiniDlrm::PullBatch(DlrmBatchWork* work) const {
+  EnsureWork(work);
+  {
+    // One consistent dense version, as in TakeSnapshot. Copy-assignment
+    // reuses the destination buffers: no allocations once warmed.
+    std::shared_lock<std::shared_mutex> lock(params_mu_);
+    work->dense = params_;
+  }
+  // Dedup the batch's (feature, bucket) keys: sort (key, position) pairs,
+  // then compact equal runs into one slot each.
+  const size_t nsamples = work->batch.samples.size();
+  work->key_scratch.resize(nsamples * kNumCat);
+  size_t pos = 0;
+  for (size_t s = 0; s < nsamples; ++s) {
+    const CriteoSample& sample = work->batch.samples[s];
+    for (int f = 0; f < kNumCat; ++f) {
+      const uint64_t bucket = Bucket(f, sample.cats[f]);
+      work->key_scratch[pos] = {store_.PackKey(f, bucket),
+                                static_cast<uint32_t>(pos)};
+      ++pos;
+    }
+  }
+  std::sort(work->key_scratch.begin(), work->key_scratch.end());
+  work->keys.clear();
+  work->slot.resize(pos);
+  for (const auto& [key, p] : work->key_scratch) {
+    if (work->keys.empty() || work->keys.back() != key) {
+      work->keys.push_back(key);
+    }
+    work->slot[p] = static_cast<uint32_t>(work->keys.size() - 1);
+  }
+  const size_t d = static_cast<size_t>(config_.emb_dim);
+  const size_t nk = work->keys.size();
+  work->rows.resize(nk * d);
+  work->row_grads.assign(nk * d, 0.0);
+  double* wide_out = nullptr;
+  if (config_.arch == ModelKind::kWideDeep) {
+    work->wide.resize(nk);
+    work->wide_grads.assign(nk, 0.0);
+    wide_out = work->wide.data();
+  }
+  store_.GatherRows(work->keys.data(), nk, work->rows.data(), wide_out,
+                    &work->store_scratch);
+}
+
+double MiniDlrm::ForwardSampleFast(const CriteoSample& sample,
+                                   size_t sample_idx,
+                                   DlrmBatchWork& work) const {
+  const int d = config_.emb_dim;
+  double* x0 = work.x0.data();
+
+  // Field 0: projected dense features.
+  for (int r = 0; r < d; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < kNumDense; ++c) {
+      acc += work.dense.dense_proj(static_cast<size_t>(r),
+                                   static_cast<size_t>(c)) *
+             sample.dense[static_cast<size_t>(c)];
+    }
+    x0[r] = acc;
+  }
+  // Fields 1..26: gathered embedding rows, straight into x0's field slices.
+  double wide_logit = 0.0;
+  const uint32_t* slots = &work.slot[sample_idx * kNumCat];
+  for (int f = 0; f < kNumCat; ++f) {
+    const uint32_t slot = slots[f];
+    const double* row = &work.rows[static_cast<size_t>(slot) * d];
+    std::copy(row, row + d, x0 + static_cast<size_t>(f + 1) * d);
+    if (config_.arch == ModelKind::kWideDeep) {
+      wide_logit += work.wide[slot];
+    }
+  }
+
+  // MLP tower.
+  const std::vector<double>* act = &work.x0;
+  for (size_t l = 0; l < work.dense.mlp_w.size(); ++l) {
+    const bool last = l + 1 == work.dense.mlp_w.size();
+    work.dense.mlp_w[l].ApplyBiasAct(*act, work.dense.mlp_b[l],
+                                     /*relu=*/!last, &work.mlp_post[l],
+                                     &work.mlp_pre[l]);
+    act = &work.mlp_post[l];
+  }
+  double logit = (*act)[0] + work.dense.bias;
+
+  // Architecture head.
+  if (config_.arch == ModelKind::kWideDeep) {
+    logit += wide_logit;
+  } else if (config_.arch == ModelKind::kDcn) {
+    work.cross_x[0] = work.x0;
+    for (size_t l = 0; l < work.dense.cross_w.size(); ++l) {
+      const std::vector<double>& xl = work.cross_x[l];
+      double s = 0.0;
+      for (size_t i = 0; i < xl.size(); ++i) {
+        s += work.dense.cross_w[l][i] * xl[i];
+      }
+      work.cross_s[l] = s;
+      std::vector<double>& next = work.cross_x[l + 1];
+      for (size_t i = 0; i < xl.size(); ++i) {
+        next[i] = work.x0[i] * s + work.dense.cross_b[l][i] + xl[i];
+      }
+    }
+    const std::vector<double>& xl = work.cross_x.back();
+    for (size_t i = 0; i < xl.size(); ++i) {
+      logit += work.dense.cross_out_w[i] * xl[i];
+    }
+  } else if (config_.arch == ModelKind::kXDeepFm) {
+    const int fields = 1 + kNumCat;
+    for (int h = 0; h < config_.fm_maps; ++h) {
+      double fsum = 0.0;
+      double qsum = 0.0;
+      for (int i = 0; i < fields; ++i) {
+        double t = 0.0;
+        for (int r = 0; r < d; ++r) {
+          t += work.dense.fm_proj[static_cast<size_t>(h)]
+                                 [static_cast<size_t>(r)] *
+               x0[i * d + r];
+        }
+        work.fm_t[static_cast<size_t>(h * fields + i)] = t;
+        fsum += t;
+        qsum += t * t;
+      }
+      work.fm_f[static_cast<size_t>(h)] = fsum;
+      const double s = 0.5 * (fsum * fsum - qsum);
+      work.fm_s[static_cast<size_t>(h)] = s;
+      logit += work.dense.fm_w[static_cast<size_t>(h)] * s;
+    }
+  }
+  return logit;
+}
+
+void MiniDlrm::BackwardSampleFast(const CriteoSample& sample,
+                                  size_t sample_idx, double dlogit,
+                                  DlrmBatchWork& work) const {
+  const int d = config_.emb_dim;
+  const int fields = 1 + kNumCat;
+  std::fill(work.dfields.begin(), work.dfields.end(), 0.0);
+  std::fill(work.dx0.begin(), work.dx0.end(), 0.0);
+  const uint32_t* slots = &work.slot[sample_idx * kNumCat];
+
+  work.dense_grads.bias += dlogit;
+
+  // --- MLP backward ---
+  {
+    work.delta.assign(1, dlogit);  // gradient at the output layer
+    for (size_t l = work.dense.mlp_w.size(); l-- > 0;) {
+      const std::vector<double>& input =
+          l == 0 ? work.x0 : work.mlp_post[l - 1];
+      // dW = delta (x) input; db = delta.
+      Matrix& gw = work.dense_grads.mlp_w[l];
+      std::vector<double>& gb = work.dense_grads.mlp_b[l];
+      for (size_t o = 0; o < work.delta.size(); ++o) {
+        gb[o] += work.delta[o];
+        for (size_t i = 0; i < input.size(); ++i) {
+          gw(o, i) += work.delta[o] * input[i];
+        }
+      }
+      // Propagate to the previous layer.
+      work.prev.assign(input.size(), 0.0);
+      for (size_t o = 0; o < work.delta.size(); ++o) {
+        for (size_t i = 0; i < input.size(); ++i) {
+          work.prev[i] += work.dense.mlp_w[l](o, i) * work.delta[o];
+        }
+      }
+      if (l > 0) {
+        // Through the ReLU of layer l-1.
+        for (size_t i = 0; i < work.prev.size(); ++i) {
+          if (work.mlp_pre[l - 1][i] <= 0.0) work.prev[i] = 0.0;
+        }
+        std::swap(work.delta, work.prev);
+      } else {
+        for (size_t i = 0; i < work.prev.size(); ++i) {
+          work.dx0[i] += work.prev[i];
+        }
+      }
+    }
+  }
+
+  // --- Head backward ---
+  if (config_.arch == ModelKind::kWideDeep) {
+    for (int f = 0; f < kNumCat; ++f) {
+      work.wide_grads[slots[f]] += dlogit;
+    }
+  } else if (config_.arch == ModelKind::kDcn) {
+    const size_t n = static_cast<size_t>(n0_);
+    const std::vector<double>& x_last = work.cross_x.back();
+    for (size_t i = 0; i < n; ++i) {
+      work.dense_grads.cross_out_w[i] += dlogit * x_last[i];
+      work.dxl[i] = dlogit * work.dense.cross_out_w[i];
+    }
+    for (size_t l = work.dense.cross_w.size(); l-- > 0;) {
+      const std::vector<double>& xl = work.cross_x[l];
+      const double s = work.cross_s[l];
+      double ds = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        ds += work.dxl[i] * work.x0[i];
+        work.dense_grads.cross_b[l][i] += work.dxl[i];
+        work.dx0[i] += work.dxl[i] * s;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        work.dense_grads.cross_w[l][i] += ds * xl[i];
+        work.dprev[i] = work.dxl[i] + ds * work.dense.cross_w[l][i];
+      }
+      std::swap(work.dxl, work.dprev);
+    }
+    for (size_t i = 0; i < n; ++i) work.dx0[i] += work.dxl[i];
+  } else if (config_.arch == ModelKind::kXDeepFm) {
+    for (int h = 0; h < config_.fm_maps; ++h) {
+      const double s = work.fm_s[static_cast<size_t>(h)];
+      work.dense_grads.fm_w[static_cast<size_t>(h)] += dlogit * s;
+      const double ds = dlogit * work.dense.fm_w[static_cast<size_t>(h)];
+      const double f_sum = work.fm_f[static_cast<size_t>(h)];
+      for (int i = 0; i < fields; ++i) {
+        const double t = work.fm_t[static_cast<size_t>(h * fields + i)];
+        const double dt = ds * (f_sum - t);
+        for (int r = 0; r < d; ++r) {
+          work.dense_grads.fm_proj[static_cast<size_t>(h)]
+                                  [static_cast<size_t>(r)] +=
+              dt * work.x0[static_cast<size_t>(i * d + r)];
+          work.dfields[static_cast<size_t>(i * d + r)] +=
+              dt * work.dense.fm_proj[static_cast<size_t>(h)]
+                                     [static_cast<size_t>(r)];
+        }
+      }
+    }
+  }
+
+  // dx0 slices feed field gradients (flat layout: same element order as the
+  // legacy per-field loop).
+  for (size_t i = 0; i < work.dx0.size(); ++i) {
+    work.dfields[i] += work.dx0[i];
+  }
+
+  // Field 0 -> dense projection weights.
+  for (int r = 0; r < d; ++r) {
+    const double df = work.dfields[static_cast<size_t>(r)];
+    if (df == 0.0) continue;
+    for (int c = 0; c < kNumDense; ++c) {
+      work.dense_grads.dense_proj(static_cast<size_t>(r),
+                                  static_cast<size_t>(c)) +=
+          df * sample.dense[static_cast<size_t>(c)];
+    }
+  }
+  // Fields 1..26 -> flat per-slot row gradients.
+  for (int f = 0; f < kNumCat; ++f) {
+    double* grow = &work.row_grads[static_cast<size_t>(slots[f]) * d];
+    const double* dfield = &work.dfields[static_cast<size_t>(f + 1) * d];
+    for (int r = 0; r < d; ++r) grow[r] += dfield[r];
+  }
+}
+
+double MiniDlrm::ComputeBatch(DlrmBatchWork* work) const {
+  assert(work->initialized && !work->batch.samples.empty());
+  VisitDenseParams(work->dense_grads, [](double& v) { v = 0.0; });
+  // row_grads / wide_grads were zeroed by PullBatch when it sized them.
+  const double inv_n = 1.0 / static_cast<double>(work->batch.size());
+  double loss = 0.0;
+  for (size_t s = 0; s < work->batch.samples.size(); ++s) {
+    const CriteoSample& sample = work->batch.samples[s];
+    const double logit = ForwardSampleFast(sample, s, *work);
+    const double p = Sigmoid(logit);
+    const double y = sample.label;
+    const double eps = 1e-12;
+    loss += -(y * std::log(p + eps) + (1.0 - y) * std::log(1.0 - p + eps));
+    BackwardSampleFast(sample, s, (p - y) * inv_n, *work);
+  }
+  return loss * inv_n;
+}
+
+void MiniDlrm::PushBatch(DlrmBatchWork* work, double learning_rate) {
+  {
+    std::unique_lock<std::shared_mutex> lock(params_mu_);
+    ApplyDenseGradientsLocked(work->dense_grads, learning_rate);
+  }
+  const double* wide_grads = config_.arch == ModelKind::kWideDeep
+                                 ? work->wide_grads.data()
+                                 : nullptr;
+  store_.ScatterApply(work->keys.data(), work->keys.size(),
+                      work->row_grads.data(), wide_grads, learning_rate,
+                      &work->store_scratch);
 }
 
 }  // namespace dlrover

@@ -73,6 +73,55 @@ struct DlrmStateBlob {
   EmbStoreSnapshot sparse;
 };
 
+/// Reusable per-worker workspace for the allocation-free batch hot path
+/// (MiniDlrm::PullBatch / ComputeBatch / PushBatch). Owns every buffer one
+/// training step needs: the pulled dense copy, the batch's unique sparse
+/// keys with their gathered rows, the per-worker gradient accumulators that
+/// PushBatch merges into the live model at commit, and the flat
+/// forward/backward scratch. All buffers are sized on first use and reused
+/// after that, so a warmed steady-state batch performs zero heap
+/// allocations. One instance per worker; never shared across threads.
+/// Treat the members as opaque — only `batch` is caller-filled (via
+/// CriteoSynth::FillBatch), everything else belongs to MiniDlrm.
+struct DlrmBatchWork {
+  CriteoBatch batch;
+
+  // Pulled parameters (one consistent dense version + the batch's rows).
+  DenseParams dense;
+  std::vector<uint64_t> keys;   // sorted unique packed (feature,bucket) keys
+  std::vector<double> rows;     // keys.size() * emb_dim gathered rows
+  std::vector<double> wide;     // keys.size() wide weights (Wide&Deep only)
+  std::vector<uint32_t> slot;   // (sample * 26 + feature) -> index into keys
+
+  // Per-worker gradient accumulators, merged at commit by PushBatch.
+  DenseParams dense_grads;
+  std::vector<double> row_grads;   // keys.size() * emb_dim
+  std::vector<double> wide_grads;  // keys.size() (Wide&Deep only)
+
+  // Forward/backward scratch (flat, reused). x0 doubles as the
+  // concatenated field vector: field f lives at [f * emb_dim, ...).
+  std::vector<double> x0;
+  std::vector<std::vector<double>> mlp_pre;
+  std::vector<std::vector<double>> mlp_post;
+  std::vector<double> dfields;
+  std::vector<double> dx0;
+  std::vector<double> delta;
+  std::vector<double> prev;
+  std::vector<std::vector<double>> cross_x;  // DCN: x_0 .. x_L
+  std::vector<double> cross_s;
+  std::vector<double> dxl;
+  std::vector<double> dprev;
+  std::vector<double> fm_t;  // xDeepFM: fm_maps x 27, flat
+  std::vector<double> fm_f;
+  std::vector<double> fm_s;
+
+  // Key-dedup and stripe-grouping scratch.
+  std::vector<std::pair<uint64_t, uint32_t>> key_scratch;
+  EmbStore::BatchScratch store_scratch;
+
+  bool initialized = false;
+};
+
 /// A small but real deep recommendation model with three selectable
 /// architectures (the paper's Model-X/Y/Z):
 ///   Wide&Deep — MLP tower + wide per-id linear head;
@@ -105,6 +154,26 @@ class MiniDlrm {
 
   /// Pushes gradients into the live parameters (async SGD step).
   void ApplyGradients(const DlrmGradients& grads, double learning_rate);
+
+  /// Allocation-free batch hot path used by ExecMode::kThreads workers.
+  /// The three calls mirror pull / compute / push against a per-worker
+  /// workspace:
+  ///   PullBatch    — dense copy + batched sparse gather of the batch's
+  ///                  deduplicated keys (one lock round-trip per touched
+  ///                  stripe instead of one per key);
+  ///   ComputeBatch — forward/backward into the worker's private gradient
+  ///                  accumulators; returns mean logloss;
+  ///   PushBatch    — merges the accumulators into the live model: dense
+  ///                  axpy under the write lock, then the sharded sparse
+  ///                  scatter with per-stripe locking.
+  /// The arithmetic is statement-for-statement identical to the legacy
+  /// TakeSnapshot / ForwardBackward / ApplyGradients path: for the same
+  /// batch against the same parameters both produce bit-identical losses
+  /// and parameter updates (pinned by mini_dlrm_test). Thread-safe with
+  /// one DlrmBatchWork per worker.
+  void PullBatch(DlrmBatchWork* work) const;
+  double ComputeBatch(DlrmBatchWork* work) const;
+  void PushBatch(DlrmBatchWork* work, double learning_rate);
 
   /// Click probabilities under the live parameters.
   std::vector<double> Predict(const CriteoBatch& batch) const;
@@ -147,6 +216,20 @@ class MiniDlrm {
   void BackwardSample(const CriteoSample& sample, const DenseParams& dense,
                       const SparseRows& rows, const SampleCache& cache,
                       double dlogit, DlrmGradients* grads) const;
+
+  /// Sizes the fixed (batch-independent) buffers of `work` on first use.
+  void EnsureWork(DlrmBatchWork* work) const;
+  /// Flat-buffer twins of ForwardSample/BackwardSample with identical
+  /// floating-point statement order; sparse grads go to work.row_grads /
+  /// work.wide_grads via the batch's slot table.
+  double ForwardSampleFast(const CriteoSample& sample, size_t sample_idx,
+                           DlrmBatchWork& work) const;
+  void BackwardSampleFast(const CriteoSample& sample, size_t sample_idx,
+                          double dlogit, DlrmBatchWork& work) const;
+  /// Dense half of a push; caller holds params_mu_ exclusively. Shared by
+  /// ApplyGradients and PushBatch so both apply bit-identical updates.
+  void ApplyDenseGradientsLocked(const DenseParams& grads,
+                                 double learning_rate);
 
   MiniDlrmConfig config_;
   int n0_ = 0;  // concatenated field width = (1 + 26) * emb_dim

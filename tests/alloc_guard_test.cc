@@ -10,6 +10,9 @@
 
 #include "cluster/cluster.h"
 #include "common/alloc_counter.h"
+#include "dlrm/criteo_synth.h"
+#include "dlrm/mini_dlrm.h"
+#include "elastic/shard_queue.h"
 #include "ps/training_job.h"
 #include "sim/simulator.h"
 
@@ -69,6 +72,72 @@ TEST(AllocGuardTest, WarmSingleJobRunIsAllocationFree) {
   EXPECT_EQ(allocs_after - allocs_before, 0u)
       << "hot path allocated " << (allocs_after - allocs_before)
       << " times across " << kEvents << " events";
+}
+
+TEST(AllocGuardTest, WarmTrainingHotLoopIsAllocationFree) {
+  // The kThreads per-batch cycle — FillBatch, PullBatch, ComputeBatch,
+  // PushBatch against a reusable DlrmBatchWork — must allocate nothing once
+  // warmed: batch buffers, the pulled dense copy, key/slot tables, gathered
+  // rows and gradient accumulators are all reused, and the store's
+  // steady-state lookups are find/try_emplace on materialized keys. Loop a
+  // fixed batch range so every embedding key (and every buffer's maximum
+  // size) is seen during warm-up.
+  MiniDlrmConfig config;
+  config.arch = ModelKind::kWideDeep;
+  config.emb_dim = 8;
+  config.hash_buckets = 512;
+  config.mlp_hidden = {16, 8};
+  config.seed = 3;
+  MiniDlrm model(config);
+  CriteoSynth data(7);
+  DlrmBatchWork work;
+  constexpr uint64_t kBatches = 12;
+  constexpr uint64_t kBatchSize = 32;
+  auto one_pass = [&]() {
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      data.FillBatch(b * kBatchSize, kBatchSize, &work.batch);
+      model.PullBatch(&work);
+      model.ComputeBatch(&work);
+      model.PushBatch(&work, 0.05);
+    }
+  };
+  one_pass();  // materialize every row, grow every buffer to its max
+  one_pass();  // second pass: hash-map load factors, vector capacities settle
+
+  const uint64_t before = AllocationCount();
+  one_pass();
+  one_pass();
+  const uint64_t after = AllocationCount();
+  EXPECT_EQ(after - before, 0u)
+      << "training hot loop allocated " << (after - before) << " times across "
+      << 2 * kBatches << " steady-state batches";
+}
+
+TEST(AllocGuardTest, WarmShardQueueDispatchCycleIsAllocationFree) {
+  // The per-shard piece of the threaded hot loop: dispatch a shard, report
+  // it completed. After a few cycles warm the outstanding-registry capacity,
+  // the steady-state dispatch/complete cycle must not allocate. (The
+  // failure/requeue path is exempt — it only runs on elastic events and
+  // crashes, never per healthy shard.)
+  ShardQueueOptions options;
+  options.total_batches = 16384;
+  options.default_shard_batches = 16;
+  options.min_shard_batches = 2;
+  ShardQueue queue(options);
+  auto cycle = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      auto shard = queue.NextShard();
+      ASSERT_TRUE(shard.ok());
+      ASSERT_TRUE(queue.ReportCompleted(*shard).ok());
+    }
+  };
+  cycle(32);
+  const uint64_t before = AllocationCount();
+  cycle(512);
+  const uint64_t after = AllocationCount();
+  EXPECT_EQ(after - before, 0u)
+      << "shard dispatch/complete cycle allocated " << (after - before)
+      << " times";
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/dense_kernels.h"
 #include "dlrm/metrics.h"
 
 namespace dlrover {
@@ -144,9 +149,49 @@ TEST(AsyncTrainerTest, ThreadsModeExactlyOnceUnderElasticEvents) {
 }
 
 TEST(AsyncTrainerTest, ThreadsModeConvergesLikeTickMode) {
-  // Tick-vs-threads parity: real async interleaving changes the exact
-  // floats but must not change what the model learns. Same data, same
-  // budget; final held-out metrics within tolerance.
+  // Tick-vs-threads parity across pool widths: real async interleaving
+  // changes the exact floats but must not change what the model learns.
+  // Same data, same budget; final held-out metrics within tolerance at
+  // every thread count (this drives the per-worker accumulator + batched
+  // gather/scatter hot path at 1, 2, 4 and hardware_concurrency threads).
+  CriteoSynth data(99);
+  auto run = [&](ExecMode mode, int threads) {
+    MiniDlrm model(SmallModel());
+    AsyncTrainerOptions options = SmallRun(17);
+    options.total_batches = 1200;
+    options.exec_mode = mode;
+    options.num_threads = threads;
+    AsyncPsTrainer trainer(&model, &data, options);
+    return trainer.Run();
+  };
+  const TrainResult ticks = run(ExecMode::kTicks, 0);
+  std::vector<int> widths = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) widths.push_back(hw);
+  for (int threads : widths) {
+    const TrainResult result = run(ExecMode::kThreads, threads);
+    EXPECT_EQ(result.batches_committed, ticks.batches_committed)
+        << threads << " threads";
+    EXPECT_LT(std::fabs(result.final_logloss - ticks.final_logloss), 0.02)
+        << threads << " threads";
+    EXPECT_LT(std::fabs(result.final_auc - ticks.final_auc), 0.03)
+        << threads << " threads";
+    EXPECT_LT(result.curve.back().test_logloss,
+              result.curve.front().test_logloss)
+        << threads << " threads";
+    // Phase accounting covers every committed batch.
+    EXPECT_EQ(result.phases.batches, result.batches_committed)
+        << threads << " threads";
+    EXPECT_GT(result.phases.BusySeconds(), 0.0) << threads << " threads";
+  }
+}
+
+TEST(AsyncTrainerTest, ThreadsModeConvergesWithSimdKernels) {
+  // The SIMD kernels reassociate reductions, so floats differ from scalar —
+  // but learning must not. Run the threaded trainer under kSimd and demand
+  // tick-mode-equivalent held-out metrics. No-op (scalar fallback) on
+  // hardware without AVX2+FMA.
+  const DenseKernelMode applied = SetDenseKernelMode(DenseKernelMode::kSimd);
   CriteoSynth data(99);
   auto run = [&](ExecMode mode) {
     MiniDlrm model(SmallModel());
@@ -159,11 +204,13 @@ TEST(AsyncTrainerTest, ThreadsModeConvergesLikeTickMode) {
   };
   const TrainResult ticks = run(ExecMode::kTicks);
   const TrainResult threads = run(ExecMode::kThreads);
+  SetDenseKernelMode(DenseKernelMode::kScalar);
+  if (applied != DenseKernelMode::kSimd) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA; SIMD path not exercised";
+  }
   EXPECT_EQ(threads.batches_committed, ticks.batches_committed);
   EXPECT_LT(std::fabs(threads.final_logloss - ticks.final_logloss), 0.02);
   EXPECT_LT(std::fabs(threads.final_auc - ticks.final_auc), 0.03);
-  EXPECT_LT(threads.curve.back().test_logloss,
-            threads.curve.front().test_logloss);
 }
 
 TEST(AsyncTrainerTest, CurveIsRecordedAndLossImproves) {

@@ -120,5 +120,88 @@ TEST(EmbStoreTest, ConcurrentPushesAreAllApplied) {
   }
 }
 
+TEST(EmbStoreBatchedTest, GatherMatchesPerKeyGets) {
+  EmbStore store(SmallStore());
+  const size_t dim = 8;
+  // Keys across many features/buckets, including duplicates and keys that
+  // collide on a stripe, in scrambled order.
+  std::vector<uint64_t> keys;
+  for (int f = 0; f < 26; ++f) {
+    keys.push_back(store.PackKey(f, static_cast<uint64_t>(f * 31 + 5)));
+    keys.push_back(store.PackKey(f, static_cast<uint64_t>(f * 7 + 1)));
+  }
+  keys.push_back(keys[3]);  // duplicate
+  keys.push_back(keys[40]);
+
+  std::vector<double> rows(keys.size() * dim);
+  std::vector<double> wide(keys.size());
+  EmbStore::BatchScratch scratch;
+  store.GatherRows(keys.data(), keys.size(), rows.data(), wide.data(),
+                   &scratch);
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int f = static_cast<int>(keys[i] / SmallStore().hash_buckets);
+    const uint64_t bucket = keys[i] % SmallStore().hash_buckets;
+    const std::vector<double> expect = store.GetRow(f, bucket);
+    for (size_t r = 0; r < dim; ++r) {
+      EXPECT_EQ(rows[i * dim + r], expect[r]) << "key " << i;
+    }
+    EXPECT_EQ(wide[i], store.GetWide(f, bucket));
+  }
+}
+
+TEST(EmbStoreBatchedTest, ScatterApplyMatchesPerKeyApply) {
+  EmbStore batched(SmallStore());
+  EmbStore perkey(SmallStore());
+  const size_t dim = 8;
+  const double lr = 0.3;
+
+  std::vector<uint64_t> keys;
+  std::vector<double> row_grads;
+  std::vector<double> wide_grads;
+  for (int f = 0; f < 26; ++f) {
+    for (int j = 0; j < 3; ++j) {
+      keys.push_back(batched.PackKey(f, static_cast<uint64_t>(f * 17 + j)));
+      for (size_t r = 0; r < dim; ++r) {
+        row_grads.push_back(0.01 * static_cast<double>(f + j) +
+                            0.001 * static_cast<double>(r));
+      }
+      wide_grads.push_back(0.1 * static_cast<double>(f - j));
+    }
+  }
+
+  EmbStore::BatchScratch scratch;
+  batched.ScatterApply(keys.data(), keys.size(), row_grads.data(),
+                       wide_grads.data(), lr, &scratch);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int f = static_cast<int>(keys[i] / SmallStore().hash_buckets);
+    const uint64_t bucket = keys[i] % SmallStore().hash_buckets;
+    const std::vector<double> grad(row_grads.begin() + i * dim,
+                                   row_grads.begin() + (i + 1) * dim);
+    perkey.ApplyRowGradient(f, bucket, grad, lr);
+    perkey.ApplyWideGradient(f, bucket, wide_grads[i], lr);
+  }
+
+  // Bitwise identical: the batched axpy keeps the per-key statement order.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int f = static_cast<int>(keys[i] / SmallStore().hash_buckets);
+    const uint64_t bucket = keys[i] % SmallStore().hash_buckets;
+    EXPECT_EQ(batched.GetRow(f, bucket), perkey.GetRow(f, bucket));
+    EXPECT_EQ(batched.GetWide(f, bucket), perkey.GetWide(f, bucket));
+  }
+  EXPECT_EQ(batched.MaterializedRows(), perkey.MaterializedRows());
+}
+
+TEST(EmbStoreBatchedTest, ScatterWithoutWideLeavesWideUntouched) {
+  EmbStore store(SmallStore());
+  std::vector<uint64_t> keys = {store.PackKey(2, 9), store.PackKey(11, 40)};
+  std::vector<double> grads(keys.size() * 8, 0.5);
+  EmbStore::BatchScratch scratch;
+  store.ScatterApply(keys.data(), keys.size(), grads.data(),
+                     /*wide_grads=*/nullptr, 0.1, &scratch);
+  EXPECT_EQ(store.GetWide(2, 9), 0.0);
+  EXPECT_EQ(store.MaterializedRows(), 2u);
+}
+
 }  // namespace
 }  // namespace dlrover

@@ -197,5 +197,59 @@ TEST(MiniDlrmTest, DeterministicAcrossMaterializationOrder) {
   }
 }
 
+// The allocation-free batch hot path (PullBatch / ComputeBatch / PushBatch)
+// must be arithmetically indistinguishable from the legacy snapshot path:
+// train two identically-initialized models, one per path, and demand
+// bit-identical losses every step and a bit-identical final state.
+class FastPathTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(FastPathTest, MatchesLegacyBitExact) {
+  const MiniDlrmConfig config = SmallConfig(GetParam());
+  CriteoSynth data(9);
+  MiniDlrm legacy(config);
+  MiniDlrm fast(config);
+  DlrmBatchWork work;
+  const double lr = 0.05;
+  const uint64_t batch_size = 16;
+
+  for (int b = 0; b < 6; ++b) {
+    const CriteoBatch batch = data.Batch(b * batch_size, batch_size);
+    const ParamSnapshot snap = legacy.TakeSnapshot(batch);
+    DlrmGradients grads;
+    const double legacy_loss = legacy.ForwardBackward(batch, snap, &grads);
+    legacy.ApplyGradients(grads, lr);
+
+    data.FillBatch(b * batch_size, batch_size, &work.batch);
+    fast.PullBatch(&work);
+    const double fast_loss = fast.ComputeBatch(&work);
+    fast.PushBatch(&work, lr);
+
+    EXPECT_EQ(legacy_loss, fast_loss) << "batch " << b;
+  }
+
+  DlrmStateBlob legacy_state;
+  DlrmStateBlob fast_state;
+  legacy.ExportState(&legacy_state);
+  fast.ExportState(&fast_state);
+  ASSERT_EQ(legacy_state.dense.size(), fast_state.dense.size());
+  for (size_t i = 0; i < legacy_state.dense.size(); ++i) {
+    ASSERT_EQ(legacy_state.dense[i], fast_state.dense[i]) << "dense[" << i
+                                                          << "]";
+  }
+  EXPECT_EQ(legacy_state.sparse.emb_keys, fast_state.sparse.emb_keys);
+  EXPECT_EQ(legacy_state.sparse.emb_values, fast_state.sparse.emb_values);
+  EXPECT_EQ(legacy_state.sparse.wide_keys, fast_state.sparse.wide_keys);
+  EXPECT_EQ(legacy_state.sparse.wide_values, fast_state.sparse.wide_values);
+
+  // And the models keep agreeing on fresh data.
+  const CriteoBatch held_out = data.Batch(100000, 64);
+  EXPECT_EQ(legacy.Evaluate(held_out), fast.Evaluate(held_out));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, FastPathTest,
+                         ::testing::Values(ModelKind::kWideDeep,
+                                           ModelKind::kXDeepFm,
+                                           ModelKind::kDcn));
+
 }  // namespace
 }  // namespace dlrover

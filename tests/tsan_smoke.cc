@@ -110,12 +110,69 @@ void EmbStoreSmoke() {
   CHECK_TRUE(store.MaterializedRows() >= 32);
 }
 
+// Batched gather/scatter under contention: many threads pulling and pushing
+// overlapping key sets through GatherRows/ScatterApply while others hammer
+// the per-key API on the same stripes. This is the sharded gradient
+// application of the threaded trainer, distilled.
+void EmbStoreBatchedSmoke() {
+  dlrover::EmbStoreOptions options;
+  options.num_features = 26;
+  options.emb_dim = 8;
+  options.hash_buckets = 1024;
+  options.seed = 7;
+  options.stripes = 8;
+  dlrover::EmbStore store(options);
+  const size_t dim = 8;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&store, t]() {
+      dlrover::EmbStore::BatchScratch scratch;
+      std::vector<uint64_t> keys;
+      std::vector<double> rows;
+      std::vector<double> wide;
+      std::vector<double> grads;
+      std::vector<double> wgrads;
+      for (int i = 0; i < 200; ++i) {
+        keys.clear();
+        for (int f = 0; f < 26; ++f) {
+          keys.push_back(store.PackKey(f, static_cast<uint64_t>(
+                                              (t * 7 + i + f) % 48)));
+        }
+        rows.assign(keys.size() * dim, 0.0);
+        wide.assign(keys.size(), 0.0);
+        store.GatherRows(keys.data(), keys.size(), rows.data(), wide.data(),
+                         &scratch);
+        grads.assign(keys.size() * dim, 0.5);
+        wgrads.assign(keys.size(), 0.25);
+        store.ScatterApply(keys.data(), keys.size(), grads.data(),
+                           wgrads.data(), 0.01, &scratch);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&store, t]() {
+      const std::vector<double> grad(dim, 1.0);
+      for (int i = 0; i < 400; ++i) {
+        const int f = (t + i) % 26;
+        const uint64_t bucket = static_cast<uint64_t>(i % 48);
+        store.GetRow(f, bucket);
+        store.ApplyRowGradient(f, bucket, grad, 0.01);
+        store.MaterializedRows();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  CHECK_TRUE(store.MaterializedRows() >= 48);
+}
+
 }  // namespace
 
 int main() {
   ThreadPoolSmoke();
   ShardQueueSmoke();
   EmbStoreSmoke();
+  EmbStoreBatchedSmoke();
   std::printf("tsan smoke: ok\n");
   return 0;
 }
