@@ -1,55 +1,70 @@
-// Fleet-scale hot-path benchmark: runs a Fig 3-shaped mixed fleet (half
-// DLRover-managed, half manual) at 1x, 5x, and 20x the base size (48 jobs /
-// 60 nodes), once with the optimized hot path (inline event callbacks, slab
-// pods, O(1) cluster accounting, memoized iteration model) and once with
-// FleetScenario::legacy_hot_path, which reruns the per-call scan paths the
-// optimizations replaced. Both paths must produce identical fleet outcomes
-// — the bench verifies that in-process and fails otherwise — so the
-// speedup column measures pure hot-path cost. Results land in
-// BENCH_fleet_scale.json: events/sec, wall seconds, peak RSS, and speedup
-// per scale.
+// Fleet-scale benchmark for the sharded event core: runs a Fig 3-shaped
+// all-manual fleet (48 jobs / 60 nodes at 1x) at up to 250x the base size
+// on the sharded engine, sweeping execution lanes {1, 2, 4, hw}. Cells
+// partition the fleet (part of the scenario shape); lanes only change which
+// thread advances which cell, so the bench verifies in-process that every
+// lane count produces byte-identical outcomes — the speedup column measures
+// pure execution-width effect. At 1x it additionally checks the sequential
+// oracle: RunFleetSharded with one cell must reproduce RunFleet exactly.
+// Results land in BENCH_fleet_scale.json: events/sec per lane count,
+// speedup vs one lane, window size, peak RSS, and both parity verdicts.
 //
-// Usage: bench_fleet_scale [max_scale]   (default 20; ctest runs 1)
+// Usage: bench_fleet_scale [max_scale]   (default 100; ctest runs 1)
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/reporting.h"
+#include "harness/sharded_fleet.h"
 
 namespace dlrover {
 namespace {
+
+struct LaneRun {
+  int lanes = 1;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double speedup_vs_1 = 1.0;
+};
 
 struct ScaleRun {
   int scale = 1;
   int num_jobs = 0;
   int num_nodes = 0;
+  int cells = 1;
   uint64_t events = 0;
-  double optimized_seconds = 0.0;
-  double legacy_seconds = 0.0;
-  double optimized_eps = 0.0;
-  double legacy_eps = 0.0;
-  double peak_rss_mb = 0.0;  // process peak after the optimized run
-  bool outcomes_match = false;
+  uint64_t windows = 0;
+  uint64_t cross_shard_sends = 0;
+  std::vector<LaneRun> lanes;
+  double peak_rss_mb = 0.0;
+  bool lanes_identical = false;
 };
 
-FleetScenario ScaledScenario(int scale, bool legacy) {
+FleetScenario ScaledScenario(int scale) {
   FleetScenario scenario;
   // Fig 3 shape: an all-manual fleet. No brain/NSGA-II planning in the
-  // loop, so events/sec measures the event hot path itself rather than
-  // plan optimization (which both paths pay identically).
+  // loop, so events/sec measures the event core itself rather than plan
+  // optimization.
   scenario.dlrover_fraction = 0.0;
   scenario.workload.num_jobs = 48 * scale;
   scenario.workload.arrival_span = Hours(8);
   scenario.cluster.num_nodes = 60 * scale;
   scenario.horizon = Hours(30);
   scenario.seed = 11;
-  scenario.legacy_hot_path = legacy;
   return scenario;
+}
+
+int CellsForScale(int scale) {
+  // Enough cells that sharding is always exercised, capped so small fleets
+  // keep a few nodes per cell.
+  return std::min(16, 4 * scale);
 }
 
 double PeakRssMb() {
@@ -76,97 +91,153 @@ bool SameOutcomes(const FleetResult& a, const FleetResult& b) {
   return true;
 }
 
-ScaleRun RunScale(int scale) {
+std::vector<int> LaneSweep() {
+  std::vector<int> lanes = {1, 2, 4};
+  const int hw = static_cast<int>(
+      std::max<unsigned>(1, std::thread::hardware_concurrency()));
+  if (std::find(lanes.begin(), lanes.end(), hw) == lanes.end()) {
+    lanes.push_back(hw);
+  }
+  return lanes;
+}
+
+ScaleRun RunScale(int scale, Duration window) {
   ScaleRun run;
   run.scale = scale;
   run.num_jobs = 48 * scale;
   run.num_nodes = 60 * scale;
+  run.cells = CellsForScale(scale);
+  const FleetScenario scenario = ScaledScenario(scale);
 
-  // Optimized first: the process-wide RSS high-water mark then reflects the
-  // optimized path, not the scan-path baseline that follows.
-  auto start = std::chrono::steady_clock::now();
-  const FleetResult optimized = RunFleet(ScaledScenario(scale, false));
-  run.optimized_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  ShardedFleetOptions options;
+  options.cells = run.cells;
+  options.window = window;
+
+  run.lanes_identical = true;
+  FleetResult reference;
+  for (int lanes : LaneSweep()) {
+    options.shards = lanes;
+    const auto start = std::chrono::steady_clock::now();
+    ShardedFleetResult result = RunFleetSharded(scenario, options);
+    LaneRun lane;
+    lane.lanes = lanes;
+    lane.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    lane.events_per_sec =
+        static_cast<double>(result.fleet.executed_events) / lane.seconds;
+    if (run.lanes.empty()) {
+      run.events = result.fleet.executed_events;
+      run.windows = result.windows;
+      run.cross_shard_sends = result.cross_shard_sends;
+      reference = std::move(result.fleet);
+      lane.speedup_vs_1 = 1.0;
+    } else {
+      lane.speedup_vs_1 = lane.seconds > 0.0
+                              ? run.lanes.front().seconds / lane.seconds
+                              : 0.0;
+      run.lanes_identical =
+          run.lanes_identical && SameOutcomes(reference, result.fleet);
+    }
+    run.lanes.push_back(lane);
+  }
   run.peak_rss_mb = PeakRssMb();
-
-  start = std::chrono::steady_clock::now();
-  const FleetResult legacy = RunFleet(ScaledScenario(scale, true));
-  run.legacy_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  run.events = optimized.executed_events;
-  run.optimized_eps =
-      static_cast<double>(run.events) / run.optimized_seconds;
-  run.legacy_eps = static_cast<double>(run.events) / run.legacy_seconds;
-  run.outcomes_match = SameOutcomes(optimized, legacy);
   return run;
 }
 
 void Run(int max_scale) {
-  PrintBanner("fleet-scale hot path: optimized vs legacy scan paths");
+  PrintBanner("fleet scale: sharded event core, lane sweep");
+  const Duration window = Minutes(2);
+
+  // Sequential oracle at the base scale: one cell on one lane must be the
+  // sequential RunFleet byte for byte.
+  std::printf("checking 1-cell parity against sequential RunFleet...\n");
+  std::fflush(stdout);
+  const FleetScenario base = ScaledScenario(1);
+  ShardedFleetOptions one_cell;
+  one_cell.cells = 1;
+  one_cell.shards = 1;
+  one_cell.window = window;
+  const bool sequential_parity =
+      SameOutcomes(RunFleet(base), RunFleetSharded(base, one_cell).fleet);
+  std::printf("  sequential parity: %s\n",
+              sequential_parity ? "identical" : "DIVERGED");
 
   std::vector<ScaleRun> runs;
-  for (int scale : {1, 5, 20}) {
+  for (int scale : {1, 20, 100, 250}) {
     if (scale > max_scale) continue;
-    std::printf("running scale %dx (%d jobs / %d nodes)...\n", scale,
-                48 * scale, 60 * scale);
+    std::printf("running scale %dx (%d jobs / %d nodes / %d cells)...\n",
+                scale, 48 * scale, 60 * scale, CellsForScale(scale));
     std::fflush(stdout);
-    runs.push_back(RunScale(scale));
+    runs.push_back(RunScale(scale, window));
   }
 
-  bool all_match = true;
-  TablePrinter table({"scale", "jobs", "nodes", "events", "opt events/s",
-                      "legacy events/s", "speedup", "peak RSS", "outcomes"});
+  bool all_identical = sequential_parity;
+  TablePrinter table({"scale", "jobs", "nodes", "cells", "lanes", "events",
+                      "seconds", "events/s", "speedup", "peak RSS",
+                      "outcomes"});
   for (const ScaleRun& r : runs) {
-    all_match = all_match && r.outcomes_match;
-    table.AddRow({StrFormat("%dx", r.scale), StrFormat("%d", r.num_jobs),
-                  StrFormat("%d", r.num_nodes),
-                  StrFormat("%llu", static_cast<unsigned long long>(r.events)),
-                  StrFormat("%.3g", r.optimized_eps),
-                  StrFormat("%.3g", r.legacy_eps),
-                  StrFormat("%.2fx", r.optimized_eps / r.legacy_eps),
-                  StrFormat("%.0f MiB", r.peak_rss_mb),
-                  r.outcomes_match ? "identical" : "DIVERGED"});
+    all_identical = all_identical && r.lanes_identical;
+    for (const LaneRun& lane : r.lanes) {
+      table.AddRow(
+          {StrFormat("%dx", r.scale), StrFormat("%d", r.num_jobs),
+           StrFormat("%d", r.num_nodes), StrFormat("%d", r.cells),
+           StrFormat("%d", lane.lanes),
+           StrFormat("%llu", static_cast<unsigned long long>(r.events)),
+           StrFormat("%.2f", lane.seconds),
+           StrFormat("%.3g", lane.events_per_sec),
+           StrFormat("%.2fx", lane.speedup_vs_1),
+           StrFormat("%.0f MiB", r.peak_rss_mb),
+           r.lanes_identical ? "identical" : "DIVERGED"});
+    }
   }
   table.Print();
-  std::printf("\nlegacy vs optimized outcomes: %s\n",
-              all_match ? "identical at every scale" : "DIVERGED");
+  std::printf("\nlane-count independence: %s\n",
+              all_identical ? "byte-identical outcomes at every width"
+                            : "DIVERGED");
 
   FILE* json = OpenBenchJson("BENCH_fleet_scale.json", "fleet_scale");
   if (json == nullptr) std::exit(1);
-  std::fprintf(json, "  \"outcomes_match\": %s,\n",
-               all_match ? "true" : "false");
+  std::fprintf(json, "  \"window_seconds\": %.1f,\n", window);
+  std::fprintf(json, "  \"sequential_parity_1cell\": %s,\n",
+               sequential_parity ? "true" : "false");
+  std::fprintf(json, "  \"lanes_identical\": %s,\n",
+               all_identical ? "true" : "false");
   std::fprintf(json, "  \"runs\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const ScaleRun& r = runs[i];
-    std::fprintf(
-        json,
-        "    {\"scale\": %d, \"jobs\": %d, \"nodes\": %d, "
-        "\"events\": %llu, \"optimized_seconds\": %.4f, "
-        "\"legacy_seconds\": %.4f, \"optimized_events_per_sec\": %.1f, "
-        "\"legacy_events_per_sec\": %.1f, \"speedup_vs_legacy\": %.3f, "
-        "\"peak_rss_mb\": %.1f}%s\n",
-        r.scale, r.num_jobs, r.num_nodes,
-        static_cast<unsigned long long>(r.events), r.optimized_seconds,
-        r.legacy_seconds, r.optimized_eps, r.legacy_eps,
-        r.optimized_eps / r.legacy_eps, r.peak_rss_mb,
-        i + 1 < runs.size() ? "," : "");
+    std::fprintf(json,
+                 "    {\"scale\": %d, \"jobs\": %d, \"nodes\": %d, "
+                 "\"cells\": %d, \"events\": %llu, \"windows\": %llu, "
+                 "\"cross_shard_sends\": %llu, \"peak_rss_mb\": %.1f, "
+                 "\"shard_runs\": [",
+                 r.scale, r.num_jobs, r.num_nodes, r.cells,
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.windows),
+                 static_cast<unsigned long long>(r.cross_shard_sends),
+                 r.peak_rss_mb);
+    for (size_t j = 0; j < r.lanes.size(); ++j) {
+      const LaneRun& lane = r.lanes[j];
+      std::fprintf(json,
+                   "{\"shards\": %d, \"seconds\": %.4f, "
+                   "\"events_per_sec\": %.1f, \"speedup_vs_1shard\": %.3f}%s",
+                   lane.lanes, lane.seconds, lane.events_per_sec,
+                   lane.speedup_vs_1, j + 1 < r.lanes.size() ? ", " : "");
+    }
+    std::fprintf(json, "]}%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_fleet_scale.json\n");
 
-  if (!all_match) std::exit(1);
+  if (!all_identical) std::exit(1);
 }
 
 }  // namespace
 }  // namespace dlrover
 
 int main(int argc, char** argv) {
-  int max_scale = 20;
+  int max_scale = 100;
   if (argc > 1) max_scale = std::atoi(argv[1]);
   dlrover::Run(max_scale);
   return 0;

@@ -145,6 +145,7 @@ bool Cluster::TryPlace(Pod& pod) {
   Node& node = nodes_[static_cast<size_t>(best)];
   node.allocated += pod.spec.request;
   allocated_total_ += pod.spec.request;
+  LogDelta(ClusterCommitLog::Kind::kAllocated, pod.spec.request);
   node.pods.push_back(pod.id);
   pod.node = node.id;
   pod.phase = PodPhase::kStarting;
@@ -161,6 +162,13 @@ bool Cluster::TryPlace(Pod& pod) {
 }
 
 bool Cluster::TryPreemptFor(Pod& pod) {
+  // Livelock breaker: once this instant's preemption budget is spent the
+  // attempt fails outright and the pod waits in the pending queue until
+  // simulated time advances (see ClusterOptions::max_preemptions_per_instant).
+  if (sim_->Now() == preemption_instant_ &&
+      preempted_at_instant_ >= options_.max_preemptions_per_instant) {
+    return false;
+  }
   // Only higher-priority pods may preempt. Find a node where evicting the
   // cheapest set of strictly lower-priority pods frees enough room.
   for (Node& node : nodes_) {
@@ -185,6 +193,11 @@ bool Cluster::TryPreemptFor(Pod& pod) {
       victims.push_back(vid);
     }
     if (pod.spec.request.FitsIn(would_free)) {
+      if (sim_->Now() != preemption_instant_) {
+        preemption_instant_ = sim_->Now();
+        preempted_at_instant_ = 0;
+      }
+      preempted_at_instant_ += victims.size();
       for (PodId vid : victims) {
         ++counters_.pods_preempted;
         // A victim's stop callback can transitively kill (and recycle the
@@ -246,6 +259,9 @@ void Cluster::FailNode(NodeId id) {
     // total, which this subtraction already covers.
     capacity_total_ -= node.capacity;
     allocated_total_ -= node.allocated;
+    LogDelta(ClusterCommitLog::Kind::kCapacity, ResourceSpec{} - node.capacity);
+    LogDelta(ClusterCommitLog::Kind::kAllocated,
+             ResourceSpec{} - node.allocated);
   }
   node.healthy = false;
   ++mutation_version_;
@@ -255,6 +271,33 @@ void Cluster::FailNode(NodeId id) {
   }
 }
 
+void Cluster::RecoverNode(NodeId id) {
+  Node& node = nodes_[id];
+  if (node.healthy) return;
+  node.healthy = true;
+  // FailNode crashed every pod on the node, and ReleaseFromNode skipped the
+  // cluster-wide total while unhealthy (FailNode's bulk subtraction covered
+  // it), so whatever `allocated` still reads rejoins the total with the
+  // capacity. In practice it is zero: failed pods released synchronously.
+  capacity_total_ += node.capacity;
+  allocated_total_ += node.allocated;
+  LogDelta(ClusterCommitLog::Kind::kCapacity, node.capacity);
+  LogDelta(ClusterCommitLog::Kind::kAllocated, node.allocated);
+  ++mutation_version_;
+  // Restored capacity may unblock pending pods immediately.
+  PumpPendingQueue();
+}
+
+void Cluster::set_commit_log(ClusterCommitLog* log) {
+  commit_log_ = log;
+  if (commit_log_ == nullptr) return;
+  // Opening entries: a fold that starts from zero reconstructs the totals
+  // as they stand at attach time.
+  LogDelta(ClusterCommitLog::Kind::kCapacity, TotalCapacity());
+  LogDelta(ClusterCommitLog::Kind::kAllocated, TotalAllocated());
+  LogDelta(ClusterCommitLog::Kind::kUsage, TotalUsage());
+}
+
 void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   // Idempotent: preemption collects victims up front, and a victim's stop
   // callback can transitively kill other pods in that victim list (a job
@@ -262,7 +305,10 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   // pod must be a no-op — in particular it must not fire callbacks again.
   if (pod.terminal()) return;
   const bool was_pending = pod.phase == PodPhase::kPending;
-  if (pod.phase == PodPhase::kRunning) usage_total_ -= pod.usage;
+  if (pod.phase == PodPhase::kRunning) {
+    usage_total_ -= pod.usage;
+    LogDelta(ClusterCommitLog::Kind::kUsage, ResourceSpec{} - pod.usage);
+  }
   if (pod.phase == PodPhase::kStarting || pod.phase == PodPhase::kRunning) {
     ReleaseFromNode(pod);
   }
@@ -286,7 +332,11 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
 
 void Cluster::ReleaseFromNode(Pod& pod) {
   Node& node = nodes_[pod.node];
-  if (node.healthy) allocated_total_ -= pod.spec.request;
+  if (node.healthy) {
+    allocated_total_ -= pod.spec.request;
+    LogDelta(ClusterCommitLog::Kind::kAllocated,
+             ResourceSpec{} - pod.spec.request);
+  }
   node.allocated -= pod.spec.request;
   node.allocated.cpu = std::max(0.0, node.allocated.cpu);
   node.allocated.memory = std::max(0.0, node.allocated.memory);
@@ -361,6 +411,7 @@ void Cluster::ReportUsage(PodId id, const ResourceSpec& usage) {
   if (pod->phase == PodPhase::kRunning) {
     usage_total_ += usage;
     usage_total_ -= pod->usage;
+    LogDelta(ClusterCommitLog::Kind::kUsage, usage - pod->usage);
   }
   pod->usage = usage;
 }
@@ -420,6 +471,7 @@ ClusterUsage Cluster::Usage() const {
 }
 
 bool Cluster::UnderScarcity() const {
+  if (fleet_scarcity_) return true;
   const ResourceSpec cap = TotalCapacity();
   // No healthy capacity: nothing can start, so there is no startup to slow
   // down — and dividing by zero below would poison the fraction with NaN.

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/commit_log.h"
 #include "cluster/pod.h"
 #include "cluster/resources.h"
 #include "common/rng.h"
@@ -55,6 +56,16 @@ struct ClusterOptions {
   /// node allocation per pod) for before/after benches. Results are
   /// identical either way.
   bool legacy_pod_index = false;
+  /// Livelock breaker: at most this many pods may be preempted at one
+  /// simulated instant. A victim's stop callback can synchronously relaunch
+  /// a replacement that steals the freed capacity before the preemptor
+  /// claims it; with a zero relaunch backoff that cycle never leaves the
+  /// current instant and the simulation wedges at a frozen clock. Once the
+  /// budget is spent, further preemption attempts fail (the preemptor goes
+  /// pending) until simulated time advances. The ceiling is far above any
+  /// same-instant cascade a terminating scenario produces, so results are
+  /// unchanged except where the simulation previously hung forever.
+  uint64_t max_preemptions_per_instant = 512;
 };
 
 /// Aggregate utilisation sample used by experiment reporting.
@@ -105,6 +116,11 @@ class Cluster {
   /// Marks a node unhealthy and fails everything on it.
   void FailNode(NodeId id);
 
+  /// Returns a failed node to the healthy set (repair / reboot finished):
+  /// its capacity rejoins the totals and the pending queue gets a pump.
+  /// No-op on a healthy node.
+  void RecoverNode(NodeId id);
+
   const Pod* GetPod(PodId id) const;
   Pod* GetMutablePod(PodId id);
   /// Visits every pod (including terminal ones) in creation order — which is
@@ -132,7 +148,23 @@ class Cluster {
   /// True when free CPU is below the scarcity threshold (startup slows down).
   /// A cluster with zero healthy capacity reports false: scarcity only slows
   /// down startups, and with no capacity nothing can start at all.
+  /// A fleet-level scarcity signal (set_fleet_scarcity) ORs in on top of the
+  /// local computation: the fleet being starved slows this slice's startups
+  /// even when the slice itself still has headroom.
   bool UnderScarcity() const;
+
+  /// Fleet-wide scarcity signal from the sharded coordinator's folded
+  /// ledger. Only affects *future* startup-duration draws (no pod state
+  /// mutates), so applying it at a window barrier is race-free.
+  void set_fleet_scarcity(bool scarce) { fleet_scarcity_ = scarce; }
+  bool fleet_scarcity() const { return fleet_scarcity_; }
+
+  /// Attaches an accounting commit log: from now on every capacity /
+  /// allocated / usage total mutation also appends its delta, and the
+  /// current totals are logged as the opening entries so a fold starting
+  /// from zero reconstructs them exactly. The log must outlive the cluster
+  /// (or be detached with nullptr).
+  void set_commit_log(ClusterCommitLog* log);
 
   /// Monotonic counter bumped on every pod state mutation (placement,
   /// startup, termination, degradation, node failure). Lets callers cache
@@ -167,6 +199,13 @@ class Cluster {
     return (static_cast<uint64_t>(slot) + 1) << 32 | gen;
   }
 
+  /// Appends an accounting delta to the attached commit log, if any.
+  void LogDelta(ClusterCommitLog::Kind kind, const ResourceSpec& delta) {
+    if (commit_log_ != nullptr && !delta.IsZero()) {
+      commit_log_->Append(sim_->Now(), kind, delta);
+    }
+  }
+
   bool TryPlace(Pod& pod);
   bool TryPreemptFor(Pod& pod);
   void FinishStartup(PodId id);
@@ -193,8 +232,14 @@ class Cluster {
   std::deque<PodId> pending_;
   bool pumping_ = false;
   bool repump_ = false;
+  // Per-instant preemption budget (see ClusterOptions). The instant tracker
+  // starts negative so the first preemption at t=0 opens a fresh budget.
+  SimTime preemption_instant_ = -1.0;
+  uint64_t preempted_at_instant_ = 0;
   Counters counters_;
   uint64_t mutation_version_ = 0;
+  bool fleet_scarcity_ = false;
+  ClusterCommitLog* commit_log_ = nullptr;
   /// Running totals (valid when options_.incremental_accounting).
   ResourceSpec capacity_total_;
   ResourceSpec allocated_total_;

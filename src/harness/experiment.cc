@@ -393,62 +393,81 @@ Distribution FleetResult::JctDistribution(bool dlrover_only,
   return dist;
 }
 
-FleetResult RunFleet(const FleetScenario& scenario) {
-  Simulator sim;
-  sim.set_boxed_callbacks(scenario.legacy_hot_path);
+namespace {
+
+/// Setup that must precede the Cluster constructor (its pump task captures
+/// the dispatch mode); called from FleetSimulation's member-init list.
+Simulator* PrepareFleetSim(Simulator* sim, const FleetScenario& scenario) {
+  sim->set_boxed_callbacks(scenario.legacy_hot_path);
+  return sim;
+}
+
+ClusterOptions FleetClusterOptions(const FleetScenario& scenario) {
   ClusterOptions cluster_options = scenario.cluster;
   cluster_options.seed = scenario.seed * 13 + 1;
   cluster_options.incremental_accounting = !scenario.legacy_hot_path;
   cluster_options.legacy_pod_index = scenario.legacy_hot_path;
-  Cluster cluster(&sim, cluster_options);
+  return cluster_options;
+}
 
-  std::unique_ptr<BackgroundLoad> background;
-  if (scenario.enable_background) {
-    BackgroundLoadOptions options = scenario.background;
-    options.seed = scenario.seed * 7 + 77;
-    background = std::make_unique<BackgroundLoad>(&sim, &cluster, options);
-    background->Start();
+}  // namespace
+
+FleetSimulation::FleetSimulation(Simulator* sim, const FleetScenario& scenario,
+                                 std::vector<GeneratedJob> trace)
+    : sim_(PrepareFleetSim(sim, scenario)),
+      scenario_(scenario),
+      trace_(std::move(trace)),
+      cluster_(sim_, FleetClusterOptions(scenario)) {
+  if (scenario_.enable_background) {
+    BackgroundLoadOptions options = scenario_.background;
+    options.seed = scenario_.seed * 7 + 77;
+    background_ = std::make_unique<BackgroundLoad>(sim_, &cluster_, options);
+    background_->Start();
   }
-  std::unique_ptr<FailureInjector> injector;
-  if (scenario.enable_failures) {
-    FailureInjectorOptions options = scenario.failures;
-    options.seed = scenario.seed * 3 + 11;
-    injector = std::make_unique<FailureInjector>(&sim, &cluster, options);
-    injector->Start();
+  if (scenario_.enable_failures) {
+    FailureInjectorOptions options = scenario_.failures;
+    options.seed = scenario_.seed * 3 + 11;
+    injector_ = std::make_unique<FailureInjector>(sim_, &cluster_, options);
+    injector_->Start();
   }
 
   BrainOptions brain_options;
-  brain_options.budget = cluster.TotalCapacity() * 0.55;
+  brain_options.budget = cluster_.TotalCapacity() * 0.55;
   brain_options.plan.nsga2.population = 32;
   brain_options.plan.nsga2.generations = 20;
-  brain_options.plan.nsga2.seed = scenario.seed * 19 + 2;
+  brain_options.plan.nsga2.seed = scenario_.seed * 19 + 2;
   brain_options.plan.nsga2.pool = &SharedThreadPool();
-  ClusterBrain brain(&sim, brain_options);
-  if (scenario.seed_history) {
-    brain.config_db() = SeededHistoryFor(scenario.seed * 7 + 5);
+  brain_ = std::make_unique<ClusterBrain>(sim_, brain_options);
+  if (scenario_.seed_history) {
+    brain_->config_db() = SeededHistoryFor(scenario_.seed * 7 + 5);
   }
-  brain.Start();
+  brain_->Start();
 
-  WorkloadOptions workload_options = scenario.workload;
-  workload_options.seed = scenario.seed * 1009 + 4;
-  const std::vector<GeneratedJob> trace =
-      WorkloadGenerator(workload_options).Generate();
+  ScheduleArrivals();
+}
 
-  Rng rng(scenario.seed * 23 + 9);
-  std::vector<std::unique_ptr<TrainingJob>> jobs;
-  std::vector<std::unique_ptr<JobMaster>> masters;
-  std::vector<FleetJobOutcome> outcomes(trace.size());
-  jobs.resize(trace.size());
+FleetSimulation::~FleetSimulation() {
+  // Jobs (and the brain referencing them) must outlive the simulator's
+  // pending events; members then unwind in reverse declaration order —
+  // outcomes, masters, jobs, brain, injector, background, cluster — exactly
+  // as the monolithic RunFleet's locals did.
+  brain_->Stop();
+}
 
-  for (size_t i = 0; i < trace.size(); ++i) {
-    const GeneratedJob& gen = trace[i];
-    FleetJobOutcome& outcome = outcomes[i];
+void FleetSimulation::ScheduleArrivals() {
+  Rng rng(scenario_.seed * 23 + 9);
+  outcomes_.resize(trace_.size());
+  jobs_.resize(trace_.size());
+
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    const GeneratedJob& gen = trace_[i];
+    FleetJobOutcome& outcome = outcomes_[i];
     outcome.name = gen.spec.name;
     outcome.model = gen.spec.model;
     outcome.hot_ps = gen.hot_ps;
     outcome.total_steps = gen.spec.total_steps;
     outcome.max_workers_quota = gen.max_workers;
-    outcome.used_dlrover = rng.Bernoulli(scenario.dlrover_fraction);
+    outcome.used_dlrover = rng.Bernoulli(scenario_.dlrover_fraction);
     MisconfigKind misconfig = MisconfigKind::kOverProvisioned;
     Rng config_rng(gen.spec.seed ^ 0xabcdef);
     JobConfig manual_config =
@@ -464,19 +483,19 @@ FleetResult RunFleet(const FleetScenario& scenario) {
     manual_config.num_ps = scaled_ps;
     outcome.misconfig = misconfig;
 
-    sim.ScheduleAt(gen.arrival, [&, i, manual_config] {
-      const GeneratedJob& g = trace[i];
+    sim_->ScheduleAt(gen.arrival, [this, i, manual_config] {
+      const GeneratedJob& g = trace_[i];
       JobSpec spec = g.spec;
-      spec.memoize_iteration = !scenario.legacy_hot_path;
-      spec.legacy_shard_index = scenario.legacy_hot_path;
+      spec.memoize_iteration = !scenario_.legacy_hot_path;
+      spec.legacy_shard_index = scenario_.legacy_hot_path;
       JobConfig config;
-      if (outcomes[i].used_dlrover) {
+      if (outcomes_[i].used_dlrover) {
         spec.data_mode = DataMode::kDynamicSharding;
         spec.use_flash_checkpoint = true;
         JobMetadata meta = g.meta;
         meta.max_workers_quota = g.max_workers;
-        config = brain.WarmStart(meta);
-        if (config == brain.options().warm_start.default_config) {
+        config = brain_->WarmStart(meta);
+        if (config == brain_->options().warm_start.default_config) {
           config = ColdStartConfig(g.spec.model);
         }
         config.num_workers = std::min(config.num_workers, g.max_workers);
@@ -492,33 +511,33 @@ FleetResult RunFleet(const FleetScenario& scenario) {
         spec.ps_shares.assign(static_cast<size_t>(config.num_ps), 1.0);
         spec.ps_shares[0] = 3.5;
       }
-      auto job = std::make_unique<TrainingJob>(&sim, &cluster, spec, config);
-      outcomes[i].requested_cpus = static_cast<int>(config.TotalCpu());
-      if (outcomes[i].used_dlrover) {
+      auto job = std::make_unique<TrainingJob>(sim_, &cluster_, spec, config);
+      outcomes_[i].requested_cpus = static_cast<int>(config.TotalCpu());
+      if (outcomes_[i].used_dlrover) {
         JobMetadata meta = g.meta;
         meta.max_workers_quota = g.max_workers;
-        brain.Manage(job.get(), meta);
-        auto master = std::make_unique<JobMaster>(&sim, job.get());
+        brain_->Manage(job.get(), meta);
+        auto master = std::make_unique<JobMaster>(sim_, job.get());
         master->Start();
-        masters.push_back(std::move(master));
+        masters_.push_back(std::move(master));
       }
       job->Start();
-      jobs[i] = std::move(job);
+      jobs_[i] = std::move(job);
     });
   }
+}
 
-  sim.RunUntil(scenario.horizon);
-
+FleetResult FleetSimulation::Collect() {
   FleetResult result;
-  result.executed_events = sim.executed_events();
-  result.pods_preempted = cluster.counters().pods_preempted;
-  if (injector != nullptr) {
-    result.crashes_injected = injector->crashes_injected();
-    result.stragglers_injected = injector->stragglers_injected();
+  result.executed_events = sim_->executed_events();
+  result.pods_preempted = cluster_.counters().pods_preempted;
+  if (injector_ != nullptr) {
+    result.crashes_injected = injector_->crashes_injected();
+    result.stragglers_injected = injector_->stragglers_injected();
   }
-  for (size_t i = 0; i < trace.size(); ++i) {
-    FleetJobOutcome& outcome = outcomes[i];
-    TrainingJob* job = jobs[i].get();
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    FleetJobOutcome& outcome = outcomes_[i];
+    TrainingJob* job = jobs_[i].get();
     if (job == nullptr) {
       outcome.completed = false;
       outcome.fail_reason = "never started";
@@ -531,11 +550,11 @@ FleetResult RunFleet(const FleetScenario& scenario) {
                               ? job->stats().fail_reason
                               : (outcome.completed ? "" : "horizon");
     outcome.jct = outcome.completed ? job->stats().Jct()
-                                    : scenario.horizon - trace[i].arrival;
+                                    : scenario_.horizon - trace_[i].arrival;
     outcome.pending_time =
         job->stats().first_training_time >= 0.0
             ? job->stats().first_training_time - job->stats().submit_time
-            : scenario.horizon - trace[i].arrival;
+            : scenario_.horizon - trace_[i].arrival;
     RunningStat wcpu, pcpu, wmem, pmem;
     for (const ThroughputSample& s : job->history()) {
       if (s.samples_per_sec <= 0.0) continue;
@@ -550,10 +569,20 @@ FleetResult RunFleet(const FleetScenario& scenario) {
     outcome.avg_ps_mem_util = pmem.mean();
     result.jobs.push_back(outcome);
   }
-  // Jobs (and the brain referencing them) must outlive the simulator's
-  // pending events; everything unwinds here together.
-  brain.Stop();
   return result;
+}
+
+FleetResult RunFleet(const FleetScenario& scenario) {
+  Simulator sim;
+  WorkloadOptions workload_options = scenario.workload;
+  workload_options.seed = scenario.seed * 1009 + 4;
+  // Trace generation draws only from its own RNG stream and schedules
+  // nothing, so hoisting it above the fleet setup leaves the event
+  // sequence — and therefore every outcome — byte-identical.
+  FleetSimulation fleet(&sim, scenario,
+                        WorkloadGenerator(workload_options).Generate());
+  sim.RunUntil(scenario.horizon);
+  return fleet.Collect();
 }
 
 }  // namespace dlrover

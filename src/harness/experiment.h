@@ -1,6 +1,7 @@
 #ifndef DLROVER_HARNESS_EXPERIMENT_H_
 #define DLROVER_HARNESS_EXPERIMENT_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -138,6 +139,58 @@ struct FleetResult {
 /// background load and failure injection. The workhorse behind Table 4 and
 /// Figs 3, 14, 15.
 FleetResult RunFleet(const FleetScenario& scenario);
+
+class JobMaster;
+
+/// One fleet's worth of simulation state bound to an externally-owned
+/// Simulator: the cluster, background load, failure injector, brain, and
+/// the arrival schedule for a generated trace. RunFleet is exactly
+/// {construct; sim.RunUntil(horizon); Collect()}; the sharded fleet runner
+/// builds one FleetSimulation per shard, each on its shard-local simulator,
+/// which is what lets the whole scenario stack run inside the sharded
+/// engine unchanged.
+///
+/// Construction replicates the historical RunFleet setup order event for
+/// event (cluster pump, background, injector, brain round, arrivals) and
+/// RNG stream for RNG stream, so a single FleetSimulation driven to the
+/// horizon produces byte-identical results to the pre-refactor monolith.
+class FleetSimulation {
+ public:
+  /// `trace` is the slice of generated jobs this fleet owns; RunFleet
+  /// passes the full trace. The scenario's workload options are not
+  /// re-generated here — the caller controls slicing.
+  FleetSimulation(Simulator* sim, const FleetScenario& scenario,
+                  std::vector<GeneratedJob> trace);
+  /// Stops the brain, then unwinds members in the same order the
+  /// monolithic RunFleet unwound its locals.
+  ~FleetSimulation();
+
+  FleetSimulation(const FleetSimulation&) = delete;
+  FleetSimulation& operator=(const FleetSimulation&) = delete;
+
+  Cluster& cluster() { return cluster_; }
+  ClusterBrain& brain() { return *brain_; }
+  FailureInjector* injector() { return injector_.get(); }
+  Simulator* sim() { return sim_; }
+  const std::vector<GeneratedJob>& trace() const { return trace_; }
+
+  /// Harvests per-job outcomes after the horizon has run. Call once.
+  FleetResult Collect();
+
+ private:
+  void ScheduleArrivals();
+
+  Simulator* sim_;
+  FleetScenario scenario_;
+  std::vector<GeneratedJob> trace_;
+  Cluster cluster_;
+  std::unique_ptr<BackgroundLoad> background_;
+  std::unique_ptr<FailureInjector> injector_;
+  std::unique_ptr<ClusterBrain> brain_;
+  std::vector<std::unique_ptr<TrainingJob>> jobs_;
+  std::vector<std::unique_ptr<JobMaster>> masters_;
+  std::vector<FleetJobOutcome> outcomes_;
+};
 
 /// The deliberately small configuration auto-scalers cold-start from.
 JobConfig ColdStartConfig(ModelKind kind);

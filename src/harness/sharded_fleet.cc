@@ -1,0 +1,167 @@
+#include "harness/sharded_fleet.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/commit_log.h"
+#include "common/rng.h"
+
+namespace dlrover {
+
+ShardedFleetResult RunFleetSharded(const FleetScenario& scenario,
+                                   const ShardedFleetOptions& options) {
+  const int cells = std::max(1, options.cells);
+  int lanes = options.shards;
+  if (lanes <= 0) {
+    lanes = static_cast<int>(
+        std::max<unsigned>(1, std::thread::hardware_concurrency()));
+  }
+  const bool ledger_on = options.fleet_ledger || options.scarcity_coupling ||
+                         options.storm.node_strikes_per_hour > 0.0;
+
+  // The full trace is generated once, exactly as RunFleet would, then dealt
+  // round-robin: job i lives in cell i % cells, preserving arrival order
+  // within each cell.
+  WorkloadOptions workload_options = scenario.workload;
+  workload_options.seed = scenario.seed * 1009 + 4;
+  const std::vector<GeneratedJob> trace =
+      WorkloadGenerator(workload_options).Generate();
+  std::vector<std::vector<GeneratedJob>> slices(
+      static_cast<size_t>(cells));
+  for (size_t i = 0; i < trace.size(); ++i) {
+    slices[i % static_cast<size_t>(cells)].push_back(trace[i]);
+  }
+
+  // Nodes split as evenly as the division allows (first cells get the
+  // remainder). Cell 0 keeps the scenario seed — with cells == 1 every
+  // derived RNG stream matches the sequential RunFleet exactly.
+  const int nodes_base = scenario.cluster.num_nodes / cells;
+  const int nodes_rem = scenario.cluster.num_nodes % cells;
+
+  // Destruction order matters: the fleets' teardown (brain Stop) cancels
+  // events on the engine's shard simulators, so `fleets` must unwind
+  // before `engine`; the clusters hold pointers into `logs`, so `logs`
+  // outlives `fleets`. Declaration order below encodes exactly that.
+  std::vector<ClusterCommitLog> logs(static_cast<size_t>(cells));
+  ShardedSimOptions engine_options;
+  engine_options.num_shards = cells;
+  engine_options.window = options.window;
+  engine_options.parallelism = static_cast<size_t>(lanes);
+  engine_options.pool =
+      lanes > 1 ? (options.pool != nullptr ? options.pool
+                                           : &SharedThreadPool())
+                : options.pool;
+  ShardedSimulator engine(engine_options);
+  std::vector<std::unique_ptr<FleetSimulation>> fleets;
+  fleets.reserve(static_cast<size_t>(cells));
+  std::vector<int> cell_nodes(static_cast<size_t>(cells));
+  for (int c = 0; c < cells; ++c) {
+    FleetScenario cell_scenario = scenario;
+    cell_scenario.seed = scenario.seed + 7919ull * static_cast<uint64_t>(c);
+    cell_scenario.cluster.num_nodes = nodes_base + (c < nodes_rem ? 1 : 0);
+    cell_nodes[static_cast<size_t>(c)] = cell_scenario.cluster.num_nodes;
+    fleets.push_back(std::make_unique<FleetSimulation>(
+        &engine.shard(c), cell_scenario,
+        std::move(slices[static_cast<size_t>(c)])));
+    if (ledger_on) {
+      fleets.back()->cluster().set_commit_log(
+          &logs[static_cast<size_t>(c)]);
+    }
+  }
+
+  FleetLedger ledger;
+  std::vector<ClusterCommitLog*> log_ptrs;
+  for (auto& log : logs) log_ptrs.push_back(&log);
+
+  Rng storm_rng(options.storm.seed * 6151 + 3);
+  double storm_accumulator = 0.0;
+  SimTime last_barrier = 0.0;
+  uint64_t storm_strikes = 0;
+  bool fleet_scarce = false;
+
+  engine.set_barrier_hook([&](SimTime barrier) {
+    if (ledger_on) ledger.Fold(log_ptrs);
+    if (options.scarcity_coupling) {
+      // Edge-triggered: a send per cell only when the fleet-wide signal
+      // flips, delivered through the commit log like any other
+      // cross-shard effect.
+      const bool scarce =
+          ledger.FreeCpuFraction() < options.scarcity_threshold;
+      if (scarce != fleet_scarce) {
+        fleet_scarce = scarce;
+        for (int c = 0; c < cells; ++c) {
+          Cluster* cluster = &fleets[static_cast<size_t>(c)]->cluster();
+          engine.Send(ShardedSimulator::kCoordinator, c, barrier,
+                      [cluster, scarce] {
+                        cluster->set_fleet_scarcity(scarce);
+                      });
+        }
+      }
+    }
+    if (options.storm.node_strikes_per_hour > 0.0) {
+      // Deterministic fractional accumulator: expected strikes accrue with
+      // simulated time; whole strikes are drawn and dealt at barriers, so
+      // the storm schedule is a pure function of (seed, window sequence).
+      storm_accumulator += options.storm.node_strikes_per_hour *
+                           (barrier - last_barrier) / 3600.0;
+      while (storm_accumulator >= 1.0) {
+        storm_accumulator -= 1.0;
+        const int cell = static_cast<int>(
+            storm_rng.UniformInt(int64_t{0}, int64_t{cells - 1}));
+        const int nodes = cell_nodes[static_cast<size_t>(cell)];
+        if (nodes <= 0) continue;
+        const NodeId node = static_cast<NodeId>(
+            storm_rng.UniformInt(int64_t{0}, int64_t{nodes - 1}));
+        const SimTime due =
+            barrier + storm_rng.Uniform(0.0, std::max(options.window, 1.0));
+        Cluster* cluster = &fleets[static_cast<size_t>(cell)]->cluster();
+        const Duration mttr = options.storm.mttr;
+        engine.Send(ShardedSimulator::kCoordinator, cell, due,
+                    [cluster, node, mttr] {
+                      cluster->FailNode(node);
+                      cluster->sim()->ScheduleAfter(
+                          mttr, [cluster, node] {
+                            cluster->RecoverNode(node);
+                          });
+                    });
+        ++storm_strikes;
+      }
+    }
+    last_barrier = barrier;
+  });
+
+  engine.RunUntil(scenario.horizon);
+
+  // Merge per-cell results back into the original trace order: the k-th
+  // job of cell c was trace job c + k*cells.
+  std::vector<FleetResult> cell_results;
+  cell_results.reserve(static_cast<size_t>(cells));
+  for (auto& fleet : fleets) cell_results.push_back(fleet->Collect());
+
+  ShardedFleetResult result;
+  result.cells = cells;
+  result.shards = lanes;
+  result.windows = engine.windows_run();
+  result.cross_shard_sends = engine.cross_shard_sends();
+  result.ledger_entries = ledger.entries_folded();
+  result.fleet_peak_allocated_cpu = ledger.peak_allocated_cpu();
+  result.storm_strikes = storm_strikes;
+  for (const FleetResult& cell : cell_results) {
+    result.fleet.executed_events += cell.executed_events;
+    result.fleet.pods_preempted += cell.pods_preempted;
+    result.fleet.crashes_injected += cell.crashes_injected;
+    result.fleet.stragglers_injected += cell.stragglers_injected;
+  }
+  result.fleet.jobs.reserve(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    FleetResult& cell = cell_results[i % static_cast<size_t>(cells)];
+    result.fleet.jobs.push_back(
+        std::move(cell.jobs[i / static_cast<size_t>(cells)]));
+  }
+  return result;
+}
+
+}  // namespace dlrover

@@ -65,6 +65,14 @@ class Simulator {
   /// scheduled exactly at the deadline still run. Time is advanced to
   /// `deadline` if the queue drains earlier (so periodic observers see a
   /// consistent end time).
+  ///
+  /// Deadline-edge contract (the sharded engine's windows depend on it):
+  /// a periodic tick firing exactly at `deadline` runs inside this call and
+  /// re-arms an event strictly past the deadline, which then fires in the
+  /// next RunUntil window — never twice, never from a stale clock. Chaining
+  /// RunUntil(w1), RunUntil(w2), ... is byte-identical to one
+  /// RunUntil(wN) for any window cut points (regression-pinned in
+  /// simulator_test.cc).
   void RunUntil(SimTime deadline);
 
   /// Runs until the event queue is fully drained.
@@ -144,8 +152,10 @@ class PeriodicTask {
   void Stop();
   bool running() const { return running_; }
 
-  /// Changes the interval; takes effect from the next tick.
-  void set_interval(Duration interval) { interval_ = interval; }
+  /// Changes the interval. Takes effect immediately: a pending tick is
+  /// re-armed at `armed_from + new_interval` (clamped to now if that is
+  /// already past), not left to fire on the old schedule.
+  void set_interval(Duration interval);
   Duration interval() const { return interval_; }
 
  private:
@@ -156,6 +166,9 @@ class PeriodicTask {
   Simulator::Callback cb_;
   bool running_ = false;
   EventId pending_ = 0;
+  /// Time the pending tick was armed from; set_interval re-arms relative
+  /// to this, so shortening the interval mid-cycle moves the tick earlier.
+  SimTime armed_from_ = 0.0;
 };
 
 }  // namespace dlrover

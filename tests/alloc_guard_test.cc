@@ -8,12 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "cluster/cluster.h"
 #include "common/alloc_counter.h"
 #include "dlrm/criteo_synth.h"
 #include "dlrm/mini_dlrm.h"
 #include "elastic/shard_queue.h"
 #include "ps/training_job.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 
 namespace dlrover {
@@ -138,6 +142,43 @@ TEST(AllocGuardTest, WarmShardQueueDispatchCycleIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "shard dispatch/complete cycle allocated " << (after - before)
       << " times";
+}
+
+TEST(AllocGuardTest, WarmShardedWindowDispatchIsAllocationFree) {
+  // Sequential-lane sharded engine: advancing warm windows — per-shard
+  // periodic work plus cross-shard sends gathered, sorted, and committed at
+  // every barrier — must not allocate. The pool dispatch path is exempt by
+  // design (ParallelFor allocates its task closures); since lane count never
+  // changes results, the sequential path exercises the identical event work.
+  ShardedSimOptions options;
+  options.num_shards = 3;
+  options.window = 10.0;
+  ShardedSimulator engine(options);
+  engine.ReserveCommitLogs(64);
+  int delivered = 0;
+  std::vector<std::unique_ptr<PeriodicTask>> tasks;
+  for (int s = 0; s < 3; ++s) {
+    Simulator& sim = engine.shard(s);
+    const int dst = (s + 1) % 3;
+    tasks.push_back(std::make_unique<PeriodicTask>(
+        &sim, 3.0, [&engine, &delivered, s, dst] {
+          engine.Send(s, dst, engine.Now() + 5.0,
+                      [&delivered] { ++delivered; });
+        }));
+    tasks.back()->Start();
+  }
+  engine.RunUntil(200.0);  // warm: event slabs, outboxes, commit scratch
+  ASSERT_GT(delivered, 0);
+  const uint64_t windows_before = engine.windows_run();
+
+  const uint64_t before = AllocationCount();
+  engine.RunUntil(400.0);
+  const uint64_t after = AllocationCount();
+  EXPECT_GT(engine.windows_run(), windows_before);
+  EXPECT_EQ(after - before, 0u)
+      << "sharded window dispatch allocated " << (after - before)
+      << " times across " << (engine.windows_run() - windows_before)
+      << " warm windows";
 }
 
 }  // namespace

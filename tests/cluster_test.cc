@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+
 #include "cluster/background_load.h"
 #include "cluster/failure_injector.h"
 #include "sim/simulator.h"
@@ -283,6 +286,40 @@ TEST(ClusterTest, ReentrantKillDuringPreemptionIsSafe) {
   cluster.CreatePod(std::move(online), nullptr, nullptr);
   sim.RunUntil(Minutes(2));  // must not crash
   EXPECT_GE(cluster.counters().pods_preempted, 1u);
+}
+
+TEST(ClusterTest, PreemptionBudgetBreaksRelaunchLivelock) {
+  // A victim whose stop callback synchronously resubmits an identical pod
+  // steals the freed capacity before the preemptor can claim it. With no
+  // relaunch backoff that cycle never leaves the current instant; the
+  // per-instant preemption budget must cut it off so the simulation keeps
+  // advancing (the preemptor waits in the pending queue instead).
+  Simulator sim;
+  ClusterOptions options = TinyCluster(1, 16.0);
+  options.max_preemptions_per_instant = 64;
+  Cluster cluster(&sim, options);
+  auto respawn =
+      std::make_shared<std::function<void(Pod&, PodStopReason)>>();
+  *respawn = [&cluster, respawn](Pod&, PodStopReason reason) {
+    if (reason == PodStopReason::kPreemption) {
+      cluster.CreatePod(TrainingPod(16.0), nullptr, *respawn);
+    }
+  };
+  cluster.CreatePod(TrainingPod(16.0), nullptr, *respawn);
+
+  PodSpec online = TrainingPod(16.0);
+  online.priority = PriorityClass::kOnline;
+  const PodId svc = cluster.CreatePod(std::move(online), nullptr, nullptr);
+
+  // Each cycle evicts exactly one victim, so the storm stops right at the
+  // budget; the service pod is parked pending and the clock can advance.
+  EXPECT_EQ(cluster.counters().pods_preempted, 64u);
+  EXPECT_EQ(cluster.GetPod(svc)->phase, PodPhase::kPending);
+
+  // A later instant (the periodic reschedule pump) opens a fresh budget —
+  // still bounded, still terminating.
+  sim.RunUntil(Seconds(16));
+  EXPECT_EQ(cluster.counters().pods_preempted, 128u);
 }
 
 TEST(FailureInjectorTest, InjectsCrashesAtConfiguredRate) {
