@@ -1,0 +1,319 @@
+// Placement-decision microbench: the PlacementIndex arms versus the legacy
+// linear scans, at 1x/20x/100x fleet node counts (60/1200/6000 nodes).
+//
+// Three measurements per scale:
+//   - raw best-fit: BestFit() queries against an O(nodes) scan replica over
+//     the same capacity state (pure decision cost, no simulator);
+//   - cluster churn: create/kill cycles through a live Cluster, indexed vs
+//     legacy options (whole-pipeline placement cost);
+//   - preempt churn: create-preempt/kill/refill cycles on a saturated
+//     cluster (victim-search cost).
+// Both arms are verified to make identical decisions before timing starts.
+//
+// Results land in BENCH_placement.json via the shared stamper. `gate` mode
+// (ctest label perf-smoke) runs the 100x comparison only and fails if the
+// indexed arm is slower than the legacy arm.
+//
+// Usage: bench_placement [gate]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement_index.h"
+#include "common/rng.h"
+#include "harness/reporting.h"
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ArmPair {
+  double indexed_ops_per_sec = 0.0;
+  double legacy_ops_per_sec = 0.0;
+  double Speedup() const {
+    return legacy_ops_per_sec > 0.0 ? indexed_ops_per_sec / legacy_ops_per_sec
+                                    : 0.0;
+  }
+};
+
+struct ScaleResult {
+  int scale = 1;
+  int num_nodes = 0;
+  ArmPair best_fit;
+  ArmPair churn;
+  ArmPair preempt;
+};
+
+/// Raw best-fit decision cost: the index versus a verbatim replica of the
+/// legacy Cluster::TryPlace scan, over an identical randomized capacity
+/// state. Queries cycle through a precomputed request mix (feasible sizes,
+/// tight sizes, memory-bound sizes, infeasible sizes).
+ArmPair RunBestFitMicro(int num_nodes, int queries) {
+  Rng rng(7);
+  PlacementIndex index(static_cast<size_t>(num_nodes));
+  std::vector<ResourceSpec> available(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    // Quantized occupancy: plenty of exact capacity ties across nodes.
+    available[static_cast<size_t>(i)] = {
+        static_cast<double>(rng.UniformInt(0, 32)),
+        GiB(static_cast<double>(rng.UniformInt(0, 192)))};
+    index.InsertNode(static_cast<NodeId>(i), available[static_cast<size_t>(i)]);
+  }
+  std::vector<ResourceSpec> requests(512);
+  for (auto& request : requests) {
+    request = {static_cast<double>(rng.UniformInt(1, 40)),
+               GiB(static_cast<double>(rng.UniformInt(1, 64)))};
+  }
+
+  auto linear_scan = [&](const ResourceSpec& request) {
+    int best = -1;
+    double best_left = 1e300;
+    for (int i = 0; i < num_nodes; ++i) {
+      const ResourceSpec& avail = available[static_cast<size_t>(i)];
+      if (!request.FitsIn(avail)) continue;
+      const double left = avail.cpu - request.cpu;
+      if (left < best_left) {
+        best_left = left;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  // Decision parity before timing: both arms must agree on every request.
+  for (const ResourceSpec& request : requests) {
+    if (index.BestFit(request) != linear_scan(request)) {
+      std::fprintf(stderr, "FATAL: best-fit arms disagree on %s\n",
+                   request.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  ArmPair out;
+  long sink = 0;
+  double t0 = NowSeconds();
+  for (int q = 0; q < queries; ++q) {
+    sink += index.BestFit(requests[static_cast<size_t>(q) % requests.size()]);
+  }
+  double t1 = NowSeconds();
+  out.indexed_ops_per_sec = queries / (t1 - t0);
+  // The linear arm pays O(nodes) per query; keep wall time bounded by
+  // scaling its query count down at large node counts.
+  const int linear_queries = std::max(queries / std::max(num_nodes / 60, 1), 512);
+  t0 = NowSeconds();
+  for (int q = 0; q < linear_queries; ++q) {
+    sink += linear_scan(requests[static_cast<size_t>(q) % requests.size()]);
+  }
+  t1 = NowSeconds();
+  out.legacy_ops_per_sec = linear_queries / (t1 - t0);
+  if (sink == 123456789) std::fprintf(stderr, "(sink)\n");
+  return out;
+}
+
+struct ChurnOutcome {
+  double ops_per_sec = 0.0;
+  uint64_t placements = 0;
+  uint64_t preempted = 0;
+};
+
+ClusterOptions ArmOptions(bool indexed, int num_nodes) {
+  ClusterOptions options;
+  options.num_nodes = num_nodes;
+  options.node_capacity = {32.0, GiB(192)};
+  options.seed = 23;
+  options.use_placement_index = indexed;
+  return options;
+}
+
+/// Whole-pipeline placement cost: kill a random pod, create a replacement.
+/// Every create runs a best-fit decision; kills update the capacity state.
+ChurnOutcome RunClusterChurn(bool indexed, int num_nodes, int iters) {
+  Simulator sim;
+  Cluster cluster(&sim, ArmOptions(indexed, num_nodes));
+  Rng rng(11);
+  std::vector<PodId> pods;
+  auto create = [&]() {
+    PodSpec spec;
+    spec.name = "churn";
+    spec.request = {4.0, GiB(16)};
+    spec.priority = PriorityClass::kTraining;
+    pods.push_back(cluster.CreatePod(std::move(spec), nullptr, nullptr));
+  };
+  // ~75% occupancy: six 4-core pods on each 32-core node.
+  for (int i = 0; i < num_nodes * 6; ++i) create();
+  sim.RunUntil(Minutes(5));
+
+  ChurnOutcome out;
+  const double t0 = NowSeconds();
+  for (int i = 0; i < iters; ++i) {
+    const size_t pick = rng.UniformInt(pods.size());
+    cluster.KillPod(pods[pick]);
+    pods[pick] = pods.back();
+    pods.pop_back();
+    create();
+    if ((i & 63) == 63) sim.RunUntil(sim.Now() + Seconds(90));
+  }
+  const double t1 = NowSeconds();
+  out.ops_per_sec = 2.0 * iters / (t1 - t0);
+  out.placements = cluster.counters().placements;
+  out.preempted = cluster.counters().pods_preempted;
+  return out;
+}
+
+/// Victim-search cost: the cluster is saturated with best-effort pods; each
+/// cycle creates an online pod (forcing a preemption), kills it, and refills
+/// the hole with a fresh best-effort pod.
+ChurnOutcome RunPreemptChurn(bool indexed, int num_nodes, int iters) {
+  Simulator sim;
+  Cluster cluster(&sim, ArmOptions(indexed, num_nodes));
+  std::vector<PodId> online;
+  auto create = [&](PriorityClass priority) {
+    PodSpec spec;
+    spec.name = priority == PriorityClass::kOnline ? "spike" : "filler";
+    spec.request = {4.0, GiB(16)};
+    spec.priority = priority;
+    const PodId id = cluster.CreatePod(std::move(spec), nullptr, nullptr);
+    if (priority == PriorityClass::kOnline) online.push_back(id);
+    return id;
+  };
+  // Saturate: eight 4-core pods fill each 32-core node exactly.
+  for (int i = 0; i < num_nodes * 8; ++i) create(PriorityClass::kBestEffort);
+  sim.RunUntil(Minutes(5));
+
+  ChurnOutcome out;
+  const double t0 = NowSeconds();
+  for (int i = 0; i < iters; ++i) {
+    create(PriorityClass::kOnline);  // full cluster: must preempt a filler
+    cluster.KillPod(online.back());
+    online.pop_back();
+    create(PriorityClass::kBestEffort);  // refill the freed slot
+    // Advance time: resets the per-instant preemption budget and retires
+    // queued startups before the event backlog grows unbounded.
+    if ((i & 63) == 63) sim.RunUntil(sim.Now() + Seconds(90));
+  }
+  const double t1 = NowSeconds();
+  out.ops_per_sec = 3.0 * iters / (t1 - t0);
+  out.placements = cluster.counters().placements;
+  out.preempted = cluster.counters().pods_preempted;
+  return out;
+}
+
+/// Runs both arms of a churn shape and cross-checks their decision counters
+/// (identical scripts must produce identical placements and preemptions).
+ArmPair RunArms(const char* what,
+                ChurnOutcome (*run)(bool indexed, int num_nodes, int iters),
+                int num_nodes, int indexed_iters, int legacy_iters) {
+  const ChurnOutcome indexed = run(true, num_nodes, indexed_iters);
+  const ChurnOutcome legacy = run(false, num_nodes, legacy_iters);
+  if (indexed_iters == legacy_iters &&
+      (indexed.placements != legacy.placements ||
+       indexed.preempted != legacy.preempted)) {
+    std::fprintf(stderr,
+                 "FATAL: %s arms diverged: indexed %llu/%llu vs legacy "
+                 "%llu/%llu placements/preemptions\n",
+                 what, static_cast<unsigned long long>(indexed.placements),
+                 static_cast<unsigned long long>(indexed.preempted),
+                 static_cast<unsigned long long>(legacy.placements),
+                 static_cast<unsigned long long>(legacy.preempted));
+    std::exit(1);
+  }
+  ArmPair out;
+  out.indexed_ops_per_sec = indexed.ops_per_sec;
+  out.legacy_ops_per_sec = legacy.ops_per_sec;
+  return out;
+}
+
+int Run(bool gate) {
+  PrintBanner(gate ? "placement decisions: indexed >= legacy gate (100x)"
+                   : "placement decisions: indexed vs legacy");
+  std::vector<ScaleResult> results;
+  const int scales[] = {1, 20, 100};
+  for (int scale : scales) {
+    if (gate && scale != 100) continue;
+    ScaleResult r;
+    r.scale = scale;
+    r.num_nodes = 60 * scale;
+    const int churn_iters = gate ? 1000 : 2000;
+    std::printf("running %dx (%d nodes)...\n", scale, r.num_nodes);
+    std::fflush(stdout);
+    r.best_fit = RunBestFitMicro(r.num_nodes, scale >= 100 ? 200000 : 400000);
+    r.churn = RunArms("churn", RunClusterChurn, r.num_nodes, churn_iters,
+                      churn_iters);
+    r.preempt = RunArms("preempt", RunPreemptChurn, r.num_nodes, churn_iters,
+                        churn_iters);
+    results.push_back(r);
+  }
+
+  TablePrinter table({"scale", "nodes", "bestfit idx/s", "bestfit lin/s",
+                      "speedup", "churn idx/s", "churn leg/s", "preempt idx/s",
+                      "preempt leg/s"});
+  for (const ScaleResult& r : results) {
+    table.AddRow({StrFormat("%dx", r.scale), StrFormat("%d", r.num_nodes),
+                  StrFormat("%.3g", r.best_fit.indexed_ops_per_sec),
+                  StrFormat("%.3g", r.best_fit.legacy_ops_per_sec),
+                  StrFormat("%.1fx", r.best_fit.Speedup()),
+                  StrFormat("%.3g", r.churn.indexed_ops_per_sec),
+                  StrFormat("%.3g", r.churn.legacy_ops_per_sec),
+                  StrFormat("%.3g", r.preempt.indexed_ops_per_sec),
+                  StrFormat("%.3g", r.preempt.legacy_ops_per_sec)});
+  }
+  table.Print();
+
+  FILE* json = OpenBenchJson("BENCH_placement.json", "placement");
+  if (json != nullptr) {
+    std::fprintf(json, "  \"gate_mode\": %s,\n", gate ? "true" : "false");
+    std::fprintf(json, "  \"scales\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ScaleResult& r = results[i];
+      std::fprintf(
+          json,
+          "    {\"scale\": %d, \"nodes\": %d,\n"
+          "     \"bestfit_indexed_qps\": %.1f, \"bestfit_linear_qps\": %.1f,"
+          " \"bestfit_speedup\": %.2f,\n"
+          "     \"churn_indexed_ops\": %.1f, \"churn_legacy_ops\": %.1f,\n"
+          "     \"preempt_indexed_ops\": %.1f, \"preempt_legacy_ops\": %.1f}%s\n",
+          r.scale, r.num_nodes, r.best_fit.indexed_ops_per_sec,
+          r.best_fit.legacy_ops_per_sec, r.best_fit.Speedup(),
+          r.churn.indexed_ops_per_sec, r.churn.legacy_ops_per_sec,
+          r.preempt.indexed_ops_per_sec, r.preempt.legacy_ops_per_sec,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_placement.json\n");
+  }
+
+  // Throughput gate at 100x: the indexed arm must not lose to the legacy
+  // scan on any of the three measurements.
+  for (const ScaleResult& r : results) {
+    if (r.scale != 100) continue;
+    const bool ok = r.best_fit.indexed_ops_per_sec >=
+                        r.best_fit.legacy_ops_per_sec &&
+                    r.churn.indexed_ops_per_sec >= r.churn.legacy_ops_per_sec &&
+                    r.preempt.indexed_ops_per_sec >=
+                        r.preempt.legacy_ops_per_sec;
+    std::printf("100x gate (indexed >= legacy): %s\n", ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main(int argc, char** argv) {
+  const bool gate = argc > 1 && std::strcmp(argv[1], "gate") == 0;
+  return dlrover::Run(gate);
+}

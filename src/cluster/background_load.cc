@@ -18,6 +18,7 @@ void BackgroundLoad::Stop() {
   task_->Stop();
   for (PodId id : pods_) cluster_->KillPod(id);
   pods_.clear();
+  dead_.clear();
 }
 
 double BackgroundLoad::TargetFraction() const {
@@ -29,13 +30,19 @@ double BackgroundLoad::TargetFraction() const {
 
 void BackgroundLoad::Reconcile() {
   // Drop references to pods that terminated (preempted pods of ours cannot
-  // exist — we are top priority — but owner kills can race).
-  std::vector<PodId> alive;
-  for (PodId id : pods_) {
-    const Pod* pod = cluster_->GetPod(id);
-    if (pod != nullptr && !pod->terminal()) alive.push_back(id);
+  // exist — we are top priority — but owner kills can race). Every pod's
+  // stop callback records its id in `dead_`, so one stable in-place pass
+  // removes exactly the pods the old resolve-every-id loop filtered out,
+  // in the same order, without allocating once the vectors are warm.
+  if (!dead_.empty()) {
+    pods_.erase(std::remove_if(pods_.begin(), pods_.end(),
+                               [this](PodId id) {
+                                 return std::find(dead_.begin(), dead_.end(),
+                                                  id) != dead_.end();
+                               }),
+                pods_.end());
+    dead_.clear();
   }
-  pods_ = std::move(alive);
 
   const double jitter = 1.0 + 0.05 * rng_.Normal();
   const double target_cpu =
@@ -57,7 +64,7 @@ void BackgroundLoad::Reconcile() {
             // Online service pods run hot: report near-full usage.
             cluster_->ReportUsage(pod.id, pod.spec.request * 0.8);
           },
-          [](Pod&, PodStopReason) {});
+          [this](Pod& pod, PodStopReason) { dead_.push_back(pod.id); });
       pods_.push_back(id);
     }
   } else if (have_cpu > target_cpu + options_.pod_size.cpu) {

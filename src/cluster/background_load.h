@@ -53,6 +53,11 @@ class BackgroundLoad {
   BackgroundLoadOptions options_;
   Rng rng_;
   std::vector<PodId> pods_;
+  /// Ids whose stop callback fired since the last reconcile; compacted out
+  /// of `pods_` in one stable pass instead of re-resolving every live id
+  /// each tick. Both vectors are reused across ticks (warm reconciles are
+  /// allocation-free in the controller itself).
+  std::vector<PodId> dead_;
   std::unique_ptr<PeriodicTask> task_;
 };
 

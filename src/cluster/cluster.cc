@@ -1,7 +1,9 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "common/logging.h"
@@ -65,7 +67,10 @@ std::string PodStopReasonName(PodStopReason reason) {
 }
 
 Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
-    : sim_(sim), options_(options), rng_(options.seed) {
+    : sim_(sim),
+      options_(options),
+      rng_(options.seed),
+      placement_index_(static_cast<size_t>(options.num_nodes)) {
   nodes_.reserve(static_cast<size_t>(options.num_nodes));
   for (int i = 0; i < options.num_nodes; ++i) {
     Node node;
@@ -77,7 +82,14 @@ Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
             : 1.0;
     capacity_total_ += node.capacity;
     nodes_.push_back(node);
+    if (options_.use_placement_index) {
+      placement_index_.InsertNode(node.id, node.Available());
+    }
   }
+  // Fixed-size pool: slots are taken by re-entrant preemption depth, and
+  // never growing it keeps references into the pool stable across nested
+  // calls (depths past the pool fall back to the legacy arm's locals).
+  victims_pool_.resize(64);
   pump_task_ = std::make_unique<PeriodicTask>(
       sim_, options.reschedule_interval, [this] { PumpPendingQueue(); });
   pump_task_->Start();
@@ -98,6 +110,7 @@ PodId Cluster::CreatePod(PodSpec spec, std::function<void(Pod&)> on_running,
   }
   auto pod = std::make_unique<Pod>();
   pod->id = MakeId(slot, slots_[slot].gen);
+  pod->creation_seq = next_creation_seq_++;
   pod->spec = std::move(spec);
   pod->submit_time = sim_->Now();
   pod->on_running = std::move(on_running);
@@ -130,14 +143,18 @@ bool Cluster::TryPlace(Pod& pod) {
   // Best-fit: choose the healthy node with the least remaining CPU that
   // still fits the request (packs tightly, leaving large holes for big pods).
   int best = -1;
-  double best_left = std::numeric_limits<double>::infinity();
-  for (const Node& node : nodes_) {
-    if (!node.healthy) continue;
-    if (!pod.spec.request.FitsIn(node.Available())) continue;
-    const double left = node.Available().cpu - pod.spec.request.cpu;
-    if (left < best_left) {
-      best_left = left;
-      best = static_cast<int>(node.id);
+  if (options_.use_placement_index) {
+    best = placement_index_.BestFit(pod.spec.request);
+  } else {
+    double best_left = std::numeric_limits<double>::infinity();
+    for (const Node& node : nodes_) {
+      if (!node.healthy) continue;
+      if (!pod.spec.request.FitsIn(node.Available())) continue;
+      const double left = node.Available().cpu - pod.spec.request.cpu;
+      if (left < best_left) {
+        best_left = left;
+        best = static_cast<int>(node.id);
+      }
     }
   }
   if (best < 0) return false;
@@ -152,6 +169,11 @@ bool Cluster::TryPlace(Pod& pod) {
   pod.speed_factor = node.speed_factor;
   ++counters_.placements;
   ++mutation_version_;
+  if (options_.use_placement_index) {
+    placement_index_.UpdateNode(node.id, node.Available());
+    placement_index_.AddPod(node.id, pod.spec.priority, pod.spec.request);
+    if (options_.validate_placement_index) ValidatePlacementIndex();
+  }
 
   Duration startup = rng_.Uniform(options_.min_pod_startup,
                                   options_.max_pod_startup);
@@ -169,6 +191,58 @@ bool Cluster::TryPreemptFor(Pod& pod) {
       preempted_at_instant_ >= options_.max_preemptions_per_instant) {
     return false;
   }
+  if (!options_.use_placement_index || preempt_depth_ >= victims_pool_.size()) {
+    return TryPreemptLegacy(pod);
+  }
+  // Indexed victim search: the per-node priority-bucketed aggregates give an
+  // O(1) conservative "can evicting everything below this priority possibly
+  // free enough room?" precheck, so the O(pods log pods) sort-and-fold below
+  // only runs on nodes that can actually help — normally exactly one, where
+  // the exact legacy fold then picks byte-identical victims in byte-identical
+  // order. Scratch buffers are reused across calls; the victim list takes a
+  // per-reentrancy-depth slot because eviction callbacks can preempt again
+  // while it is being walked.
+  std::vector<PodId>& victims = victims_pool_[preempt_depth_];
+  ++preempt_depth_;
+  struct DepthGuard {
+    size_t& depth;
+    ~DepthGuard() { --depth; }
+  } guard{preempt_depth_};
+  for (Node& node : nodes_) {
+    if (!node.healthy) continue;
+    if (!placement_index_.MaybeFreeable(node.id, node.Available(),
+                                        pod.spec.request, pod.spec.priority)) {
+      continue;
+    }
+    // Exact legacy fold. Sorting cached (priority, id) pairs instead of
+    // re-resolving ids inside the comparator produces the identical
+    // permutation: std::sort's element order depends only on its comparison
+    // outcomes, and comparing the cached priorities answers exactly what the
+    // legacy comparator answered.
+    preempt_candidates_.clear();
+    for (PodId pid : node.pods) {
+      preempt_candidates_.emplace_back(
+          static_cast<int>(Resolve(pid)->spec.priority), pid);
+    }
+    std::sort(preempt_candidates_.begin(), preempt_candidates_.end(),
+              [](const std::pair<int, PodId>& a,
+                 const std::pair<int, PodId>& b) { return a.first < b.first; });
+    ResourceSpec would_free = node.Available();
+    victims.clear();
+    for (const std::pair<int, PodId>& cand : preempt_candidates_) {
+      if (pod.spec.request.FitsIn(would_free)) break;
+      if (cand.first >= static_cast<int>(pod.spec.priority)) continue;
+      would_free += Resolve(cand.second)->spec.request;
+      victims.push_back(cand.second);
+    }
+    if (pod.spec.request.FitsIn(would_free)) {
+      return EvictVictims(victims);
+    }
+  }
+  return false;
+}
+
+bool Cluster::TryPreemptLegacy(Pod& pod) {
   // Only higher-priority pods may preempt. Find a node where evicting the
   // cheapest set of strictly lower-priority pods frees enough room.
   for (Node& node : nodes_) {
@@ -193,25 +267,28 @@ bool Cluster::TryPreemptFor(Pod& pod) {
       victims.push_back(vid);
     }
     if (pod.spec.request.FitsIn(would_free)) {
-      if (sim_->Now() != preemption_instant_) {
-        preemption_instant_ = sim_->Now();
-        preempted_at_instant_ = 0;
-      }
-      preempted_at_instant_ += victims.size();
-      for (PodId vid : victims) {
-        ++counters_.pods_preempted;
-        // A victim's stop callback can transitively kill (and recycle the
-        // slot of) a later victim in this list; a stale id then resolves
-        // null and the Terminate it would have received is a no-op anyway.
-        if (Pod* victim = Resolve(vid)) {
-          Terminate(*victim, PodPhase::kPreempted,
-                    PodStopReason::kPreemption);
-        }
-      }
-      return !victims.empty();
+      return EvictVictims(victims);
     }
   }
   return false;
+}
+
+bool Cluster::EvictVictims(const std::vector<PodId>& victims) {
+  if (sim_->Now() != preemption_instant_) {
+    preemption_instant_ = sim_->Now();
+    preempted_at_instant_ = 0;
+  }
+  preempted_at_instant_ += victims.size();
+  for (PodId vid : victims) {
+    ++counters_.pods_preempted;
+    // A victim's stop callback can transitively kill (and recycle the
+    // slot of) a later victim in this list; a stale id then resolves
+    // null and the Terminate it would have received is a no-op anyway.
+    if (Pod* victim = Resolve(vid)) {
+      Terminate(*victim, PodPhase::kPreempted, PodStopReason::kPreemption);
+    }
+  }
+  return !victims.empty();
 }
 
 void Cluster::FinishStartup(PodId id) {
@@ -221,6 +298,10 @@ void Cluster::FinishStartup(PodId id) {
   pod->phase = PodPhase::kRunning;
   pod->start_time = sim_->Now();
   ++mutation_version_;
+  if (options_.use_placement_index) {
+    running_index_.Insert(pod->spec.priority, pod->creation_seq, pod);
+    if (options_.validate_placement_index) ValidatePlacementIndex();
+  }
   if (pod->on_running) pod->on_running(*pod);
 }
 
@@ -262,6 +343,7 @@ void Cluster::FailNode(NodeId id) {
     LogDelta(ClusterCommitLog::Kind::kCapacity, ResourceSpec{} - node.capacity);
     LogDelta(ClusterCommitLog::Kind::kAllocated,
              ResourceSpec{} - node.allocated);
+    if (options_.use_placement_index) placement_index_.RemoveNode(id);
   }
   node.healthy = false;
   ++mutation_version_;
@@ -284,6 +366,10 @@ void Cluster::RecoverNode(NodeId id) {
   LogDelta(ClusterCommitLog::Kind::kCapacity, node.capacity);
   LogDelta(ClusterCommitLog::Kind::kAllocated, node.allocated);
   ++mutation_version_;
+  if (options_.use_placement_index) {
+    placement_index_.InsertNode(id, node.Available());
+    if (options_.validate_placement_index) ValidatePlacementIndex();
+  }
   // Restored capacity may unblock pending pods immediately.
   PumpPendingQueue();
 }
@@ -308,6 +394,9 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   if (pod.phase == PodPhase::kRunning) {
     usage_total_ -= pod.usage;
     LogDelta(ClusterCommitLog::Kind::kUsage, ResourceSpec{} - pod.usage);
+    if (options_.use_placement_index) {
+      running_index_.Remove(pod.spec.priority, pod.creation_seq);
+    }
   }
   if (pod.phase == PodPhase::kStarting || pod.phase == PodPhase::kRunning) {
     ReleaseFromNode(pod);
@@ -321,6 +410,9 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   pod.usage = {};
   if (options_.legacy_pod_index) legacy_index_.erase(pod.id);
   ++mutation_version_;
+  if (options_.use_placement_index && options_.validate_placement_index) {
+    ValidatePlacementIndex();
+  }
   if (pod.on_stopped) pod.on_stopped(pod, reason);
   // Only now does the slot become recyclable (the stop callback above may
   // read the pod by id); the pod itself stays resolvable — and visible to
@@ -342,6 +434,12 @@ void Cluster::ReleaseFromNode(Pod& pod) {
   node.allocated.memory = std::max(0.0, node.allocated.memory);
   auto it = std::find(node.pods.begin(), node.pods.end(), pod.id);
   if (it != node.pods.end()) node.pods.erase(it);
+  if (options_.use_placement_index) {
+    placement_index_.RemovePod(node.id, pod.spec.priority, pod.spec.request);
+    // A failed node is not in the capacity tree; its key is refreshed when
+    // RecoverNode re-inserts it.
+    if (node.healthy) placement_index_.UpdateNode(node.id, node.Available());
+  }
 }
 
 void Cluster::PumpPendingQueue() {
@@ -403,6 +501,81 @@ Pod* Cluster::GetMutablePod(PodId id) { return Resolve(id); }
 
 void Cluster::VisitPods(const std::function<void(const Pod&)>& fn) const {
   for (const auto& pod : directory_) fn(*pod);
+}
+
+void Cluster::VisitRunningPods(
+    PriorityClass priority, const std::function<void(const Pod&)>& fn) const {
+  if (options_.use_placement_index) {
+    running_index_.Visit(priority, fn);
+    return;
+  }
+  for (const auto& pod : directory_) {
+    if (pod->phase == PodPhase::kRunning && pod->spec.priority == priority) {
+      fn(*pod);
+    }
+  }
+}
+
+void Cluster::ValidatePlacementIndex() const {
+  auto die = [](const char* what) {
+    DLROVER_LOG_STREAM(Error) << "placement index out of sync: " << what;
+    std::abort();
+  };
+  // Capacity tree: every healthy node present with exactly the doubles a
+  // fresh Available() computes (bitwise — the index serves the same values
+  // the legacy scan would read); failed nodes absent.
+  size_t healthy = 0;
+  for (const Node& node : nodes_) {
+    ResourceSpec indexed;
+    const bool present = placement_index_.GetIndexed(node.id, &indexed);
+    if (present != node.healthy) die("tree membership vs node health");
+    if (present && (indexed.cpu != node.Available().cpu ||
+                    indexed.memory != node.Available().memory)) {
+      die("indexed capacity vs fresh Available()");
+    }
+    if (node.healthy) ++healthy;
+  }
+  if (placement_index_.NumIndexedNodes() != healthy) die("tree size");
+  // Per-node class aggregates: counts must match a fresh scan of node.pods
+  // exactly; totals within the MaybeFreeable slack (they are float sums
+  // accumulated in a different order).
+  for (const Node& node : nodes_) {
+    std::array<uint32_t, kNumPriorityClasses> count{};
+    std::array<ResourceSpec, kNumPriorityClasses> total;
+    for (PodId pid : node.pods) {
+      const Pod* pod = Resolve(pid);
+      if (pod == nullptr) die("unresolvable pod id on node");
+      const size_t b = static_cast<size_t>(PriorityBucket(pod->spec.priority));
+      ++count[b];
+      total[b] += pod->spec.request;
+    }
+    for (int b = 0; b < kNumPriorityClasses; ++b) {
+      if (placement_index_.PodCount(node.id, b) != count[static_cast<size_t>(b)]) {
+        die("aggregate pod count");
+      }
+      const ResourceSpec have = placement_index_.PodTotal(node.id, b);
+      const ResourceSpec want = total[static_cast<size_t>(b)];
+      if (std::abs(have.cpu - want.cpu) > 1e-6 ||
+          std::abs(have.memory - want.memory) > 1e5) {
+        die("aggregate request total drift");
+      }
+    }
+  }
+  // Running-pod directory: per class, the index must visit exactly the
+  // running pods a full directory sweep would, in the same order.
+  for (PriorityClass cls :
+       {PriorityClass::kBestEffort, PriorityClass::kTraining,
+        PriorityClass::kStream, PriorityClass::kOnline}) {
+    std::vector<PodId> want;
+    for (const auto& pod : directory_) {
+      if (pod->phase == PodPhase::kRunning && pod->spec.priority == cls) {
+        want.push_back(pod->id);
+      }
+    }
+    std::vector<PodId> have;
+    running_index_.Visit(cls, [&](const Pod& pod) { have.push_back(pod.id); });
+    if (have != want) die("running-pod visitation order");
+  }
 }
 
 void Cluster::ReportUsage(PodId id, const ResourceSpec& usage) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/commit_log.h"
+#include "cluster/placement_index.h"
 #include "cluster/pod.h"
 #include "cluster/resources.h"
 #include "common/rng.h"
@@ -56,6 +57,18 @@ struct ClusterOptions {
   /// node allocation per pod) for before/after benches. Results are
   /// identical either way.
   bool legacy_pod_index = false;
+  /// Serve best-fit placement from the O(log n) PlacementIndex (ordered
+  /// free-capacity treap + per-node priority-bucketed pod aggregates +
+  /// creation-ordered running-pod directory) instead of the legacy O(nodes)
+  /// scan / O(nodes x pods log pods) victim search / full-directory sweep.
+  /// Decisions are identical either way — same node, same victims, same
+  /// order — which the parity property tests assert; the legacy arm is kept
+  /// for those tests and for before/after benches.
+  bool use_placement_index = true;
+  /// Cross-validates the PlacementIndex against a fresh scan of the node and
+  /// pod state after every index mutation (O(nodes + pods) per check — test
+  /// builds only, works under NDEBUG since it is a runtime option).
+  bool validate_placement_index = false;
   /// Livelock breaker: at most this many pods may be preempted at one
   /// simulated instant. A victim's stop callback can synchronously relaunch
   /// a replacement that steals the freed capacity before the preemptor
@@ -126,6 +139,13 @@ class Cluster {
   /// Visits every pod (including terminal ones) in creation order — which is
   /// id order for all pods whose slot has not been recycled.
   void VisitPods(const std::function<void(const Pod&)>& fn) const;
+  /// Visits the *running* pods of one priority class in creation order —
+  /// the exact subsequence a VisitPods sweep filtered on
+  /// (phase == kRunning && priority == `priority`) would produce, served
+  /// from the running-pod index in O(matching pods) when the placement
+  /// index is enabled (full-directory fallback otherwise).
+  void VisitRunningPods(PriorityClass priority,
+                        const std::function<void(const Pod&)>& fn) const;
   const Node& GetNode(NodeId id) const { return nodes_[id]; }
   size_t num_nodes() const { return nodes_.size(); }
 
@@ -208,6 +228,14 @@ class Cluster {
 
   bool TryPlace(Pod& pod);
   bool TryPreemptFor(Pod& pod);
+  bool TryPreemptLegacy(Pod& pod);
+  /// Shared tail of both preemption arms: spends the per-instant budget and
+  /// evicts `victims` in order. Returns `!victims.empty()` (the legacy
+  /// contract: a node that fits without evictions yields false).
+  bool EvictVictims(const std::vector<PodId>& victims);
+  /// Full cross-check of the placement/running indexes against a fresh scan
+  /// (enabled by options_.validate_placement_index; aborts on mismatch).
+  void ValidatePlacementIndex() const;
   void FinishStartup(PodId id);
   void Terminate(Pod& pod, PodPhase phase, PodStopReason reason);
   void ReleaseFromNode(Pod& pod);
@@ -229,6 +257,20 @@ class Cluster {
   std::vector<uint32_t> free_slots_;
   /// Live-pod map maintained only under options_.legacy_pod_index.
   std::map<PodId, Pod*> legacy_index_;
+  /// O(log n) scheduling indexes, maintained under use_placement_index.
+  PlacementIndex placement_index_;
+  RunningPodIndex running_index_;
+  /// Creation ordinal source for Pod::creation_seq.
+  uint64_t next_creation_seq_ = 0;
+  /// Preemption scratch, reused across calls so the warm victim search does
+  /// not allocate. `candidates` is fully consumed before any eviction
+  /// callback can re-enter, so a single buffer suffices; the victim list is
+  /// still live while callbacks run, so re-entrant preemptions take the next
+  /// depth slot (depths beyond the pool fall back to the legacy arm, which
+  /// uses locals).
+  std::vector<std::pair<int, PodId>> preempt_candidates_;
+  std::vector<std::vector<PodId>> victims_pool_;
+  size_t preempt_depth_ = 0;
   std::deque<PodId> pending_;
   bool pumping_ = false;
   bool repump_ = false;

@@ -26,24 +26,28 @@ void FailureInjector::Sweep() {
       1.0 - std::exp(-options_.daily_straggler_rate * dt_days);
 
   // Collect victims first: injecting inside the visit would mutate the pod
-  // map mid-iteration (terminations can create replacement pods).
-  std::vector<PodId> to_crash;
-  std::vector<PodId> to_degrade;
-  cluster_->VisitPods([&](const Pod& pod) {
-    if (pod.phase != PodPhase::kRunning) return;
-    if (pod.spec.priority != options_.target_priority) return;
+  // map mid-iteration (terminations can create replacement pods). The
+  // running-pod index serves exactly the (running, target-priority)
+  // subsequence of the full directory sweep, in the same creation order, so
+  // the hazard draws land on the same pods in the same RNG sequence while
+  // the sweep cost drops from O(pods ever) to O(running target pods). The
+  // victim buffers are members reused across sweeps: warm sweeps allocate
+  // nothing.
+  to_crash_.clear();
+  to_degrade_.clear();
+  cluster_->VisitRunningPods(options_.target_priority, [&](const Pod& pod) {
     if (rng_.Bernoulli(p_fail)) {
-      to_crash.push_back(pod.id);
+      to_crash_.push_back(pod.id);
     } else if (p_straggle > 0.0 && pod.speed_factor >= 0.5 &&
                rng_.Bernoulli(p_straggle)) {
-      to_degrade.push_back(pod.id);
+      to_degrade_.push_back(pod.id);
     }
   });
-  for (PodId id : to_crash) {
+  for (PodId id : to_crash_) {
     ++crashes_;
     cluster_->FailPod(id, PodStopReason::kCrash);
   }
-  for (PodId id : to_degrade) {
+  for (PodId id : to_degrade_) {
     ++stragglers_;
     cluster_->DegradePod(id, options_.straggler_speed_factor);
   }

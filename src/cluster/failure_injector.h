@@ -51,6 +51,9 @@ class FailureInjector {
   Rng rng_;
   uint64_t crashes_ = 0;
   uint64_t stragglers_ = 0;
+  /// Victim scratch reused across sweeps (warm sweeps are allocation-free).
+  std::vector<PodId> to_crash_;
+  std::vector<PodId> to_degrade_;
   std::unique_ptr<PeriodicTask> task_;
 };
 

@@ -54,6 +54,10 @@ struct Pod {
   PodSpec spec;
   PodPhase phase = PodPhase::kPending;
   NodeId node = 0;  // valid once phase >= kStarting
+  /// Monotonic creation ordinal assigned by the cluster (directory position).
+  /// Unlike PodId it is never recycled, so indexes keyed on it reproduce
+  /// creation-order iteration exactly.
+  uint64_t creation_seq = 0;
 
   SimTime submit_time = 0.0;
   SimTime start_time = -1.0;  // entered kRunning

@@ -407,6 +407,7 @@ ClusterOptions FleetClusterOptions(const FleetScenario& scenario) {
   cluster_options.seed = scenario.seed * 13 + 1;
   cluster_options.incremental_accounting = !scenario.legacy_hot_path;
   cluster_options.legacy_pod_index = scenario.legacy_hot_path;
+  cluster_options.use_placement_index = !scenario.legacy_hot_path;
   return cluster_options;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/placement_index.h"
 #include "common/alloc_counter.h"
 #include "dlrm/criteo_synth.h"
 #include "dlrm/mini_dlrm.h"
@@ -142,6 +143,107 @@ TEST(AllocGuardTest, WarmShardQueueDispatchCycleIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "shard dispatch/complete cycle allocated " << (after - before)
       << " times";
+}
+
+TEST(AllocGuardTest, WarmPlacementIndexOpsAreAllocationFree) {
+  // The scheduling index itself: every slab lives in vectors sized at
+  // construction (capacity treap) or grown to a high-water mark (running-pod
+  // treaps), so a steady-state place/preempt-precheck/kill cycle — BestFit,
+  // key updates, pod aggregates, running-pod insert/remove/visit — performs
+  // zero heap allocations.
+  constexpr size_t kNodes = 128;
+  PlacementIndex index(kNodes);
+  for (size_t i = 0; i < kNodes; ++i) {
+    index.InsertNode(static_cast<NodeId>(i),
+                     {32.0 - static_cast<double>(i % 7) * 0.5, GiB(192)});
+  }
+  RunningPodIndex running;
+  std::vector<Pod> pods(256);
+  for (size_t i = 0; i < pods.size(); ++i) {
+    pods[i].creation_seq = i;
+    running.Insert(PriorityClass::kTraining, i, &pods[i]);
+  }
+  // High-water the free list, then refill so steady state recycles entries.
+  for (size_t i = 0; i < pods.size(); ++i) {
+    running.Remove(PriorityClass::kTraining, i);
+  }
+  for (size_t i = 0; i < pods.size(); ++i) {
+    running.Insert(PriorityClass::kTraining, i, &pods[i]);
+  }
+
+  const ResourceSpec request{4.0, GiB(8)};
+  uint64_t visited = 0;
+  const uint64_t before = AllocationCount();
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const NodeId nid = static_cast<NodeId>(cycle % kNodes);
+    const int best = index.BestFit(request);
+    ASSERT_GE(best, 0);
+    index.AddPod(nid, PriorityClass::kTraining, request);
+    index.UpdateNode(nid, {24.0, GiB(160)});
+    for (size_t n = 0; n < kNodes; ++n) {
+      if (index.MaybeFreeable(static_cast<NodeId>(n), {1.0, GiB(4)}, request,
+                              PriorityClass::kOnline)) {
+        break;
+      }
+    }
+    index.RemovePod(nid, PriorityClass::kTraining, request);
+    index.UpdateNode(nid, {32.0 - static_cast<double>(nid % 7) * 0.5, GiB(192)});
+    index.RemoveNode(nid);
+    index.InsertNode(nid, {32.0 - static_cast<double>(nid % 7) * 0.5, GiB(192)});
+    const uint64_t seq = static_cast<uint64_t>(cycle % 256);
+    running.Remove(PriorityClass::kTraining, seq);
+    running.Insert(PriorityClass::kTraining, seq, &pods[seq]);
+    running.Visit(PriorityClass::kBestEffort, [&](const Pod&) { ++visited; });
+  }
+  const uint64_t after = AllocationCount();
+  EXPECT_EQ(after - before, 0u)
+      << "placement index cycle allocated " << (after - before) << " times";
+  EXPECT_EQ(visited, 0u);  // nothing runs in the best-effort bucket
+}
+
+TEST(AllocGuardTest, WarmIndexedClusterChurnIsAllocationFree) {
+  // Cluster-level steady state through the index: usage reports, kills, and
+  // the resulting key updates / running-directory removals / empty-queue
+  // pumps must not allocate once slot free-lists and index slabs are at
+  // their high-water mark. (CreatePod is exempt by design — constructing a
+  // pod allocates its control block — so the measured cycle churns a
+  // prewarmed pool.)
+  Simulator sim;
+  ClusterOptions options;
+  options.num_nodes = 20;
+  options.node_capacity = {32.0, GiB(192)};
+  Cluster cluster(&sim, options);
+
+  auto create_batch = [&](int n, std::vector<PodId>* out) {
+    for (int i = 0; i < n; ++i) {
+      PodSpec spec;
+      spec.name = "churn";
+      spec.request = {2.0, GiB(4)};
+      spec.priority = PriorityClass::kTraining;
+      out->push_back(cluster.CreatePod(std::move(spec), nullptr, nullptr));
+    }
+  };
+  std::vector<PodId> warm;
+  warm.reserve(512);
+  create_batch(256, &warm);
+  sim.RunUntil(Minutes(5));  // all started and running
+  // High-water the termination structures (pod slot free list, running-pod
+  // free list), then refill so the measured kills recycle warm capacity.
+  for (int i = 0; i < 128; ++i) cluster.KillPod(warm[static_cast<size_t>(i)]);
+  create_batch(128, &warm);
+  sim.RunUntil(Minutes(10));
+
+  const uint64_t before = AllocationCount();
+  int killed = 0;
+  for (size_t i = 128; i < warm.size() && killed < 128; ++i, ++killed) {
+    cluster.ReportUsage(warm[i], {1.5, GiB(3)});
+    cluster.KillPod(warm[i]);
+  }
+  const uint64_t after = AllocationCount();
+  ASSERT_EQ(killed, 128);
+  EXPECT_EQ(after - before, 0u)
+      << "indexed cluster churn allocated " << (after - before)
+      << " times across " << killed << " usage-report/kill cycles";
 }
 
 TEST(AllocGuardTest, WarmShardedWindowDispatchIsAllocationFree) {

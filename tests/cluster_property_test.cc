@@ -92,6 +92,130 @@ TEST_P(ClusterChaosTest, BookkeepingSurvivesRandomOperations) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ---------------------------------------------------------------------------
+// Indexed vs legacy decision parity: the PlacementIndex arm must make
+// *identical* scheduling decisions — same placement node for every pod, same
+// preemption victims in the same order, same stop reasons, same counters —
+// as the legacy linear scans, under thousands of mixed
+// place/kill/node-fail/recover/preempt/usage-report operations. The indexed
+// arm additionally runs with validate_placement_index, so every mutation is
+// cross-checked against a fresh scan while the script runs.
+
+/// Everything observable about one run of the random op script.
+struct DecisionTrace {
+  /// (pod creation ordinal, stop reason) in stop-callback firing order —
+  /// preemption victim identity AND order land here.
+  std::vector<std::pair<uint64_t, int>> stops;
+  /// Per-op digest: for each created pod its (phase, node) after the op.
+  std::vector<int> state_digest;
+  std::vector<PodId> ids;
+  uint64_t placements = 0;
+  uint64_t preempted = 0;
+  uint64_t failed = 0;
+  size_t pending = 0;
+
+  bool operator==(const DecisionTrace& o) const {
+    return stops == o.stops && state_digest == o.state_digest &&
+           ids == o.ids && placements == o.placements &&
+           preempted == o.preempted && failed == o.failed &&
+           pending == o.pending;
+  }
+};
+
+DecisionTrace RunDecisionScript(uint64_t seed, bool use_index) {
+  Rng rng(seed * 101 + 7);
+  Simulator sim;
+  ClusterOptions options;
+  options.num_nodes = 8;
+  options.node_capacity = {16.0, GiB(64)};
+  options.seed = seed * 3 + 1;
+  options.use_placement_index = use_index;
+  options.validate_placement_index = use_index;
+  Cluster cluster(&sim, options);
+
+  DecisionTrace trace;
+  std::vector<PodId> pods;
+  uint64_t ordinal = 0;
+  for (int step = 0; step < 2500; ++step) {
+    const double dice = rng.Uniform();
+    if (dice < 0.38) {
+      PodSpec spec;
+      spec.name = "parity";
+      // Quantized sizes so capacity ties across nodes are common (the
+      // tie-break rule is the part most worth pinning).
+      spec.request = {static_cast<double>(rng.UniformInt(1, 8)),
+                      GiB(static_cast<double>(rng.UniformInt(1, 16)))};
+      const double cls = rng.Uniform();
+      spec.priority = cls < 0.45   ? PriorityClass::kBestEffort
+                      : cls < 0.75 ? PriorityClass::kTraining
+                      : cls < 0.9  ? PriorityClass::kStream
+                                   : PriorityClass::kOnline;
+      const uint64_t my_ordinal = ordinal++;
+      pods.push_back(cluster.CreatePod(
+          std::move(spec), nullptr,
+          [&trace, my_ordinal](Pod&, PodStopReason reason) {
+            trace.stops.emplace_back(my_ordinal, static_cast<int>(reason));
+          }));
+      trace.ids.push_back(pods.back());
+    } else if (dice < 0.52 && !pods.empty()) {
+      cluster.KillPod(pods[rng.UniformInt(pods.size())]);
+    } else if (dice < 0.62 && !pods.empty()) {
+      cluster.FailPod(pods[rng.UniformInt(pods.size())],
+                      PodStopReason::kCrash);
+    } else if (dice < 0.68) {
+      cluster.FailNode(static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(options.num_nodes))));
+    } else if (dice < 0.74) {
+      cluster.RecoverNode(static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(options.num_nodes))));
+    } else if (dice < 0.84 && !pods.empty()) {
+      const PodId id = pods[rng.UniformInt(pods.size())];
+      cluster.ReportUsage(id, {rng.Uniform(0.1, 4.0), GiB(rng.Uniform(0.1, 4.0))});
+    } else {
+      sim.RunUntil(sim.Now() + rng.Uniform(1.0, 90.0));
+    }
+    // Digest every pod's (phase, node) — placement decisions land here.
+    for (PodId id : pods) {
+      const Pod* pod = cluster.GetPod(id);
+      if (pod == nullptr) {
+        trace.state_digest.push_back(-1);
+        continue;
+      }
+      trace.state_digest.push_back(static_cast<int>(pod->phase) * 1000 +
+                                   static_cast<int>(pod->node));
+    }
+  }
+  sim.RunUntil(sim.Now() + Hours(2));
+  trace.placements = cluster.counters().placements;
+  trace.preempted = cluster.counters().pods_preempted;
+  trace.failed = cluster.counters().pods_failed;
+  trace.pending = cluster.PendingCount();
+  return trace;
+}
+
+class PlacementParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlacementParityTest, IndexedDecisionsMatchLegacyScan) {
+  const DecisionTrace indexed = RunDecisionScript(GetParam(), true);
+  const DecisionTrace legacy = RunDecisionScript(GetParam(), false);
+  ASSERT_EQ(indexed.ids, legacy.ids);
+  ASSERT_EQ(indexed.stops, legacy.stops)
+      << "victim identity/order or stop reasons diverged";
+  ASSERT_EQ(indexed.state_digest, legacy.state_digest)
+      << "a pod was placed on a different node";
+  EXPECT_EQ(indexed.placements, legacy.placements);
+  EXPECT_EQ(indexed.preempted, legacy.preempted);
+  EXPECT_EQ(indexed.failed, legacy.failed);
+  EXPECT_EQ(indexed.pending, legacy.pending);
+  // Paranoia: the traces must describe a run where scheduling actually
+  // happened (preemptions included), or parity means little.
+  EXPECT_GT(indexed.placements, 100u);
+  EXPECT_GT(indexed.preempted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementParityTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
 class JobChaosTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(JobChaosTest, JobAccountingSurvivesRandomFaults) {
