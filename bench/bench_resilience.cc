@@ -1,0 +1,369 @@
+// Resilience scorecard: labeled grey-fault campaigns replayed against the
+// self-healing control plane, on and off.
+//
+// Each campaign seeds the failure injector's node-scoped grey faults (flaky,
+// degraded, leaking, crash-looping nodes) over a production-like fleet and
+// runs three arms:
+//
+//   clean:        baseline pod-level instability only, no grey faults —
+//                 the goodput ceiling the faulted arms are scored against.
+//   unprotected:  grey faults on, node-health detection off. Jobs see raw
+//                 crash storms, silent slowdowns, and OOM creep.
+//   protected:    same faults, ClusterOptions::enable_node_health on —
+//                 evidence-based detection, cordon/drain, brain blacklist,
+//                 make-before-break migration.
+//
+// The injector's ground-truth audit log is matched against the detector's
+// cordon events to score detection precision/recall, time-to-detect, MTTR
+// (fault onset to the node's return to service), and the false-cordon rate;
+// fleet goodput (committed batches) gives the retention comparison. Written
+// to BENCH_resilience.json. `gate` mode (ctest label perf-smoke/resilience)
+// runs one campaign and fails unless recall >= 0.9, false-cordon rate
+// <= 0.05, and the protected arm preserves >= 1.5x more of the lost goodput
+// than the unprotected arm.
+//
+// Usage: bench_resilience [gate]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/reporting.h"
+
+namespace dlrover {
+namespace {
+
+// Detection credit window past fault expiry: evidence decays over the EWMA
+// half-life, so a cordon shortly after the fault ends is still the detector
+// doing its job, not a false positive.
+constexpr Duration kDetectSlack = Minutes(10);
+
+// A grey fault only counts as ground truth once it manifested at least this
+// many symptoms. The detector is deliberately calibrated not to cordon on
+// one or two pod events (that is exactly the background failure process, and
+// reacting to it is what the false-cordon metric punishes), so a fault whose
+// entire observable footprint stays below the noise floor is undetectable by
+// construction, not missed.
+constexpr uint64_t kMinTruthSymptoms = 3;
+
+struct Campaign {
+  uint64_t seed = 1;
+  double flaky = 1.0;
+  double degraded = 1.0;
+  double leak = 0.9;
+  double crashloop = 0.75;
+};
+
+FleetScenario BaseScenario(uint64_t seed) {
+  FleetScenario scenario;
+  scenario.seed = seed * 31 + 7;
+  scenario.workload.num_jobs = 48;
+  scenario.workload.arrival_span = Hours(8);
+  scenario.workload.seed = seed * 131 + 9;
+  scenario.horizon = Hours(14);
+  scenario.failures.daily_straggler_rate = 0.01;
+  // Background load slows whole nodes at once — from the detector's seat
+  // that IS node-level degradation, but it has no ground-truth label, so a
+  // labeled campaign turns it off to keep the scorecard honest.
+  scenario.enable_background = false;
+  return scenario;
+}
+
+void ArmFaults(FleetScenario* scenario, const Campaign& c) {
+  scenario->failures.daily_node_flaky_rate = c.flaky;
+  scenario->failures.daily_node_degraded_rate = c.degraded;
+  scenario->failures.daily_node_leak_rate = c.leak;
+  scenario->failures.daily_node_crashloop_rate = c.crashloop;
+}
+
+struct ArmResult {
+  std::string arm;
+  uint64_t seed = 0;
+  uint64_t goodput_batches = 0;
+  int completed = 0;
+  int jobs = 0;
+  uint64_t grey_faults = 0;
+  uint64_t cordons = 0;
+  uint64_t uncordons = 0;
+  int drain_migrations = 0;
+  int drain_fallbacks = 0;
+  FleetResult fleet;
+};
+
+ArmResult RunArm(const std::string& arm, uint64_t seed,
+                 const FleetScenario& scenario) {
+  ArmResult out;
+  out.arm = arm;
+  out.seed = seed;
+  out.fleet = RunFleet(scenario);
+  out.jobs = static_cast<int>(out.fleet.jobs.size());
+  out.completed = out.fleet.Completed();
+  for (const FleetJobOutcome& job : out.fleet.jobs) {
+    out.goodput_batches += job.batches_done;
+    out.drain_migrations += job.stats.drain_migrations;
+    out.drain_fallbacks += job.stats.drain_fallbacks;
+  }
+  for (const FaultRecord& f : out.fleet.fault_log) {
+    if (f.kind >= FaultKind::kFlakyNode) ++out.grey_faults;
+  }
+  out.cordons = out.fleet.nodes_cordoned;
+  out.uncordons = out.fleet.nodes_uncordoned;
+  return out;
+}
+
+struct DetectionScore {
+  int truth = 0;      // grey faults that manifested symptoms
+  int detected = 0;   // matched by a cordon in the credit window
+  int cordons = 0;    // total cordon events
+  int false_cordons = 0;
+  double recall = 0.0;
+  double precision = 0.0;
+  double false_rate = 0.0;
+  double ttd_mean = 0.0;   // onset -> cordon, detected faults
+  double mttr_mean = 0.0;  // onset -> uncordon (node back in service)
+  // Indexed by FaultKind - kFlakyNode.
+  int truth_by_kind[4] = {0, 0, 0, 0};
+  int detected_by_kind[4] = {0, 0, 0, 0};
+};
+
+DetectionScore ScoreDetection(const FleetResult& fleet, Duration horizon) {
+  DetectionScore score;
+  struct Truth {
+    NodeId node;
+    SimTime start;
+    SimTime end;
+    int kind;
+  };
+  std::vector<Truth> truths;
+  for (const FaultRecord& f : fleet.fault_log) {
+    if (f.kind < FaultKind::kFlakyNode || f.symptoms < kMinTruthSymptoms) {
+      continue;
+    }
+    truths.push_back({static_cast<NodeId>(f.target), f.time,
+                      f.time + f.duration + kDetectSlack,
+                      static_cast<int>(f.kind) -
+                          static_cast<int>(FaultKind::kFlakyNode)});
+  }
+  score.truth = static_cast<int>(truths.size());
+
+  double ttd_sum = 0.0, mttr_sum = 0.0;
+  int mttr_n = 0;
+  std::vector<uint8_t> cordon_matched;
+  std::vector<const NodeHealthEvent*> cordon_events;
+  for (const NodeHealthEvent& e : fleet.health_log) {
+    if (e.to == NodeHealthState::kCordoned) cordon_events.push_back(&e);
+  }
+  cordon_matched.assign(cordon_events.size(), 0);
+  score.cordons = static_cast<int>(cordon_events.size());
+
+  for (const Truth& t : truths) {
+    ++score.truth_by_kind[t.kind];
+    const NodeHealthEvent* first = nullptr;
+    for (size_t i = 0; i < cordon_events.size(); ++i) {
+      const NodeHealthEvent* e = cordon_events[i];
+      if (e->node != t.node || e->time < t.start || e->time > t.end) continue;
+      cordon_matched[i] = 1;
+      if (first == nullptr || e->time < first->time) first = e;
+    }
+    if (first == nullptr) continue;
+    ++score.detected;
+    ++score.detected_by_kind[t.kind];
+    ttd_sum += first->time - t.start;
+    // Return to service: the first uncordon on the node after detection;
+    // still-cordoned-at-horizon counts the full remaining window.
+    SimTime back = horizon;
+    for (const NodeHealthEvent& e : fleet.health_log) {
+      if (e.node == t.node && e.time > first->time &&
+          e.from == NodeHealthState::kCordoned) {
+        back = e.time;
+        break;
+      }
+    }
+    mttr_sum += back - t.start;
+    ++mttr_n;
+  }
+  for (size_t i = 0; i < cordon_matched.size(); ++i) {
+    if (!cordon_matched[i]) ++score.false_cordons;
+  }
+  score.recall = score.truth > 0
+                     ? static_cast<double>(score.detected) / score.truth
+                     : 1.0;
+  score.precision =
+      score.cordons > 0
+          ? 1.0 - static_cast<double>(score.false_cordons) / score.cordons
+          : 1.0;
+  score.false_rate = 1.0 - score.precision;
+  score.ttd_mean = score.detected > 0 ? ttd_sum / score.detected : 0.0;
+  score.mttr_mean = mttr_n > 0 ? mttr_sum / mttr_n : 0.0;
+  return score;
+}
+
+int Run(bool gate) {
+  PrintBanner(gate ? "resilience: detection & goodput gate"
+                   : "resilience: grey-fault campaigns, self-healing on/off");
+  const std::vector<uint64_t> seeds = gate ? std::vector<uint64_t>{1}
+                                           : std::vector<uint64_t>{1, 2};
+
+  std::vector<ArmResult> runs;
+  std::vector<DetectionScore> scores;
+  double recovery_ratio_min = 1.0e18;
+  double retention_prot_min = 1.0;
+  for (uint64_t seed : seeds) {
+    Campaign campaign;
+    campaign.seed = seed;
+    const FleetScenario clean_scenario = BaseScenario(seed);
+
+    FleetScenario faulted = clean_scenario;
+    ArmFaults(&faulted, campaign);
+
+    FleetScenario protected_scenario = faulted;
+    protected_scenario.cluster.enable_node_health = true;
+
+    std::printf("campaign seed %llu: running 3 arms...\n",
+                static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+    ArmResult clean = RunArm("clean", seed, clean_scenario);
+    ArmResult unprot = RunArm("unprotected", seed, faulted);
+    ArmResult prot = RunArm("protected", seed, protected_scenario);
+
+    DetectionScore score =
+        ScoreDetection(prot.fleet, clean_scenario.horizon);
+    scores.push_back(score);
+
+    const double clean_gp = static_cast<double>(clean.goodput_batches);
+    const double lost_unprot =
+        clean_gp - static_cast<double>(unprot.goodput_batches);
+    const double lost_prot =
+        clean_gp - static_cast<double>(prot.goodput_batches);
+    // How much of the goodput the faults destroyed does self-healing keep?
+    // Ratio of losses: > 1 means the protected arm lost less.
+    const double ratio = lost_unprot / std::max(lost_prot, 1.0);
+    recovery_ratio_min = std::min(recovery_ratio_min, ratio);
+    retention_prot_min = std::min(
+        retention_prot_min,
+        clean_gp > 0.0 ? static_cast<double>(prot.goodput_batches) / clean_gp
+                       : 1.0);
+
+    runs.push_back(std::move(clean));
+    runs.push_back(std::move(unprot));
+    runs.push_back(std::move(prot));
+  }
+
+  TablePrinter table({"seed", "arm", "goodput", "retention", "completed",
+                      "grey faults", "cordons", "drains", "fallbacks"});
+  for (size_t i = 0; i < runs.size(); i += 3) {
+    const double clean_gp = static_cast<double>(runs[i].goodput_batches);
+    for (size_t k = 0; k < 3; ++k) {
+      const ArmResult& r = runs[i + k];
+      table.AddRow(
+          {StrFormat("%llu", static_cast<unsigned long long>(r.seed)), r.arm,
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 r.goodput_batches)),
+           FormatPercent(clean_gp > 0.0
+                             ? static_cast<double>(r.goodput_batches) /
+                                   clean_gp
+                             : 1.0),
+           StrFormat("%d/%d", r.completed, r.jobs),
+           StrFormat("%llu", static_cast<unsigned long long>(r.grey_faults)),
+           StrFormat("%llu", static_cast<unsigned long long>(r.cordons)),
+           StrFormat("%d", r.drain_migrations),
+           StrFormat("%d", r.drain_fallbacks)});
+    }
+  }
+  table.Print();
+
+  double recall_min = 1.0, false_rate_max = 0.0;
+  double ttd_sum = 0.0, mttr_sum = 0.0;
+  for (const DetectionScore& s : scores) {
+    recall_min = std::min(recall_min, s.recall);
+    false_rate_max = std::max(false_rate_max, s.false_rate);
+    ttd_sum += s.ttd_mean;
+    mttr_sum += s.mttr_mean;
+    std::printf(
+        "detection: %d/%d grey faults cordoned (recall %s), %d/%d cordons "
+        "false (rate %s), mean time-to-detect %s, mean MTTR %s\n",
+        s.detected, s.truth, FormatPercent(s.recall).c_str(), s.false_cordons,
+        s.cordons, FormatPercent(s.false_rate).c_str(),
+        FormatDuration(s.ttd_mean).c_str(),
+        FormatDuration(s.mttr_mean).c_str());
+    std::printf(
+        "  by kind: flaky %d/%d, degraded %d/%d, leak %d/%d, crashloop "
+        "%d/%d\n",
+        s.detected_by_kind[0], s.truth_by_kind[0], s.detected_by_kind[1],
+        s.truth_by_kind[1], s.detected_by_kind[2], s.truth_by_kind[2],
+        s.detected_by_kind[3], s.truth_by_kind[3]);
+  }
+  std::printf(
+      "goodput: protected arm retains >= %s of clean; loss ratio "
+      "unprotected/protected %.2fx\n",
+      FormatPercent(retention_prot_min).c_str(), recovery_ratio_min);
+
+  FILE* json = OpenBenchJson("BENCH_resilience.json", "resilience");
+  if (json != nullptr) {
+    std::fprintf(json, "  \"gate_mode\": %s,\n", gate ? "true" : "false");
+    std::fprintf(json, "  \"recall_min\": %.4f,\n", recall_min);
+    std::fprintf(json, "  \"false_cordon_rate_max\": %.4f,\n", false_rate_max);
+    std::fprintf(json, "  \"ttd_mean_s\": %.1f,\n",
+                 ttd_sum / static_cast<double>(scores.size()));
+    std::fprintf(json, "  \"mttr_mean_s\": %.1f,\n",
+                 mttr_sum / static_cast<double>(scores.size()));
+    std::fprintf(json, "  \"goodput_retention_protected_min\": %.4f,\n",
+                 retention_prot_min);
+    std::fprintf(json, "  \"goodput_loss_ratio_min\": %.3f,\n",
+                 recovery_ratio_min);
+    std::fprintf(json, "  \"arms\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const ArmResult& r = runs[i];
+      std::fprintf(
+          json,
+          "    {\"seed\": %llu, \"arm\": \"%s\", \"goodput_batches\": %llu, "
+          "\"completed\": %d, \"jobs\": %d, \"grey_faults\": %llu, "
+          "\"cordons\": %llu, \"uncordons\": %llu, \"drain_migrations\": %d, "
+          "\"drain_fallbacks\": %d}%s\n",
+          static_cast<unsigned long long>(r.seed), r.arm.c_str(),
+          static_cast<unsigned long long>(r.goodput_batches), r.completed,
+          r.jobs, static_cast<unsigned long long>(r.grey_faults),
+          static_cast<unsigned long long>(r.cordons),
+          static_cast<unsigned long long>(r.uncordons), r.drain_migrations,
+          r.drain_fallbacks, i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"detection\": [\n");
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const DetectionScore& s = scores[i];
+      std::fprintf(json,
+                   "    {\"truth\": %d, \"detected\": %d, \"cordons\": %d, "
+                   "\"false_cordons\": %d, \"recall\": %.4f, \"precision\": "
+                   "%.4f, \"ttd_mean_s\": %.1f, \"mttr_mean_s\": %.1f}%s\n",
+                   s.truth, s.detected, s.cordons, s.false_cordons, s.recall,
+                   s.precision, s.ttd_mean, s.mttr_mean,
+                   i + 1 < scores.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_resilience.json\n");
+  }
+
+  // Scorecard gate: detection must be sharp (recall >= 0.9, false-cordon
+  // rate <= 0.05) and self-healing must preserve >= 1.5x more of the
+  // fault-destroyed goodput than the unprotected arm.
+  const bool ok = recall_min >= 0.90 && false_rate_max <= 0.05 &&
+                  recovery_ratio_min >= 1.5;
+  std::printf(
+      "resilience gate (recall >= 0.90, false-cordon <= 0.05, loss ratio >= "
+      "1.5): %s\n",
+      ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dlrover
+
+int main(int argc, char** argv) {
+  const bool gate = argc > 1 && std::strcmp(argv[1], "gate") == 0;
+  return dlrover::Run(gate);
+}

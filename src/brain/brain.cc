@@ -278,7 +278,18 @@ void ClusterBrain::RunRound() {
   }
   if (requests.empty()) return;
 
-  const auto selected = GreedySelector::Select(requests, options_.budget);
+  // Node-health blacklist: capacity on cordoned or suspect nodes is not
+  // plannable — subtract it from the budget so the weighted-greedy selector
+  // cannot hand it out. With no cluster attached (or nothing quarantined)
+  // the budget is exactly options_.budget, as before.
+  ResourceSpec budget = options_.budget;
+  last_blacklisted_ = ResourceSpec{};
+  if (cluster_ != nullptr) {
+    last_blacklisted_ = cluster_->QuarantinedCapacity();
+    budget.cpu = std::max(0.0, budget.cpu - last_blacklisted_.cpu);
+    budget.memory = std::max(0.0, budget.memory - last_blacklisted_.memory);
+  }
+  const auto selected = GreedySelector::Select(requests, budget);
   for (const auto& [id, plan] : selected) {
     ManagedJob& managed = *by_id[id];
     const Status status = managed.job->ApplyPlan(

@@ -59,6 +59,13 @@ class ClusterBrain {
   /// caller must keep it alive and must not destroy it mid-simulation.
   void Manage(TrainingJob* job, const JobMetadata& meta);
 
+  /// Attaches the cluster for node-health awareness: every round subtracts
+  /// the cluster's quarantined capacity (cordoned + suspect nodes) from the
+  /// selection budget, so the plan generator stops proposing capacity the
+  /// control plane has fenced off. Optional — with no cluster attached, or
+  /// nothing quarantined, rounds are unchanged.
+  void AttachCluster(const Cluster* cluster) { cluster_ = cluster; }
+
   /// Starts periodic scheduling rounds.
   void Start();
   void Stop();
@@ -81,6 +88,8 @@ class ClusterBrain {
   /// Total number of plans applied across all rounds.
   int plans_applied() const { return plans_applied_; }
   int rebalances_triggered() const { return rebalances_; }
+  /// Capacity withheld from the selector in the most recent round.
+  ResourceSpec last_blacklisted() const { return last_blacklisted_; }
 
  private:
   struct ManagedJob {
@@ -107,6 +116,8 @@ class ClusterBrain {
   ConfigDb config_db_;
   std::vector<std::unique_ptr<ManagedJob>> jobs_;
   std::unique_ptr<PeriodicTask> round_task_;
+  const Cluster* cluster_ = nullptr;
+  ResourceSpec last_blacklisted_;
   int plans_applied_ = 0;
   int rebalances_ = 0;
   uint64_t next_job_id_ = 1;

@@ -93,6 +93,13 @@ Cluster::Cluster(Simulator* sim, const ClusterOptions& options)
   pump_task_ = std::make_unique<PeriodicTask>(
       sim_, options.reschedule_interval, [this] { PumpPendingQueue(); });
   pump_task_->Start();
+  if (options_.enable_node_health) {
+    health_ = std::make_unique<NodeHealthTracker>(options_.node_health,
+                                                  nodes_.size());
+    health_task_ = std::make_unique<PeriodicTask>(
+        sim_, options_.node_health.tick_interval, [this] { HealthTick(); });
+    health_task_->Start();
+  }
 }
 
 PodId Cluster::CreatePod(PodSpec spec, std::function<void(Pod&)> on_running,
@@ -148,7 +155,7 @@ bool Cluster::TryPlace(Pod& pod) {
   } else {
     double best_left = std::numeric_limits<double>::infinity();
     for (const Node& node : nodes_) {
-      if (!node.healthy) continue;
+      if (!node.healthy || node.cordoned) continue;
       if (!pod.spec.request.FitsIn(node.Available())) continue;
       const double left = node.Available().cpu - pod.spec.request.cpu;
       if (left < best_left) {
@@ -209,7 +216,7 @@ bool Cluster::TryPreemptFor(Pod& pod) {
     ~DepthGuard() { --depth; }
   } guard{preempt_depth_};
   for (Node& node : nodes_) {
-    if (!node.healthy) continue;
+    if (!node.healthy || node.cordoned) continue;
     if (!placement_index_.MaybeFreeable(node.id, node.Available(),
                                         pod.spec.request, pod.spec.priority)) {
       continue;
@@ -246,7 +253,7 @@ bool Cluster::TryPreemptLegacy(Pod& pod) {
   // Only higher-priority pods may preempt. Find a node where evicting the
   // cheapest set of strictly lower-priority pods frees enough room.
   for (Node& node : nodes_) {
-    if (!node.healthy) continue;
+    if (!node.healthy || node.cordoned) continue;
     ResourceSpec would_free = node.Available();
     std::vector<PodId> victims;
     // Evict lowest priority first.
@@ -343,6 +350,14 @@ void Cluster::FailNode(NodeId id) {
     LogDelta(ClusterCommitLog::Kind::kCapacity, ResourceSpec{} - node.capacity);
     LogDelta(ClusterCommitLog::Kind::kAllocated,
              ResourceSpec{} - node.allocated);
+    if (node.cordoned) {
+      // Dead capacity is no longer "cordoned healthy capacity": the cordon
+      // ledger tracks only fenced-off capacity that could be uncordoned.
+      cordoned_capacity_ -= node.capacity;
+      LogDelta(ClusterCommitLog::Kind::kCordoned,
+               ResourceSpec{} - node.capacity);
+    }
+    // No-op when the node was cordoned (already out of the tree).
     if (options_.use_placement_index) placement_index_.RemoveNode(id);
   }
   node.healthy = false;
@@ -366,12 +381,118 @@ void Cluster::RecoverNode(NodeId id) {
   LogDelta(ClusterCommitLog::Kind::kCapacity, node.capacity);
   LogDelta(ClusterCommitLog::Kind::kAllocated, node.allocated);
   ++mutation_version_;
+  if (node.cordoned) {
+    // The node comes back but the cordon survives the repair: capacity
+    // rejoins the totals as cordoned, and the node stays out of placement.
+    cordoned_capacity_ += node.capacity;
+    LogDelta(ClusterCommitLog::Kind::kCordoned, node.capacity);
+    if (options_.use_placement_index && options_.validate_placement_index) {
+      ValidatePlacementIndex();
+    }
+    return;
+  }
   if (options_.use_placement_index) {
     placement_index_.InsertNode(id, node.Available());
     if (options_.validate_placement_index) ValidatePlacementIndex();
   }
   // Restored capacity may unblock pending pods immediately.
   PumpPendingQueue();
+}
+
+void Cluster::CordonNode(NodeId id) {
+  Node& node = nodes_[id];
+  if (node.cordoned) return;
+  node.cordoned = true;
+  ++counters_.nodes_cordoned;
+  ++mutation_version_;
+  if (node.healthy) {
+    cordoned_capacity_ += node.capacity;
+    LogDelta(ClusterCommitLog::Kind::kCordoned, node.capacity);
+    if (options_.use_placement_index) {
+      placement_index_.RemoveNode(id);
+      if (options_.validate_placement_index) ValidatePlacementIndex();
+    }
+  }
+}
+
+void Cluster::DrainNode(NodeId id) {
+  CordonNode(id);
+  nodes_[id].draining = true;
+}
+
+void Cluster::UncordonNode(NodeId id) {
+  Node& node = nodes_[id];
+  if (!node.cordoned) return;
+  node.cordoned = false;
+  node.draining = false;
+  ++counters_.nodes_uncordoned;
+  ++mutation_version_;
+  if (node.healthy) {
+    cordoned_capacity_ -= node.capacity;
+    LogDelta(ClusterCommitLog::Kind::kCordoned, ResourceSpec{} - node.capacity);
+    if (options_.use_placement_index) {
+      placement_index_.InsertNode(id, node.Available());
+      if (options_.validate_placement_index) ValidatePlacementIndex();
+    }
+    // The node is schedulable again: pending pods may fit immediately.
+    PumpPendingQueue();
+  }
+}
+
+double Cluster::NodeMemUsedFraction(NodeId id) const {
+  const Node& node = nodes_[id];
+  if (node.capacity.memory <= 0.0) return 0.0;
+  Bytes used = node.usage_bias;
+  for (PodId pid : node.pods) {
+    const Pod* pod = Resolve(pid);
+    if (pod != nullptr) used += pod->usage.memory;
+  }
+  return used / node.capacity.memory;
+}
+
+double Cluster::NodeUnaccountedMemFraction(NodeId id) const {
+  const Node& node = nodes_[id];
+  if (node.capacity.memory <= 0.0) return 0.0;
+  return node.usage_bias / node.capacity.memory;
+}
+
+void Cluster::ReportStragglerEvidence(PodId id) {
+  if (health_ == nullptr) return;
+  const Pod* pod = Resolve(id);
+  if (pod == nullptr || pod->phase != PodPhase::kRunning) return;
+  if (!nodes_[pod->node].healthy) return;
+  health_->ObserveStraggler(pod->node, id, sim_->Now());
+}
+
+ResourceSpec Cluster::QuarantinedCapacity() const {
+  ResourceSpec total = cordoned_capacity_;
+  if (health_ != nullptr) {
+    for (const Node& node : nodes_) {
+      if (node.healthy && !node.cordoned &&
+          health_->state(node.id) == NodeHealthState::kSuspect) {
+        total += node.capacity;
+      }
+    }
+  }
+  return total;
+}
+
+void Cluster::HealthTick() {
+  const SimTime now = sim_->Now();
+  for (const Node& node : nodes_) {
+    if (!node.healthy) continue;
+    health_->ObserveNodeMemory(node.id, NodeUnaccountedMemFraction(node.id),
+                               now);
+  }
+  // Tick returns actions in node-id order; applying them in that order keeps
+  // the commit-log entry sequence deterministic.
+  for (const NodeHealthTracker::Action& action : health_->Tick(now)) {
+    if (action.cordon) {
+      DrainNode(action.node);
+    } else {
+      UncordonNode(action.node);
+    }
+  }
 }
 
 void Cluster::set_commit_log(ClusterCommitLog* log) {
@@ -382,6 +503,7 @@ void Cluster::set_commit_log(ClusterCommitLog* log) {
   LogDelta(ClusterCommitLog::Kind::kCapacity, TotalCapacity());
   LogDelta(ClusterCommitLog::Kind::kAllocated, TotalAllocated());
   LogDelta(ClusterCommitLog::Kind::kUsage, TotalUsage());
+  LogDelta(ClusterCommitLog::Kind::kCordoned, cordoned_capacity_);
 }
 
 void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
@@ -391,6 +513,14 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   // pod must be a no-op — in particular it must not fire callbacks again.
   if (pod.terminal()) return;
   const bool was_pending = pod.phase == PodPhase::kPending;
+  const bool was_placed =
+      pod.phase == PodPhase::kStarting || pod.phase == PodPhase::kRunning;
+  // Captured before the usage wipe below. An OOM is node evidence only when
+  // the victim was within its own memory allocation: the kernel killing an
+  // innocent pod points at node-level pressure, while a pod that blew its
+  // own budget points at itself (think cgroup-limit kill vs global OOM).
+  const bool self_oom = reason == PodStopReason::kOomKill &&
+                        pod.usage.memory >= pod.spec.request.memory;
   if (pod.phase == PodPhase::kRunning) {
     usage_total_ -= pod.usage;
     LogDelta(ClusterCommitLog::Kind::kUsage, ResourceSpec{} - pod.usage);
@@ -412,6 +542,16 @@ void Cluster::Terminate(Pod& pod, PodPhase phase, PodStopReason reason) {
   ++mutation_version_;
   if (options_.use_placement_index && options_.validate_placement_index) {
     ValidatePlacementIndex();
+  }
+  // Node-health evidence: crash-like deaths of placed pods charge the node.
+  // FailNode marks the node unhealthy before crashing its residents, so a
+  // whole-node failure storm is not mistaken for grey-fault evidence.
+  if (health_ != nullptr && was_placed && nodes_[pod.node].healthy &&
+      !self_oom &&
+      (reason == PodStopReason::kCrash || reason == PodStopReason::kOomKill)) {
+    const Duration uptime =
+        pod.start_time >= 0.0 ? sim_->Now() - pod.start_time : -1.0;
+    health_->ObservePodStopped(pod.node, reason, uptime, sim_->Now());
   }
   if (pod.on_stopped) pod.on_stopped(pod, reason);
   // Only now does the slot become recyclable (the stop callback above may
@@ -436,9 +576,11 @@ void Cluster::ReleaseFromNode(Pod& pod) {
   if (it != node.pods.end()) node.pods.erase(it);
   if (options_.use_placement_index) {
     placement_index_.RemovePod(node.id, pod.spec.priority, pod.spec.request);
-    // A failed node is not in the capacity tree; its key is refreshed when
-    // RecoverNode re-inserts it.
-    if (node.healthy) placement_index_.UpdateNode(node.id, node.Available());
+    // A failed or cordoned node is not in the capacity tree; its key is
+    // refreshed when RecoverNode/UncordonNode re-inserts it.
+    if (node.healthy && !node.cordoned) {
+      placement_index_.UpdateNode(node.id, node.Available());
+    }
   }
 }
 
@@ -521,21 +663,24 @@ void Cluster::ValidatePlacementIndex() const {
     DLROVER_LOG_STREAM(Error) << "placement index out of sync: " << what;
     std::abort();
   };
-  // Capacity tree: every healthy node present with exactly the doubles a
-  // fresh Available() computes (bitwise — the index serves the same values
-  // the legacy scan would read); failed nodes absent.
-  size_t healthy = 0;
+  // Capacity tree: every schedulable (healthy, uncordoned) node present with
+  // exactly the doubles a fresh Available() computes (bitwise — the index
+  // serves the same values the legacy scan would read); failed and cordoned
+  // nodes absent.
+  size_t schedulable = 0;
   for (const Node& node : nodes_) {
     ResourceSpec indexed;
     const bool present = placement_index_.GetIndexed(node.id, &indexed);
-    if (present != node.healthy) die("tree membership vs node health");
+    if (present != (node.healthy && !node.cordoned)) {
+      die("tree membership vs node health/cordon state");
+    }
     if (present && (indexed.cpu != node.Available().cpu ||
                     indexed.memory != node.Available().memory)) {
       die("indexed capacity vs fresh Available()");
     }
-    if (node.healthy) ++healthy;
+    if (node.healthy && !node.cordoned) ++schedulable;
   }
-  if (placement_index_.NumIndexedNodes() != healthy) die("tree size");
+  if (placement_index_.NumIndexedNodes() != schedulable) die("tree size");
   // Per-node class aggregates: counts must match a fresh scan of node.pods
   // exactly; totals within the MaybeFreeable slack (they are float sums
   // accumulated in a different order).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/commit_log.h"
+#include "cluster/node_health.h"
 #include "cluster/placement_index.h"
 #include "cluster/pod.h"
 #include "cluster/resources.h"
@@ -25,6 +26,16 @@ struct Node {
   /// Hardware speed multiplier; heterogeneous clusters draw this around 1.0.
   double speed_factor = 1.0;
   bool healthy = true;
+  /// Cordoned: excluded from placement and preemption while resident pods
+  /// keep running (the node-health control plane fenced it off).
+  bool cordoned = false;
+  /// Draining: cordoned *and* the owner wants resident job pods migrated
+  /// away (make-before-break, via TrainingJob::EvacuateDrainingPods).
+  bool draining = false;
+  /// Phantom node-local memory consumption (e.g. a kubelet leak) that is
+  /// visible to per-node usage sampling but deliberately not part of the
+  /// cluster usage totals: the leak is outside any pod's cgroup.
+  Bytes usage_bias = 0.0;
   std::vector<PodId> pods;
 
   ResourceSpec Available() const { return capacity - allocated; }
@@ -79,6 +90,13 @@ struct ClusterOptions {
   /// same-instant cascade a terminating scenario produces, so results are
   /// unchanged except where the simulation previously hung forever.
   uint64_t max_preemptions_per_instant = 512;
+  /// Enables the evidence-based node-health control plane: a
+  /// NodeHealthTracker fed from pod-lifecycle callbacks plus a periodic
+  /// classification tick that drains suspect nodes and uncordons recovered
+  /// ones. Off by default — when off, no tracker exists, no periodic task is
+  /// scheduled, and every sim trace is byte-identical to pre-feature builds.
+  bool enable_node_health = false;
+  NodeHealthOptions node_health{};
 };
 
 /// Aggregate utilisation sample used by experiment reporting.
@@ -133,6 +151,48 @@ class Cluster {
   /// its capacity rejoins the totals and the pending queue gets a pump.
   /// No-op on a healthy node.
   void RecoverNode(NodeId id);
+
+  /// Fences a node off from scheduling: it leaves the placement index (and
+  /// the legacy scan skips it) while resident pods keep running. Cordoned
+  /// capacity stays in TotalCapacity but is reported through the commit log
+  /// (Kind::kCordoned) so the fleet ledger sees it. Safe no-op if already
+  /// cordoned; composes with FailNode/RecoverNode in any order.
+  void CordonNode(NodeId id);
+  /// CordonNode + marks the node draining: job masters migrate resident
+  /// pods away make-before-break (see TrainingJob::EvacuateDrainingPods).
+  void DrainNode(NodeId id);
+  /// Lifts a cordon: the node rejoins placement (if healthy) and the pending
+  /// queue gets a pump. Safe no-op if not cordoned.
+  void UncordonNode(NodeId id);
+  bool IsCordoned(NodeId id) const { return nodes_[id].cordoned; }
+  bool IsDraining(NodeId id) const { return nodes_[id].draining; }
+
+  /// Sets the node's phantom memory bias (leak injection). Not part of the
+  /// cluster usage totals; only NodeMemUsedFraction sees it.
+  void SetNodeUsageBias(NodeId id, Bytes bias) { nodes_[id].usage_bias = bias; }
+  /// Fraction of the node's memory capacity consumed by resident pod usage
+  /// plus the phantom bias. O(resident pods).
+  double NodeMemUsedFraction(NodeId id) const;
+  /// Fraction of the node's memory that no resident pod accounts for (node
+  /// total minus the cgroup-attributed sum) — the system/kernel share. On a
+  /// healthy node this stays flat; a creeping kernel or daemon leak shows up
+  /// here without any workload-churn noise, which is what makes it the
+  /// node-health leak signal.
+  double NodeUnaccountedMemFraction(NodeId id) const;
+
+  /// Evidence hook for job masters: the HeartbeatMonitor holds a straggler
+  /// verdict against this pod, so charge its node. No-op unless the
+  /// node-health control plane is enabled and the pod is running on a
+  /// healthy node.
+  void ReportStragglerEvidence(PodId id);
+  bool node_health_enabled() const { return health_ != nullptr; }
+  /// Node-health tracker, or null when the control plane is disabled.
+  const NodeHealthTracker* health() const { return health_.get(); }
+  /// Capacity of healthy nodes currently cordoned.
+  ResourceSpec CordonedCapacity() const { return cordoned_capacity_; }
+  /// Capacity the brain should not propose plans against: cordoned nodes
+  /// plus healthy nodes the tracker currently classifies as Suspect.
+  ResourceSpec QuarantinedCapacity() const;
 
   const Pod* GetPod(PodId id) const;
   Pod* GetMutablePod(PodId id);
@@ -201,6 +261,8 @@ class Cluster {
     uint64_t pods_preempted = 0;
     uint64_t pods_failed = 0;
     uint64_t placements = 0;
+    uint64_t nodes_cordoned = 0;
+    uint64_t nodes_uncordoned = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -237,6 +299,9 @@ class Cluster {
   /// (enabled by options_.validate_placement_index; aborts on mismatch).
   void ValidatePlacementIndex() const;
   void FinishStartup(PodId id);
+  /// Periodic node-health pass: samples per-node memory fractions, ticks the
+  /// tracker, and applies its cordon/uncordon actions (cordons drain).
+  void HealthTick();
   void Terminate(Pod& pod, PodPhase phase, PodStopReason reason);
   void ReleaseFromNode(Pod& pod);
   void PumpPendingQueue();
@@ -286,7 +351,14 @@ class Cluster {
   ResourceSpec capacity_total_;
   ResourceSpec allocated_total_;
   ResourceSpec usage_total_;
+  /// Capacity of healthy nodes currently cordoned (mirrors the kCordoned
+  /// commit-log stream).
+  ResourceSpec cordoned_capacity_;
   std::unique_ptr<PeriodicTask> pump_task_;
+  /// Node-health control plane; both null unless enable_node_health (so the
+  /// disabled configuration schedules no extra events).
+  std::unique_ptr<NodeHealthTracker> health_;
+  std::unique_ptr<PeriodicTask> health_task_;
 };
 
 }  // namespace dlrover

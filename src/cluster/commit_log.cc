@@ -43,6 +43,9 @@ void FleetLedger::Fold(const std::vector<ClusterCommitLog*>& logs) {
       case ClusterCommitLog::Kind::kUsage:
         totals_.usage += e.delta;
         break;
+      case ClusterCommitLog::Kind::kCordoned:
+        totals_.cordoned += e.delta;
+        break;
     }
   }
   for (ClusterCommitLog* log : logs) {

@@ -21,6 +21,7 @@ class ClusterCommitLog {
     kCapacity = 0,   // healthy-node capacity joined/left the fleet
     kAllocated = 1,  // pod requests placed/released
     kUsage = 2,      // live usage reported by running pods
+    kCordoned = 3,   // healthy capacity cordoned off / released from cordon
   };
 
   /// One delta. (time, seq) orders entries within the log; seq is the log's
@@ -70,6 +71,9 @@ class FleetLedger {
     ResourceSpec capacity;
     ResourceSpec allocated;
     ResourceSpec usage;
+    /// Healthy capacity currently cordoned (still counted in `capacity`,
+    /// but unschedulable — the node-health control plane fenced it off).
+    ResourceSpec cordoned;
   };
 
   /// Folds every log's entries (in canonical order) into the running

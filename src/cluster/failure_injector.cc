@@ -5,9 +5,31 @@
 
 namespace dlrover {
 
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPodCrash:
+      return "pod-crash";
+    case FaultKind::kPodStraggler:
+      return "pod-straggler";
+    case FaultKind::kFlakyNode:
+      return "flaky-node";
+    case FaultKind::kDegradedNode:
+      return "degraded-node";
+    case FaultKind::kMemoryLeak:
+      return "memory-leak";
+    case FaultKind::kCrashLoop:
+      return "crash-loop";
+  }
+  return "unknown";
+}
+
 FailureInjector::FailureInjector(Simulator* sim, Cluster* cluster,
                                  const FailureInjectorOptions& options)
     : sim_(sim), cluster_(cluster), options_(options), rng_(options.seed) {
+  grey_enabled_ = options_.daily_node_flaky_rate > 0.0 ||
+                  options_.daily_node_degraded_rate > 0.0 ||
+                  options_.daily_node_leak_rate > 0.0 ||
+                  options_.daily_node_crashloop_rate > 0.0;
   task_ = std::make_unique<PeriodicTask>(sim_, options_.sweep_interval,
                                          [this] { Sweep(); });
 }
@@ -43,13 +65,213 @@ void FailureInjector::Sweep() {
       to_degrade_.push_back(pod.id);
     }
   });
+  const SimTime now = sim_->Now();
   for (PodId id : to_crash_) {
     ++crashes_;
+    const Pod* pod = cluster_->GetPod(id);
+    fault_log_.push_back(FaultRecord{
+        now, FaultKind::kPodCrash, id,
+        pod != nullptr ? static_cast<uint64_t>(pod->node) : 0, 0.0, 1});
     cluster_->FailPod(id, PodStopReason::kCrash);
   }
   for (PodId id : to_degrade_) {
     ++stragglers_;
+    const Pod* pod = cluster_->GetPod(id);
+    fault_log_.push_back(FaultRecord{
+        now, FaultKind::kPodStraggler, id,
+        pod != nullptr ? static_cast<uint64_t>(pod->node) : 0, 0.0, 1});
     cluster_->DegradePod(id, options_.straggler_speed_factor);
+  }
+  // Grey faults ride the same sweep but behind their own guard: with every
+  // node rate at 0 no extra RNG is drawn and the sweep above is bit-for-bit
+  // the pre-feature sequence.
+  if (grey_enabled_) GreySweep(dt_days);
+}
+
+bool FailureInjector::NodeHasRunningTarget(NodeId node) const {
+  for (PodId pid : cluster_->GetNode(node).pods) {
+    const Pod* pod = cluster_->GetPod(pid);
+    if (pod != nullptr && pod->phase == PodPhase::kRunning &&
+        pod->spec.priority == options_.target_priority) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FailureInjector::ExpireFault(const ActiveFault& fault) {
+  const Node& node = cluster_->GetNode(fault.node);
+  switch (fault.kind) {
+    case FaultKind::kDegradedNode: {
+      // Restore only pods still at the injected factor: a pod independently
+      // degraded to straggler speed keeps its straggler factor.
+      to_degrade_.clear();
+      for (PodId pid : node.pods) {
+        const Pod* pod = cluster_->GetPod(pid);
+        if (pod != nullptr && !pod->terminal() &&
+            pod->speed_factor == options_.degraded_speed_factor) {
+          to_degrade_.push_back(pid);
+        }
+      }
+      for (PodId pid : to_degrade_) {
+        cluster_->DegradePod(pid, node.speed_factor);
+      }
+      break;
+    }
+    case FaultKind::kMemoryLeak:
+      cluster_->SetNodeUsageBias(fault.node, 0.0);
+      break;
+    default:
+      break;
+  }
+}
+
+void FailureInjector::ApplyFault(ActiveFault& fault) {
+  const Node& node = cluster_->GetNode(fault.node);
+  if (!node.healthy) return;  // a dead node has nothing left to torment
+  FaultRecord& record = fault_log_[fault.record];
+  switch (fault.kind) {
+    case FaultKind::kFlakyNode: {
+      to_crash_.clear();
+      for (PodId pid : node.pods) {
+        const Pod* pod = cluster_->GetPod(pid);
+        if (pod == nullptr || pod->phase != PodPhase::kRunning ||
+            pod->spec.priority != options_.target_priority) {
+          continue;
+        }
+        if (rng_.Bernoulli(options_.flaky_crash_prob)) {
+          to_crash_.push_back(pid);
+        }
+      }
+      for (PodId pid : to_crash_) {
+        ++crashes_;
+        ++record.symptoms;
+        cluster_->FailPod(pid, PodStopReason::kCrash);
+      }
+      break;
+    }
+    case FaultKind::kDegradedNode: {
+      to_degrade_.clear();
+      for (PodId pid : node.pods) {
+        const Pod* pod = cluster_->GetPod(pid);
+        if (pod != nullptr && !pod->terminal() &&
+            pod->speed_factor > options_.degraded_speed_factor) {
+          to_degrade_.push_back(pid);
+        }
+      }
+      for (PodId pid : to_degrade_) {
+        ++record.symptoms;
+        cluster_->DegradePod(pid, options_.degraded_speed_factor);
+      }
+      break;
+    }
+    case FaultKind::kMemoryLeak: {
+      fault.leak_bias +=
+          options_.leak_rate_per_min * (options_.sweep_interval / Minutes(1));
+      cluster_->SetNodeUsageBias(fault.node, fault.leak_bias);
+      // The creep itself is an observable symptom (node usage slope), even
+      // before anything OOMs.
+      ++record.symptoms;
+      if (cluster_->NodeMemUsedFraction(fault.node) >
+          options_.leak_oom_fraction) {
+        // The kernel OOM killer takes one resident victim per sweep.
+        for (PodId pid : node.pods) {
+          const Pod* pod = cluster_->GetPod(pid);
+          if (pod != nullptr && pod->phase == PodPhase::kRunning &&
+              pod->spec.priority == options_.target_priority) {
+            ++crashes_;
+            ++record.symptoms;
+            cluster_->FailPod(pid, PodStopReason::kOomKill);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case FaultKind::kCrashLoop: {
+      // Every target pod that entered Running after onset dies within one
+      // sweep of starting — the relaunch churn signature.
+      to_crash_.clear();
+      for (PodId pid : node.pods) {
+        const Pod* pod = cluster_->GetPod(pid);
+        if (pod != nullptr && pod->phase == PodPhase::kRunning &&
+            pod->spec.priority == options_.target_priority &&
+            pod->start_time >= fault.start) {
+          to_crash_.push_back(pid);
+        }
+      }
+      for (PodId pid : to_crash_) {
+        ++crashes_;
+        ++record.symptoms;
+        cluster_->FailPod(pid, PodStopReason::kCrash);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void FailureInjector::GreySweep(double dt_days) {
+  const SimTime now = sim_->Now();
+  if (node_afflicted_.size() < cluster_->num_nodes()) {
+    node_afflicted_.assign(cluster_->num_nodes(), 0);
+    for (const ActiveFault& f : active_faults_) node_afflicted_[f.node] = 1;
+  }
+  // 1. Expire faults whose window ended (stable erase keeps onset order).
+  size_t keep = 0;
+  for (size_t i = 0; i < active_faults_.size(); ++i) {
+    ActiveFault& fault = active_faults_[i];
+    if (fault.end <= now) {
+      ExpireFault(fault);
+      node_afflicted_[fault.node] = 0;
+      continue;
+    }
+    active_faults_[keep++] = fault;
+  }
+  active_faults_.resize(keep);
+  // 2. Apply the per-sweep effects of every active fault, in onset order.
+  for (ActiveFault& fault : active_faults_) ApplyFault(fault);
+  // 3. Draw new onsets, kind-major then node-id order, so the RNG sequence
+  // is a pure function of deterministic cluster state. A node hosts at most
+  // one grey fault at a time, and only nodes actually running target pods
+  // are eligible (a fault nobody can observe proves nothing).
+  struct KindRate {
+    FaultKind kind;
+    double rate;
+  };
+  const KindRate kinds[] = {
+      {FaultKind::kFlakyNode, options_.daily_node_flaky_rate},
+      {FaultKind::kDegradedNode, options_.daily_node_degraded_rate},
+      {FaultKind::kMemoryLeak, options_.daily_node_leak_rate},
+      {FaultKind::kCrashLoop, options_.daily_node_crashloop_rate},
+  };
+  for (const KindRate& kr : kinds) {
+    if (kr.rate <= 0.0) continue;
+    const double p_onset = 1.0 - std::exp(-kr.rate * dt_days);
+    for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+      if (node_afflicted_[node]) continue;
+      if (!cluster_->GetNode(node).healthy) continue;
+      if (!NodeHasRunningTarget(node)) continue;
+      if (!rng_.Bernoulli(p_onset)) continue;
+      const Duration duration = rng_.Uniform(options_.grey_min_duration,
+                                             options_.grey_max_duration);
+      ActiveFault fault;
+      fault.kind = kr.kind;
+      fault.node = node;
+      fault.start = now;
+      fault.end = now + duration;
+      fault.record = fault_log_.size();
+      fault_log_.push_back(FaultRecord{now, kr.kind,
+                                       static_cast<uint64_t>(node),
+                                       static_cast<uint64_t>(node), duration,
+                                       0});
+      node_afflicted_[node] = 1;
+      ++node_faults_;
+      // First dose lands immediately; subsequent sweeps keep it going.
+      ApplyFault(fault);
+      active_faults_.push_back(fault);
+    }
   }
 }
 

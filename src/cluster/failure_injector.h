@@ -2,6 +2,7 @@
 #define DLROVER_CLUSTER_FAILURE_INJECTOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -10,9 +11,48 @@
 
 namespace dlrover {
 
+/// Ground-truth label for one injected fault. Pod-scoped kinds target a
+/// PodId; node-scoped grey kinds target a NodeId.
+enum class FaultKind : int {
+  kPodCrash = 0,      // single running pod crashed
+  kPodStraggler = 1,  // single running pod degraded to straggler speed
+  kFlakyNode = 2,     // intermittent pod crashes on one node
+  kDegradedNode = 3,  // node speed factor applied to every resident pod
+  kMemoryLeak = 4,    // creeping node usage until resident pods OOM
+  kCrashLoop = 5,     // pods (re)launched on the node die within seconds
+};
+
+std::string FaultKindName(FaultKind kind);
+
+/// One audit-log entry: the labeled ground truth the resilience scorecard
+/// compares detections against. Deterministic for a fixed seed regardless of
+/// sharded-simulator lane count (each cell's injector draws from its own
+/// stream).
+struct FaultRecord {
+  SimTime time = 0.0;      // onset
+  FaultKind kind = FaultKind::kPodCrash;
+  uint64_t target = 0;     // PodId for pod kinds, NodeId for node kinds
+  /// The afflicted node (== target for node kinds; the victim pod's node
+  /// for pod kinds) — lets scorecards localize pod-scoped injections.
+  uint64_t node = 0;
+  Duration duration = 0.0;  // 0 for instantaneous pod kinds
+  /// Observable effects the fault actually produced (crashes, OOM kills,
+  /// degraded pods). A grey fault on an idle node manifests nothing and is
+  /// excluded from recall denominators.
+  uint64_t symptoms = 0;
+
+  bool operator==(const FaultRecord& o) const {
+    return time == o.time && kind == o.kind && target == o.target &&
+           node == o.node && duration == o.duration && symptoms == o.symptoms;
+  }
+};
+
 /// Tunables for cloud-instability injection. Defaults reproduce the paper's
 /// observed rates: 1.5% daily per-pod failure probability and straggler
-/// pods degraded to 3% of nominal speed.
+/// pods degraded to 3% of nominal speed. The node-scoped grey-fault rates
+/// all default to 0: with them at 0 the injector draws exactly the same RNG
+/// sequence as before they existed, so every pre-existing bench golden is
+/// byte-identical.
 struct FailureInjectorOptions {
   /// Poisson rate of failures per pod per day (the paper observes 1.5%
   /// daily for a single pod; fleet benches compress exposure upward).
@@ -26,11 +66,37 @@ struct FailureInjectorOptions {
   /// Restrict injection to pods of this priority class (training pods).
   PriorityClass target_priority = PriorityClass::kTraining;
   uint64_t seed = 97;
+
+  // ---- Node-scoped grey faults (all rates per node per day) ----
+  /// Flaky node: each resident running target pod crashes with
+  /// `flaky_crash_prob` per sweep while the fault is active.
+  double daily_node_flaky_rate = 0.0;
+  double flaky_crash_prob = 0.30;
+  /// Degraded node: every resident pod is slowed to `degraded_speed_factor`
+  /// for the fault duration (speed restored to the node's nominal factor on
+  /// expiry).
+  double daily_node_degraded_rate = 0.0;
+  double degraded_speed_factor = 0.25;
+  /// Memory leak: phantom node usage creeps at `leak_rate_per_min` until the
+  /// node's used-memory fraction exceeds `leak_oom_fraction`, after which
+  /// one resident target pod is OOM-killed per sweep.
+  double daily_node_leak_rate = 0.0;
+  Bytes leak_rate_per_min = GiB(4);
+  double leak_oom_fraction = 0.92;
+  /// Crash loop: any target pod that entered Running on the node after fault
+  /// onset dies within one sweep of starting.
+  double daily_node_crashloop_rate = 0.0;
+  /// Grey-fault duration, sampled uniformly at onset.
+  Duration grey_min_duration = Minutes(20);
+  Duration grey_max_duration = Minutes(60);
 };
 
 /// Periodically sweeps running pods and injects crashes / stragglers with
 /// per-sweep probabilities derived from the configured daily rates, modeling
-/// the memoryless failure process of a shared cloud.
+/// the memoryless failure process of a shared cloud. With any node-scoped
+/// rate above zero it also maintains node-level grey faults (flaky, degraded,
+/// leaking, crash-looping nodes) with bounded durations, and records every
+/// injected fault in a ground-truth audit log.
 class FailureInjector {
  public:
   FailureInjector(Simulator* sim, Cluster* cluster,
@@ -41,19 +107,46 @@ class FailureInjector {
 
   uint64_t crashes_injected() const { return crashes_; }
   uint64_t stragglers_injected() const { return stragglers_; }
+  uint64_t node_faults_injected() const { return node_faults_; }
+  /// Ground-truth audit log, in injection order. Node-fault entries update
+  /// their `symptoms` count in place while the fault stays active.
+  const std::vector<FaultRecord>& fault_log() const { return fault_log_; }
 
  private:
+  /// One active node-scoped fault. `record` indexes fault_log_.
+  struct ActiveFault {
+    FaultKind kind = FaultKind::kFlakyNode;
+    NodeId node = 0;
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    Bytes leak_bias = 0.0;
+    size_t record = 0;
+  };
+
   void Sweep();
+  /// Grey-fault pass: expire ended faults, apply active effects, draw new
+  /// onsets. Only called when some node rate is > 0, so the base
+  /// configuration draws no extra randomness.
+  void GreySweep(double dt_days);
+  void ExpireFault(const ActiveFault& fault);
+  void ApplyFault(ActiveFault& fault);
+  bool NodeHasRunningTarget(NodeId node) const;
 
   Simulator* sim_;
   Cluster* cluster_;
   FailureInjectorOptions options_;
   Rng rng_;
+  bool grey_enabled_ = false;
   uint64_t crashes_ = 0;
   uint64_t stragglers_ = 0;
+  uint64_t node_faults_ = 0;
   /// Victim scratch reused across sweeps (warm sweeps are allocation-free).
   std::vector<PodId> to_crash_;
   std::vector<PodId> to_degrade_;
+  std::vector<ActiveFault> active_faults_;
+  /// Per-node "has an active grey fault" flags (at most one fault per node).
+  std::vector<uint8_t> node_afflicted_;
+  std::vector<FaultRecord> fault_log_;
   std::unique_ptr<PeriodicTask> task_;
 };
 

@@ -1,0 +1,163 @@
+#include "cluster/node_health.h"
+
+#include <cmath>
+
+namespace dlrover {
+
+std::string NodeHealthStateName(NodeHealthState state) {
+  switch (state) {
+    case NodeHealthState::kHealthy:
+      return "healthy";
+    case NodeHealthState::kSuspect:
+      return "suspect";
+    case NodeHealthState::kCordoned:
+      return "cordoned";
+  }
+  return "unknown";
+}
+
+NodeHealthTracker::NodeHealthTracker(const NodeHealthOptions& options,
+                                     size_t num_nodes)
+    : options_(options), entries_(num_nodes) {}
+
+void NodeHealthTracker::Decay(Entry& e, SimTime now) const {
+  if (now <= e.score_time) return;
+  if (e.score > 0.0 && options_.half_life > 0.0) {
+    e.score *= std::exp2(-(now - e.score_time) / options_.half_life);
+  }
+  e.score_time = now;
+}
+
+void NodeHealthTracker::AddEvidence(NodeId node, double weight, SimTime now) {
+  Entry& e = entries_[node];
+  Decay(e, now);
+  e.score += weight;
+}
+
+void NodeHealthTracker::ObservePodStopped(NodeId node, PodStopReason reason,
+                                          Duration uptime, SimTime now) {
+  double weight = 0.0;
+  switch (reason) {
+    case PodStopReason::kCrash:
+      weight = options_.crash_weight;
+      break;
+    case PodStopReason::kOomKill:
+      weight = options_.oom_weight;
+      break;
+    default:
+      return;  // completions / preemptions / owner kills are not evidence
+  }
+  if (uptime >= 0.0 && uptime < options_.churn_uptime) {
+    weight += options_.churn_weight;
+  }
+  AddEvidence(node, weight, now);
+}
+
+void NodeHealthTracker::ObserveStraggler(NodeId node, uint64_t source,
+                                         SimTime now) {
+  (void)now;  // folded into the score at the next Tick
+  Entry& e = entries_[node];
+  for (uint64_t s : e.straggler_sources) {
+    if (s == source) return;
+  }
+  e.straggler_sources.push_back(source);
+}
+
+void NodeHealthTracker::ObserveNodeMemory(NodeId node, double used_fraction,
+                                          SimTime now) {
+  Entry& e = entries_[node];
+  if (e.window_min < 0.0) {
+    e.window_min = used_fraction;
+    e.window_start = now;
+    return;
+  }
+  if (used_fraction < e.window_min) e.window_min = used_fraction;
+  if (now - e.window_start < options_.leak_window) return;
+  // The window closed: difference its floor against the previous window's.
+  // The unaccounted share of a healthy node stays flat, so the floor stays
+  // put; leaked memory is never given back, so the floor creeps at the
+  // leak rate.
+  if (e.prev_min >= 0.0) {
+    const double slope = (e.window_min - e.prev_min) / (now - e.window_start);
+    if (slope > options_.leak_slope_threshold &&
+        slope <= options_.leak_slope_ceiling) {
+      ++e.rising_streak;
+      if (e.rising_streak >= options_.leak_streak) {
+        AddEvidence(node, options_.leak_weight, now);
+      }
+    } else {
+      e.rising_streak = 0;
+    }
+  }
+  e.prev_min = e.window_min;
+  e.window_start = now;
+  e.window_min = used_fraction;
+}
+
+void NodeHealthTracker::Transition(Entry& e, NodeId node, NodeHealthState to,
+                                   SimTime now) {
+  log_.push_back(NodeHealthEvent{now, node, e.state, to, e.score});
+  if (to == NodeHealthState::kCordoned) {
+    e.cordoned_at = now;
+    ++cordons_;
+  } else if (e.state == NodeHealthState::kCordoned) {
+    ++uncordons_;
+  }
+  e.state = to;
+}
+
+const std::vector<NodeHealthTracker::Action>& NodeHealthTracker::Tick(
+    SimTime now) {
+  actions_.clear();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    const NodeId node = static_cast<NodeId>(i);
+    if (!e.straggler_sources.empty()) {
+      // >= 2 distinct slow pods corroborate each other (node-level
+      // degradation); a single source is weak evidence.
+      const double n = static_cast<double>(e.straggler_sources.size());
+      AddEvidence(node,
+                  n >= 2.0 ? options_.straggler_weight * n
+                           : options_.straggler_single_weight,
+                  now);
+      e.straggler_sources.clear();
+    }
+    Decay(e, now);
+    switch (e.state) {
+      case NodeHealthState::kHealthy:
+        if (e.score >= options_.cordon_threshold) {
+          Transition(e, node, NodeHealthState::kCordoned, now);
+          actions_.push_back(Action{node, /*cordon=*/true});
+        } else if (e.score >= options_.suspect_threshold) {
+          Transition(e, node, NodeHealthState::kSuspect, now);
+        }
+        break;
+      case NodeHealthState::kSuspect:
+        if (e.score >= options_.cordon_threshold) {
+          Transition(e, node, NodeHealthState::kCordoned, now);
+          actions_.push_back(Action{node, /*cordon=*/true});
+        } else if (e.score < options_.clear_threshold) {
+          Transition(e, node, NodeHealthState::kHealthy, now);
+        }
+        break;
+      case NodeHealthState::kCordoned:
+        if (now - e.cordoned_at >= options_.min_cordon &&
+            e.score <= options_.clear_threshold) {
+          Transition(e, node, NodeHealthState::kHealthy, now);
+          actions_.push_back(Action{node, /*cordon=*/false});
+        }
+        break;
+    }
+  }
+  return actions_;
+}
+
+double NodeHealthTracker::score(NodeId node, SimTime now) const {
+  const Entry& e = entries_[node];
+  if (now <= e.score_time || e.score <= 0.0 || options_.half_life <= 0.0) {
+    return e.score;
+  }
+  return e.score * std::exp2(-(now - e.score_time) / options_.half_life);
+}
+
+}  // namespace dlrover

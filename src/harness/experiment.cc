@@ -305,6 +305,7 @@ SingleJobResult RunSingleJob(const SingleJobScenario& scenario) {
       options.plan.nsga2.seed = scenario.seed * 17 + 5;
       options.plan.nsga2.pool = &SharedThreadPool();
       brain = std::make_unique<ClusterBrain>(&sim, options);
+      brain->AttachCluster(&cluster);
       if (scenario.warm_start) {
         brain->config_db() = SeededHistoryFor(scenario.seed);
       }
@@ -439,6 +440,7 @@ FleetSimulation::FleetSimulation(Simulator* sim, const FleetScenario& scenario,
   brain_options.plan.nsga2.seed = scenario_.seed * 19 + 2;
   brain_options.plan.nsga2.pool = &SharedThreadPool();
   brain_ = std::make_unique<ClusterBrain>(sim_, brain_options);
+  brain_->AttachCluster(&cluster_);
   if (scenario_.seed_history) {
     brain_->config_db() = SeededHistoryFor(scenario_.seed * 7 + 5);
   }
@@ -535,7 +537,14 @@ FleetResult FleetSimulation::Collect() {
   if (injector_ != nullptr) {
     result.crashes_injected = injector_->crashes_injected();
     result.stragglers_injected = injector_->stragglers_injected();
+    result.node_faults_injected = injector_->node_faults_injected();
+    result.fault_log = injector_->fault_log();
   }
+  if (cluster_.health() != nullptr) {
+    result.health_log = cluster_.health()->log();
+  }
+  result.nodes_cordoned = cluster_.counters().nodes_cordoned;
+  result.nodes_uncordoned = cluster_.counters().nodes_uncordoned;
   for (size_t i = 0; i < trace_.size(); ++i) {
     FleetJobOutcome& outcome = outcomes_[i];
     TrainingJob* job = jobs_[i].get();
@@ -546,6 +555,7 @@ FleetResult FleetSimulation::Collect() {
       continue;
     }
     outcome.stats = job->stats();
+    outcome.batches_done = job->batches_done();
     outcome.completed = job->state() == JobState::kCompleted;
     outcome.fail_reason = job->state() == JobState::kFailed
                               ? job->stats().fail_reason

@@ -93,6 +93,9 @@ struct FleetJobOutcome {
   double avg_ps_cpu_util = 0.0;
   double avg_worker_mem_util = 0.0;
   double avg_ps_mem_util = 0.0;
+  /// Batches actually committed by the horizon (equals total_steps when
+  /// completed); the fleet's goodput basis for the resilience bench.
+  uint64_t batches_done = 0;
   JobStats stats;
 };
 
@@ -126,6 +129,15 @@ struct FleetResult {
   uint64_t pods_preempted = 0;
   uint64_t crashes_injected = 0;
   uint64_t stragglers_injected = 0;
+  uint64_t node_faults_injected = 0;
+  /// Ground-truth fault audit log from the injector (sharded runs append
+  /// per-cell logs in cell order, independent of lane count).
+  std::vector<FaultRecord> fault_log;
+  /// Node-health state transitions observed by the detector (empty unless
+  /// ClusterOptions::enable_node_health); same cell-order merge rule.
+  std::vector<NodeHealthEvent> health_log;
+  uint64_t nodes_cordoned = 0;
+  uint64_t nodes_uncordoned = 0;
   /// Simulator events executed by this scenario (throughput accounting for
   /// sweep benches).
   uint64_t executed_events = 0;

@@ -154,6 +154,18 @@ ShardedFleetResult RunFleetSharded(const FleetScenario& scenario,
     result.fleet.pods_preempted += cell.pods_preempted;
     result.fleet.crashes_injected += cell.crashes_injected;
     result.fleet.stragglers_injected += cell.stragglers_injected;
+    result.fleet.node_faults_injected += cell.node_faults_injected;
+    // Per-cell audit logs concatenate in cell order: each cell's log is a
+    // pure function of its own seeded streams, so the merged log is
+    // byte-identical at any lane count.
+    result.fleet.fault_log.insert(result.fleet.fault_log.end(),
+                                  cell.fault_log.begin(),
+                                  cell.fault_log.end());
+    result.fleet.health_log.insert(result.fleet.health_log.end(),
+                                   cell.health_log.begin(),
+                                   cell.health_log.end());
+    result.fleet.nodes_cordoned += cell.nodes_cordoned;
+    result.fleet.nodes_uncordoned += cell.nodes_uncordoned;
   }
   result.fleet.jobs.reserve(trace.size());
   for (size_t i = 0; i < trace.size(); ++i) {

@@ -18,6 +18,7 @@ void JobMaster::Tick() {
     return;
   }
   if (options_.failure_detection) job_->ReapSilentWorkers();
+  if (options_.drain_migration) job_->EvacuateDrainingPods();
   if (options_.straggler_mitigation) job_->MitigateStragglers();
   if (options_.oom_prevention) job_->MaybePreventOom();
 }

@@ -159,6 +159,20 @@ void TrainingJob::OnWorkerRunning(WorkerState& worker) {
   worker.pod_running = true;
   worker_relaunch_streak_ = 0;  // a healthy start resets the backoff
   monitor_.AddMember(static_cast<uint64_t>(worker.index), sim_->Now());
+  if (worker.replace_victim >= 0) {
+    // Make-before-break handoff: the replacement is up (image pulled,
+    // container running), so only now is the drain victim stopped.
+    WorkerState* victim = FindWorkerByIndex(worker.replace_victim);
+    worker.replace_victim = -1;
+    if (victim != nullptr && !victim->retired) {
+      InterruptWorker(*victim);  // shard requeued with partial credit
+      victim->retired = true;
+      victim->evacuating = false;
+      if (victim->pod != 0) cluster_->KillPod(victim->pod);
+      ++stats_.drain_migrations;
+      InvalidateIterationCache();
+    }
+  }
   if (transition_ == TransitionKind::kSeamless) {
     FinishMigrationIfReady();
     // Old workers keep training; a staged worker does not dispatch yet.
@@ -449,6 +463,25 @@ void TrainingJob::OnWorkerStopped(WorkerState& worker, PodStopReason reason) {
   if (spec_.data_mode == DataMode::kDynamicSharding) {
     // The unfinished shard is already back in the queue; peers keep going.
     worker.retired = true;
+    if (worker.replace_victim >= 0) {
+      // A make-before-break replacement died before its handoff. If the
+      // victim is still alive, clear its evacuating mark so a later drain
+      // tick retries, and do not auto-replace (the victim is still
+      // training). If the victim died meanwhile, this replacement *was* its
+      // relaunch — fall through to the normal auto-replace path.
+      WorkerState* victim = FindWorkerByIndex(worker.replace_victim);
+      worker.replace_victim = -1;
+      if (victim != nullptr && !victim->retired) {
+        victim->evacuating = false;
+        return;
+      }
+    } else if (worker.evacuating) {
+      // A staged replacement is already on its way for this worker; it
+      // becomes the relaunch, so skip the normal auto-replace (otherwise
+      // the job would grow a worker).
+      worker.evacuating = false;
+      return;
+    }
     if (spec_.auto_replace_failed_workers &&
         transition_ == TransitionKind::kNone) {
       const Duration delay = NextRelaunchDelay(&worker_relaunch_streak_);
@@ -826,17 +859,40 @@ Status TrainingJob::SetWorkerShardLimit(int worker_index,
 }
 
 int TrainingJob::MitigateStragglers() {
-  if (spec_.data_mode != DataMode::kDynamicSharding) return 0;
+  // Straggler *detection* is heartbeat bookkeeping and works in every data
+  // mode; only the shard-limit *mitigation* below needs dynamic sharding.
+  // Static-partition jobs still feed node-health evidence — a degraded node
+  // must not go unnoticed just because its resident jobs cannot rebalance.
+  const bool can_mitigate = spec_.data_mode == DataMode::kDynamicSharding;
+  if (!can_mitigate && !cluster_->node_health_enabled()) return 0;
   const std::vector<uint64_t> stragglers =
       monitor_.DetectStragglers(sim_->Now());
   int mitigated = 0;
-  for (uint64_t id : stragglers) {
-    ShardQueueOptions defaults;
-    const uint64_t small = std::max<uint64_t>(
-        defaults.min_shard_batches, defaults.default_shard_batches / 8);
-    if (SetWorkerShardLimit(static_cast<int>(id), small).ok()) {
-      ++mitigated;
-      ++stats_.stragglers_mitigated;
+  if (can_mitigate) {
+    for (uint64_t id : stragglers) {
+      ShardQueueOptions defaults;
+      const uint64_t small = std::max<uint64_t>(
+          defaults.min_shard_batches, defaults.default_shard_batches / 8);
+      if (SetWorkerShardLimit(static_cast<int>(id), small).ok()) {
+        ++mitigated;
+        ++stats_.stragglers_mitigated;
+      }
+    }
+  }
+  // Node-health evidence: every member the monitor currently holds a
+  // straggler verdict against charges its node each tick, so a degraded
+  // node keeps accumulating suspicion until it is cordoned. Gated on the
+  // cluster's control plane so the default configuration is untouched.
+  if (cluster_->node_health_enabled()) {
+    for (const auto& [member, health] : monitor_.members()) {
+      if (!health.flagged_straggler) continue;
+      for (auto& w : workers_) {
+        if (static_cast<uint64_t>(w->index) != member) continue;
+        if (!w->retired && w->pod_running) {
+          cluster_->ReportStragglerEvidence(w->pod);
+        }
+        break;
+      }
     }
   }
   return mitigated;
@@ -863,6 +919,105 @@ int TrainingJob::ReapSilentWorkers() {
     }
   }
   return reaped;
+}
+
+TrainingJob::WorkerState* TrainingJob::FindWorkerByIndex(int index) {
+  for (auto& w : workers_) {
+    if (w->index == index) return w.get();
+  }
+  return nullptr;
+}
+
+int TrainingJob::EvacuateDrainingPods() {
+  if (finished() || paused_ || state_ != JobState::kRunning ||
+      transition_ != TransitionKind::kNone) {
+    return 0;
+  }
+  // A draining PS cannot be replaced one-for-one (its parameter shard must
+  // move), so the whole deployment migrates seamlessly: staged pods land off
+  // the node because placement excludes cordoned nodes, and training pauses
+  // only for the checkpoint handoff.
+  bool ps_draining = false;
+  for (const auto& ps : ps_) {
+    if (ps->retired || ps->pod == 0) continue;
+    const Pod* pod = cluster_->GetPod(ps->pod);
+    if (pod != nullptr && !pod->terminal() && cluster_->IsDraining(pod->node)) {
+      ps_draining = true;
+      break;
+    }
+  }
+  if (ps_draining) {
+    if (drain_attempts_ >= 2) {
+      // Two seamless attempts aborted (staged pods unschedulable under
+      // scarcity): stop-and-restart frees the job's capacity first, so the
+      // rebuild cannot be starved by the job's own footprint.
+      drain_attempts_ = 0;
+      ++stats_.drain_fallbacks;
+      if (ApplyPlan(config_, MigrationMode::kStopAndRestart).ok()) {
+        ++stats_.drain_migrations;
+        return 1;
+      }
+      return 0;
+    }
+    ++drain_attempts_;
+    if (ApplyPlan(config_, MigrationMode::kSeamless).ok()) return 1;
+    return 0;
+  }
+  drain_attempts_ = 0;
+  // Workers evacuate one-for-one, make-before-break: stage a replacement
+  // now, stop the victim only when it reaches Running (see OnWorkerRunning).
+  int staged = 0;
+  const size_t count = workers_.size();  // replacements append; skip them
+  for (size_t i = 0; i < count; ++i) {
+    WorkerState& victim = *workers_[i];
+    if (victim.retired || !victim.pod_running || victim.evacuating ||
+        victim.replace_victim >= 0) {
+      continue;
+    }
+    const Pod* pod = cluster_->GetPod(victim.pod);
+    if (pod == nullptr || pod->terminal()) continue;
+    if (!cluster_->IsDraining(pod->node)) continue;
+    victim.evacuating = true;
+    auto replacement = std::make_unique<WorkerState>();
+    replacement->index = next_worker_index_++;
+    replacement->shard_limit = victim.shard_limit;
+    replacement->replace_victim = victim.index;
+    workers_.push_back(std::move(replacement));
+    CreateWorkerPod(*workers_.back());
+    // Scarcity fallback: if the replacement has not reached Running by the
+    // deadline, give up on make-before-break for this worker.
+    const int victim_index = victim.index;
+    const int repl_index = workers_.back()->index;
+    sim_->ScheduleAfter(spec_.drain_fallback_timeout,
+                        [this, victim_index, repl_index] {
+                          DrainFallback(victim_index, repl_index);
+                        });
+    ++staged;
+  }
+  return staged;
+}
+
+void TrainingJob::DrainFallback(int victim_index, int replacement_index) {
+  if (finished() || transition_ != TransitionKind::kNone) return;
+  WorkerState* replacement = FindWorkerByIndex(replacement_index);
+  // Handoff already happened, the replacement died (its stop handler reset
+  // the victim), or a restart rebuilt the worker set: nothing to do.
+  if (replacement == nullptr || replacement->retired ||
+      replacement->pod_running || replacement->replace_victim < 0) {
+    return;
+  }
+  // Still pending after the deadline: scarcity. Abandon make-before-break —
+  // retire the stuck replacement and stop-and-restart the victim through the
+  // normal crash path (auto-replace, backoff-aware, off-node placement).
+  ++stats_.drain_fallbacks;
+  replacement->retired = true;
+  replacement->replace_victim = -1;
+  if (replacement->pod != 0) cluster_->KillPod(replacement->pod);
+  WorkerState* victim = FindWorkerByIndex(victim_index);
+  if (victim != nullptr && !victim->retired) {
+    victim->evacuating = false;
+    if (victim->pod != 0) cluster_->KillPod(victim->pod);
+  }
 }
 
 bool TrainingJob::MaybePreventOom() {

@@ -101,6 +101,10 @@ struct JobSpec {
   /// default) relaunches immediately, byte-identical to the legacy path.
   Duration relaunch_backoff_base = 0.0;
   Duration relaunch_backoff_cap = Seconds(60);
+  /// Make-before-break drain: when a staged replacement for a worker on a
+  /// draining node is still not Running after this long, give up waiting
+  /// (scarcity) and stop-and-restart the victim through the crash path.
+  Duration drain_fallback_timeout = Minutes(6);
 };
 
 /// One profiling snapshot; consumed by the optimizer's model fitter and by
@@ -136,6 +140,11 @@ struct JobStats {
   int migrations = 0;
   int scale_operations = 0;
   int stragglers_mitigated = 0;
+  /// Make-before-break evacuations off draining nodes (completed handoffs
+  /// plus whole-deployment drain migrations).
+  int drain_migrations = 0;
+  /// Drains that fell back to stop-and-restart under scarcity.
+  int drain_fallbacks = 0;
   std::string fail_reason;
 
   /// Job completion time; only meaningful once finished.
@@ -189,6 +198,16 @@ class TrainingJob {
   /// worker is replaced (with relaunch backoff). Returns how many were
   /// reaped.
   int ReapSilentWorkers();
+
+  /// Make-before-break evacuation of pods on draining (cordoned) nodes. A
+  /// draining PS triggers a whole-deployment seamless migration (staged pods
+  /// land off the node because placement excludes cordoned nodes); draining
+  /// workers each get a staged replacement that must reach Running — image
+  /// pulled, container up — before the victim is stopped. Under scarcity
+  /// (replacement unschedulable within drain_fallback_timeout, or repeated
+  /// seamless aborts) the drain falls back to stop-and-restart. Returns how
+  /// many evacuations were initiated. No-op when nothing is draining.
+  int EvacuateDrainingPods();
 
   // --- Observers -----------------------------------------------------------
   JobState state() const { return state_; }
@@ -246,6 +265,11 @@ class TrainingJob {
     Duration shard_duration = 0.0;
     uint64_t samples_done = 0;
     uint64_t shard_limit = 0;  // 0 = default size
+    // Make-before-break drain bookkeeping: a replacement carries its
+    // victim's index until the handoff; a victim is marked evacuating while
+    // its replacement is staged.
+    int replace_victim = -1;
+    bool evacuating = false;
     // Static-partition mode: owned range.
     uint64_t part_cursor = 0;
     uint64_t part_end = 0;
@@ -269,6 +293,10 @@ class TrainingJob {
   /// Advances `streak` and returns how long to wait before the next
   /// relaunch of that role (0 when backoff is disabled).
   Duration NextRelaunchDelay(int* streak);
+  WorkerState* FindWorkerByIndex(int index);
+  /// Scarcity fallback for a stuck make-before-break handoff (see
+  /// EvacuateDrainingPods).
+  void DrainFallback(int victim_index, int replacement_index);
 
   // Training loop.
   void TryDispatchAll();
@@ -362,6 +390,9 @@ class TrainingJob {
   /// exponential relaunch backoff.
   int worker_relaunch_streak_ = 0;
   int ps_relaunch_streak_ = 0;
+  /// Consecutive seamless drain attempts that did not complete; after two,
+  /// EvacuateDrainingPods falls back to stop-and-restart.
+  int drain_attempts_ = 0;
 
   // Profiling window.
   uint64_t window_batches_ = 0;

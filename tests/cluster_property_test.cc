@@ -93,6 +93,134 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ClusterChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 // ---------------------------------------------------------------------------
+// Node lifecycle idempotence: FailNode / RecoverNode must be safe to call
+// redundantly (monitoring races deliver duplicate "node down" reports; a
+// repair loop may retry RecoverNode on a node that already rejoined), and
+// both must compose with the cordon ledger — dead capacity leaves the
+// cordoned totals, repaired capacity rejoins them, and the cordon itself
+// survives the repair.
+// ---------------------------------------------------------------------------
+
+void ExpectResourceNear(const ResourceSpec& got, const ResourceSpec& want) {
+  ASSERT_NEAR(got.cpu, want.cpu, 1e-6);
+  ASSERT_NEAR(got.memory, want.memory, 1.0);
+}
+
+TEST(NodeLifecycleIdempotenceTest, DoubleFailAndDoubleRecoverAreNoOps) {
+  Simulator sim;
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.node_capacity = {16.0, GiB(64)};
+  options.validate_placement_index = true;
+  Cluster cluster(&sim, options);
+
+  // Spread some load so FailNode has allocations to release.
+  for (int i = 0; i < 6; ++i) {
+    PodSpec spec;
+    spec.name = "victim";
+    spec.request = {4.0, GiB(8)};
+    cluster.CreatePod(std::move(spec), nullptr, nullptr);
+  }
+  sim.RunUntil(sim.Now() + Minutes(1));
+  CheckInvariants(cluster);
+
+  const ResourceSpec full_capacity = cluster.TotalCapacity();
+  const ResourceSpec node_capacity = cluster.GetNode(1).capacity;
+
+  cluster.FailNode(1);
+  CheckInvariants(cluster);
+  const ResourceSpec after_fail_capacity = cluster.TotalCapacity();
+  const ResourceSpec after_fail_allocated = cluster.TotalAllocated();
+  ExpectResourceNear(after_fail_capacity, full_capacity - node_capacity);
+  ASSERT_TRUE(cluster.GetNode(1).pods.empty());
+
+  // Second FailNode on a dead node: no double subtraction, no new victims.
+  cluster.FailNode(1);
+  CheckInvariants(cluster);
+  ExpectResourceNear(cluster.TotalCapacity(), after_fail_capacity);
+  ExpectResourceNear(cluster.TotalAllocated(), after_fail_allocated);
+
+  cluster.RecoverNode(1);
+  CheckInvariants(cluster);
+  ExpectResourceNear(cluster.TotalCapacity(), full_capacity);
+
+  // RecoverNode on a healthy node early-returns: totals must not inflate.
+  cluster.RecoverNode(1);
+  cluster.RecoverNode(0);  // never failed
+  CheckInvariants(cluster);
+  ExpectResourceNear(cluster.TotalCapacity(), full_capacity);
+  sim.RunUntil(sim.Now() + Minutes(1));
+  CheckInvariants(cluster);
+}
+
+TEST(NodeLifecycleIdempotenceTest, CordonSurvivesNodeFailureAndRepair) {
+  Simulator sim;
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.node_capacity = {16.0, GiB(64)};
+  options.validate_placement_index = true;
+  Cluster cluster(&sim, options);
+
+  const ResourceSpec node_capacity = cluster.GetNode(2).capacity;
+  const ResourceSpec full_capacity = cluster.TotalCapacity();
+
+  cluster.CordonNode(2);
+  ASSERT_TRUE(cluster.IsCordoned(2));
+  ExpectResourceNear(cluster.CordonedCapacity(), node_capacity);
+  // Cordoning is idempotent too.
+  cluster.CordonNode(2);
+  ExpectResourceNear(cluster.CordonedCapacity(), node_capacity);
+  ASSERT_EQ(cluster.counters().nodes_cordoned, 1u);
+
+  // The node dies while cordoned: its capacity leaves both the running
+  // totals and the cordoned ledger (dead capacity is not "fenced-off
+  // healthy capacity"), but the cordon flag itself persists.
+  cluster.FailNode(2);
+  CheckInvariants(cluster);
+  ASSERT_TRUE(cluster.IsCordoned(2));
+  ExpectResourceNear(cluster.CordonedCapacity(), ResourceSpec{});
+  ExpectResourceNear(cluster.TotalCapacity(), full_capacity - node_capacity);
+  cluster.FailNode(2);  // still idempotent while cordoned
+  ExpectResourceNear(cluster.CordonedCapacity(), ResourceSpec{});
+  ExpectResourceNear(cluster.TotalCapacity(), full_capacity - node_capacity);
+
+  // Repair: capacity rejoins the totals as cordoned capacity, and the node
+  // stays out of placement until explicitly uncordoned.
+  cluster.RecoverNode(2);
+  CheckInvariants(cluster);
+  ASSERT_TRUE(cluster.IsCordoned(2));
+  ExpectResourceNear(cluster.TotalCapacity(), full_capacity);
+  ExpectResourceNear(cluster.CordonedCapacity(), node_capacity);
+
+  // Fill the two schedulable nodes, then submit one more node-sized pod: it
+  // must pend (node 2 is back but cordoned) until the cordon lifts.
+  for (int i = 0; i < 2; ++i) {
+    PodSpec spec;
+    spec.name = "filler";
+    spec.request = node_capacity;
+    cluster.CreatePod(std::move(spec), nullptr, nullptr);
+  }
+  sim.RunUntil(sim.Now() + Minutes(1));
+  ASSERT_EQ(cluster.PendingCount(), 0u);
+
+  PodSpec spec;
+  spec.name = "blocked";
+  spec.request = node_capacity;
+  cluster.CreatePod(std::move(spec), nullptr, nullptr);
+  sim.RunUntil(sim.Now() + Minutes(1));
+  ASSERT_EQ(cluster.PendingCount(), 1u);
+
+  cluster.UncordonNode(2);
+  CheckInvariants(cluster);
+  ASSERT_FALSE(cluster.IsCordoned(2));
+  ExpectResourceNear(cluster.CordonedCapacity(), ResourceSpec{});
+  sim.RunUntil(sim.Now() + Minutes(1));
+  ASSERT_EQ(cluster.PendingCount(), 0u);
+  ASSERT_FALSE(cluster.GetNode(2).pods.empty());
+  CheckInvariants(cluster);
+}
+
+// ---------------------------------------------------------------------------
 // Indexed vs legacy decision parity: the PlacementIndex arm must make
 // *identical* scheduling decisions — same placement node for every pod, same
 // preemption victims in the same order, same stop reasons, same counters —

@@ -359,6 +359,65 @@ TEST(HeartbeatMonitorTest, RemovingFlaggedMemberClearsItFromAllVerdicts) {
       << "only the remaining (now silent) members are reported";
 }
 
+TEST(HeartbeatMonitorTest, StragglerVerdictAtExactlyMinObservation) {
+  // The observation gate is `window < min_observation`: one tick before the
+  // boundary the whole group is unjudged, at exactly the boundary verdicts
+  // fire. Pinning the closed/open ends keeps a refactor from silently
+  // delaying (or rushing) every straggler call by one monitor period.
+  HeartbeatMonitorOptions options;
+  options.min_observation = 60.0;
+  options.straggler_rate_fraction = 0.5;
+  HeartbeatMonitor monitor(options);
+  for (uint64_t id = 1; id <= 3; ++id) monitor.AddMember(id, 0.0);
+  monitor.Heartbeat(1, 50.0, 500);
+  monitor.Heartbeat(2, 50.0, 500);
+  monitor.Heartbeat(3, 50.0, 5);
+  EXPECT_TRUE(monitor.DetectStragglers(59.999).empty())
+      << "no member may be judged before its window is complete";
+  const auto at_boundary = monitor.DetectStragglers(60.0);
+  ASSERT_EQ(at_boundary.size(), 1u);
+  EXPECT_EQ(at_boundary[0], 3u);
+}
+
+TEST(HeartbeatMonitorTest, ProgressRateZeroElapsedWindowIsZero) {
+  // A heartbeat that lands in the same instant the member registered gives
+  // a zero-elapsed observation window; the rate must read 0 rather than
+  // divide by zero, and unknown members must read 0 as well.
+  HeartbeatMonitor monitor(HeartbeatMonitorOptions{});
+  monitor.AddMember(7, 100.0);
+  monitor.Heartbeat(7, 100.0, 500);
+  EXPECT_DOUBLE_EQ(monitor.ProgressRate(7, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.ProgressRate(99, 100.0), 0.0) << "unknown member";
+  // Once wall time accrues, the same offset yields a finite rate.
+  EXPECT_DOUBLE_EQ(monitor.ProgressRate(7, 150.0), 10.0);
+}
+
+TEST(HeartbeatMonitorTest, ReAddedMemberStartsWithCleanSlate) {
+  // Remove-then-re-add with the same id (a replacement pod reusing a rank)
+  // must reset the flagged bit and the observation window: the newcomer is
+  // neither pre-flagged nor judged until it has been watched long enough.
+  HeartbeatMonitorOptions options;
+  options.min_observation = 10.0;
+  HeartbeatMonitor monitor(options);
+  for (uint64_t id = 1; id <= 4; ++id) monitor.AddMember(id, 0.0);
+  for (int t = 1; t <= 10; ++t) {
+    for (uint64_t id = 1; id <= 3; ++id) {
+      monitor.Heartbeat(id, t * 10.0, static_cast<uint64_t>(t) * 100);
+    }
+    monitor.Heartbeat(4, t * 10.0, static_cast<uint64_t>(t) * 10);
+  }
+  ASSERT_EQ(monitor.DetectStragglers(100.0).size(), 1u);
+  monitor.RemoveMember(4);
+  monitor.AddMember(4, 100.0);
+  ASSERT_FALSE(monitor.members().at(4).flagged_straggler);
+  EXPECT_TRUE(monitor.DetectStragglers(105.0, /*include_flagged=*/true).empty())
+      << "fresh observation window suppresses judgment on the whole group";
+  // After the newcomer's window completes at a healthy rate, nobody is slow.
+  monitor.Heartbeat(4, 115.0, 1500);
+  EXPECT_TRUE(
+      monitor.DetectStragglers(115.0, /*include_flagged=*/true).empty());
+}
+
 TEST(CheckpointStoreTest, FlashIsOrdersOfMagnitudeFasterThanRds) {
   RdsStore rds;
   CacheStore cache;

@@ -203,6 +203,18 @@ void ExpectFleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
   EXPECT_EQ(a.pods_preempted, b.pods_preempted);
   EXPECT_EQ(a.crashes_injected, b.crashes_injected);
   EXPECT_EQ(a.stragglers_injected, b.stragglers_injected);
+  EXPECT_EQ(a.node_faults_injected, b.node_faults_injected);
+  EXPECT_EQ(a.nodes_cordoned, b.nodes_cordoned);
+  EXPECT_EQ(a.nodes_uncordoned, b.nodes_uncordoned);
+  ASSERT_EQ(a.fault_log.size(), b.fault_log.size());
+  for (size_t i = 0; i < a.fault_log.size(); ++i) {
+    EXPECT_TRUE(a.fault_log[i] == b.fault_log[i]) << "fault_log[" << i << "]";
+  }
+  ASSERT_EQ(a.health_log.size(), b.health_log.size());
+  for (size_t i = 0; i < a.health_log.size(); ++i) {
+    EXPECT_TRUE(a.health_log[i] == b.health_log[i])
+        << "health_log[" << i << "]";
+  }
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (size_t i = 0; i < a.jobs.size(); ++i) {
     SCOPED_TRACE("job " + std::to_string(i) + " (" + a.jobs[i].name + ")");
@@ -224,6 +236,7 @@ void ExpectFleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
     EXPECT_EQ(x.avg_ps_cpu_util, y.avg_ps_cpu_util);
     EXPECT_EQ(x.avg_worker_mem_util, y.avg_worker_mem_util);
     EXPECT_EQ(x.avg_ps_mem_util, y.avg_ps_mem_util);
+    EXPECT_EQ(x.batches_done, y.batches_done);
     EXPECT_EQ(x.stats.submit_time, y.stats.submit_time);
     EXPECT_EQ(x.stats.first_training_time, y.stats.first_training_time);
     EXPECT_EQ(x.stats.finish_time, y.stats.finish_time);
@@ -237,6 +250,8 @@ void ExpectFleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
     EXPECT_EQ(x.stats.migrations, y.stats.migrations);
     EXPECT_EQ(x.stats.scale_operations, y.stats.scale_operations);
     EXPECT_EQ(x.stats.stragglers_mitigated, y.stats.stragglers_mitigated);
+    EXPECT_EQ(x.stats.drain_migrations, y.stats.drain_migrations);
+    EXPECT_EQ(x.stats.drain_fallbacks, y.stats.drain_fallbacks);
     EXPECT_EQ(x.stats.fail_reason, y.stats.fail_reason);
   }
 }
