@@ -16,11 +16,25 @@
 // The injector's ground-truth audit log is matched against the detector's
 // cordon events to score detection precision/recall, time-to-detect, MTTR
 // (fault onset to the node's return to service), and the false-cordon rate;
-// fleet goodput (committed batches) gives the retention comparison. Written
-// to BENCH_resilience.json. `gate` mode (ctest label perf-smoke/resilience)
-// runs one campaign and fails unless recall >= 0.9, false-cordon rate
-// <= 0.05, and the protected arm preserves >= 1.5x more of the lost goodput
-// than the unprotected arm.
+// fleet goodput (committed batches) gives the retention comparison.
+//
+// A second, partition campaign grades the control-plane resilience layer:
+// heartbeats, shard reports, and scaling plans ride a lossy ControlChannel
+// (drops, duplicates, reordering) under injected node partitions, cell
+// partitions, and job-master crashes. Its three arms:
+//
+//   clean:        channel disabled — the direct-call control plane.
+//   unprotected:  channel + faults on; retries, fencing, and failover OFF.
+//   protected:    same faults; retries + epoch/sequence fencing + master
+//                 failover ON.
+//
+// Scored on goodput retention, zero stale-plan applies, exactly-once shard
+// accounting (no job overshoots its step budget), fencing actually
+// exercised, and crash/restart balance. Written to BENCH_resilience.json.
+// `gate` mode (ctest label perf-smoke/resilience) runs one campaign of each
+// and fails unless recall >= 0.9, false-cordon rate <= 0.05, the protected
+// grey arm preserves >= 1.5x more of the lost goodput than the unprotected
+// arm, and the partition gate below holds.
 //
 // Usage: bench_resilience [gate]
 
@@ -108,7 +122,9 @@ ArmResult RunArm(const std::string& arm, uint64_t seed,
     out.drain_fallbacks += job.stats.drain_fallbacks;
   }
   for (const FaultRecord& f : out.fleet.fault_log) {
-    if (f.kind >= FaultKind::kFlakyNode) ++out.grey_faults;
+    if (f.kind >= FaultKind::kFlakyNode && f.kind <= FaultKind::kCrashLoop) {
+      ++out.grey_faults;
+    }
   }
   out.cordons = out.fleet.nodes_cordoned;
   out.uncordons = out.fleet.nodes_uncordoned;
@@ -140,7 +156,8 @@ DetectionScore ScoreDetection(const FleetResult& fleet, Duration horizon) {
   };
   std::vector<Truth> truths;
   for (const FaultRecord& f : fleet.fault_log) {
-    if (f.kind < FaultKind::kFlakyNode || f.symptoms < kMinTruthSymptoms) {
+    if (f.kind < FaultKind::kFlakyNode || f.kind > FaultKind::kCrashLoop ||
+        f.symptoms < kMinTruthSymptoms) {
       continue;
     }
     truths.push_back({static_cast<NodeId>(f.target), f.time,
@@ -202,6 +219,90 @@ DetectionScore ScoreDetection(const FleetResult& fleet, Duration horizon) {
   return score;
 }
 
+// ---- Partition campaign (control-plane resilience) ----
+
+/// Arm kinds for the partition campaign.
+enum class ControlArm : int { kClean = 0, kUnprotected = 1, kProtected = 2 };
+
+FleetScenario PartitionScenario(uint64_t seed, ControlArm arm) {
+  FleetScenario scenario = BaseScenario(seed);
+  if (arm == ControlArm::kClean) return scenario;  // channel disabled
+  scenario.control.enabled = true;
+  // Ambient control-plane weather, independent of the injected partitions:
+  // a few percent of messages dropped, duplicated, or reordered.
+  scenario.control.drop_prob = 0.02;
+  scenario.control.duplicate_prob = 0.05;
+  scenario.control.reorder_prob = 0.05;
+  // Injected control faults: node partitions sever worker shard reports,
+  // cell partitions sever brain plans, master crashes exercise failover.
+  scenario.failures.daily_node_partition_rate = 1.5;
+  scenario.failures.daily_cell_partition_rate = 2.0;
+  scenario.failures.daily_master_crash_rate = 0.3;
+  if (arm == ControlArm::kUnprotected) {
+    scenario.control.retries_enabled = false;
+    scenario.control.fencing_enabled = false;
+    scenario.control.failover_enabled = false;
+  }
+  return scenario;
+}
+
+struct PartitionScore {
+  uint64_t seed = 0;
+  double retention_unprot = 1.0;
+  double retention_prot = 1.0;
+  uint64_t control_faults = 0;
+  uint64_t stale_plan_applies_prot = 0;
+  uint64_t stale_plan_applies_unprot = 0;
+  uint64_t plans_fenced_prot = 0;  // job fences + master gates + epoch fences
+  uint64_t retries = 0;
+  uint64_t reports_expired = 0;
+  uint64_t reports_rejected = 0;
+  uint64_t master_crashes = 0;
+  uint64_t master_restarts = 0;
+  /// Jobs whose committed batches exceed their step budget — the queue's
+  /// exactly-once guarantee failing under duplicated delivery. Must be 0.
+  int exactly_once_violations = 0;
+};
+
+int CountOvershoot(const FleetResult& fleet) {
+  int violations = 0;
+  for (const FleetJobOutcome& job : fleet.jobs) {
+    if (job.batches_done > job.total_steps) ++violations;
+  }
+  return violations;
+}
+
+PartitionScore ScorePartition(uint64_t seed, const ArmResult& clean,
+                              const ArmResult& unprot, const ArmResult& prot) {
+  PartitionScore score;
+  score.seed = seed;
+  const double clean_gp = static_cast<double>(clean.goodput_batches);
+  score.retention_unprot =
+      clean_gp > 0.0
+          ? static_cast<double>(unprot.goodput_batches) / clean_gp
+          : 1.0;
+  score.retention_prot =
+      clean_gp > 0.0 ? static_cast<double>(prot.goodput_batches) / clean_gp
+                     : 1.0;
+  score.control_faults = prot.fleet.control_faults_injected;
+  score.stale_plan_applies_prot = prot.fleet.stale_plan_applies +
+                                  prot.fleet.control_stats.stale_plan_applies;
+  score.stale_plan_applies_unprot =
+      unprot.fleet.stale_plan_applies +
+      unprot.fleet.control_stats.stale_plan_applies;
+  score.plans_fenced_prot = prot.fleet.plans_fenced +
+                            prot.fleet.control_stats.plans_fenced_stale +
+                            prot.fleet.control_stats.epoch_fenced;
+  score.retries = prot.fleet.control_stats.retries;
+  score.reports_expired = prot.fleet.shard_reports_expired;
+  score.reports_rejected = prot.fleet.shard_reports_rejected;
+  score.master_crashes = prot.fleet.control_stats.master_crashes;
+  score.master_restarts = prot.fleet.control_stats.master_restarts;
+  score.exactly_once_violations =
+      CountOvershoot(prot.fleet) + CountOvershoot(unprot.fleet);
+  return score;
+}
+
 int Run(bool gate) {
   PrintBanner(gate ? "resilience: detection & goodput gate"
                    : "resilience: grey-fault campaigns, self-healing on/off");
@@ -253,6 +354,25 @@ int Run(bool gate) {
     runs.push_back(std::move(prot));
   }
 
+  // ---- Partition campaign: the control plane itself under attack ----
+  std::vector<ArmResult> partition_runs;
+  std::vector<PartitionScore> partition_scores;
+  for (uint64_t seed : seeds) {
+    std::printf("partition campaign seed %llu: running 3 arms...\n",
+                static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+    ArmResult clean = RunArm(
+        "clean", seed, PartitionScenario(seed, ControlArm::kClean));
+    ArmResult unprot = RunArm(
+        "unprotected", seed, PartitionScenario(seed, ControlArm::kUnprotected));
+    ArmResult prot = RunArm(
+        "protected", seed, PartitionScenario(seed, ControlArm::kProtected));
+    partition_scores.push_back(ScorePartition(seed, clean, unprot, prot));
+    partition_runs.push_back(std::move(clean));
+    partition_runs.push_back(std::move(unprot));
+    partition_runs.push_back(std::move(prot));
+  }
+
   TablePrinter table({"seed", "arm", "goodput", "retention", "completed",
                       "grey faults", "cordons", "drains", "fallbacks"});
   for (size_t i = 0; i < runs.size(); i += 3) {
@@ -302,6 +422,43 @@ int Run(bool gate) {
       "unprotected/protected %.2fx\n",
       FormatPercent(retention_prot_min).c_str(), recovery_ratio_min);
 
+  TablePrinter ptable({"seed", "faults", "ret unprot", "ret prot", "stale",
+                       "fenced", "retries", "expired", "rejected",
+                       "crash/restart", "overshoot"});
+  double partition_retention_min = 1.0;
+  uint64_t partition_stale_total = 0;
+  uint64_t partition_fenced_total = 0;
+  int partition_overshoot_total = 0;
+  bool failover_balanced = true;
+  for (const PartitionScore& s : partition_scores) {
+    partition_retention_min =
+        std::min(partition_retention_min, s.retention_prot);
+    partition_stale_total += s.stale_plan_applies_prot;
+    partition_fenced_total += s.plans_fenced_prot;
+    partition_overshoot_total += s.exactly_once_violations;
+    failover_balanced =
+        failover_balanced && s.master_crashes == s.master_restarts;
+    ptable.AddRow(
+        {StrFormat("%llu", static_cast<unsigned long long>(s.seed)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.control_faults)),
+         FormatPercent(s.retention_unprot), FormatPercent(s.retention_prot),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(s.stale_plan_applies_prot)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(s.plans_fenced_prot)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.retries)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.reports_expired)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(s.reports_rejected)),
+         StrFormat("%llu/%llu",
+                   static_cast<unsigned long long>(s.master_crashes),
+                   static_cast<unsigned long long>(s.master_restarts)),
+         StrFormat("%d", s.exactly_once_violations)});
+  }
+  std::printf("partition campaign (channel drops/dups/reorder + node & cell "
+              "partitions + master crashes):\n");
+  ptable.Print();
+
   FILE* json = OpenBenchJson("BENCH_resilience.json", "resilience");
   if (json != nullptr) {
     std::fprintf(json, "  \"gate_mode\": %s,\n", gate ? "true" : "false");
@@ -343,6 +500,43 @@ int Run(bool gate) {
                    s.precision, s.ttd_mean, s.mttr_mean,
                    i + 1 < scores.size() ? "," : "");
     }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"partition_retention_protected_min\": %.4f,\n",
+                 partition_retention_min);
+    std::fprintf(json, "  \"partition_stale_plan_applies_protected\": %llu,\n",
+                 static_cast<unsigned long long>(partition_stale_total));
+    std::fprintf(json, "  \"partition_plans_fenced\": %llu,\n",
+                 static_cast<unsigned long long>(partition_fenced_total));
+    std::fprintf(json, "  \"partition_exactly_once_violations\": %d,\n",
+                 partition_overshoot_total);
+    std::fprintf(json, "  \"partition_failover_balanced\": %s,\n",
+                 failover_balanced ? "true" : "false");
+    std::fprintf(json, "  \"partition\": [\n");
+    for (size_t i = 0; i < partition_scores.size(); ++i) {
+      const PartitionScore& s = partition_scores[i];
+      std::fprintf(
+          json,
+          "    {\"seed\": %llu, \"control_faults\": %llu, "
+          "\"retention_unprotected\": %.4f, \"retention_protected\": %.4f, "
+          "\"stale_plan_applies_protected\": %llu, "
+          "\"stale_plan_applies_unprotected\": %llu, \"plans_fenced\": %llu, "
+          "\"retries\": %llu, \"reports_expired\": %llu, "
+          "\"reports_rejected\": %llu, \"master_crashes\": %llu, "
+          "\"master_restarts\": %llu, \"exactly_once_violations\": %d}%s\n",
+          static_cast<unsigned long long>(s.seed),
+          static_cast<unsigned long long>(s.control_faults),
+          s.retention_unprot, s.retention_prot,
+          static_cast<unsigned long long>(s.stale_plan_applies_prot),
+          static_cast<unsigned long long>(s.stale_plan_applies_unprot),
+          static_cast<unsigned long long>(s.plans_fenced_prot),
+          static_cast<unsigned long long>(s.retries),
+          static_cast<unsigned long long>(s.reports_expired),
+          static_cast<unsigned long long>(s.reports_rejected),
+          static_cast<unsigned long long>(s.master_crashes),
+          static_cast<unsigned long long>(s.master_restarts),
+          s.exactly_once_violations,
+          i + 1 < partition_scores.size() ? "," : "");
+    }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("wrote BENCH_resilience.json\n");
@@ -351,13 +545,25 @@ int Run(bool gate) {
   // Scorecard gate: detection must be sharp (recall >= 0.9, false-cordon
   // rate <= 0.05) and self-healing must preserve >= 1.5x more of the
   // fault-destroyed goodput than the unprotected arm.
-  const bool ok = recall_min >= 0.90 && false_rate_max <= 0.05 &&
-                  recovery_ratio_min >= 1.5;
+  const bool grey_ok = recall_min >= 0.90 && false_rate_max <= 0.05 &&
+                       recovery_ratio_min >= 1.5;
+  // Partition gate: with retries + fencing + failover on, the protected arm
+  // must hold >= 90% of the clean arm's goodput, never apply a stale or
+  // duplicate plan, keep shard accounting exactly-once, actually exercise
+  // its fences, and restart every crashed master.
+  const bool partition_ok =
+      partition_retention_min >= 0.90 && partition_stale_total == 0 &&
+      partition_overshoot_total == 0 && partition_fenced_total > 0 &&
+      failover_balanced;
   std::printf(
       "resilience gate (recall >= 0.90, false-cordon <= 0.05, loss ratio >= "
       "1.5): %s\n",
-      ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+      grey_ok ? "PASS" : "FAIL");
+  std::printf(
+      "partition gate (retention >= 0.90, stale applies == 0, exactly-once "
+      "violations == 0, fences > 0, crashes == restarts): %s\n",
+      partition_ok ? "PASS" : "FAIL");
+  return grey_ok && partition_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "cluster/control_channel.h"
 #include "common/logging.h"
 
 namespace dlrover {
@@ -107,7 +108,7 @@ void ClusterBrain::HandleInstability(ManagedJob& managed) {
         << job.spec().name << ": degraded throughput (" << measured << " vs "
         << predicted << " predicted), seamless rebalance";
     const Status status =
-        job.ApplyPlan(job.config(), MigrationMode::kSeamless);
+        DeliverPlan(managed, job.config(), MigrationMode::kSeamless);
     if (!status.ok()) {
       DLROVER_LOG_STREAM(Warning)
           << job.spec().name << ": rebalance rejected: " << status;
@@ -116,6 +117,33 @@ void ClusterBrain::HandleInstability(ManagedJob& managed) {
       managed.best_throughput = 0.0;
     }
   }
+}
+
+Status ClusterBrain::DeliverPlan(ManagedJob& managed, const JobConfig& config,
+                                 MigrationMode mode) {
+  ControlChannel* ch =
+      cluster_ != nullptr ? cluster_->control_channel() : nullptr;
+  const uint64_t seq = ++managed.next_plan_seq;
+  if (ch == nullptr) {
+    return managed.job->ApplyPlanFenced(config, mode, seq);
+  }
+  // The plan crosses the brain -> master hop as a reliable message pinned
+  // to the job master's failover handle: a cell partition delays it (capped
+  // jittered backoff until healed or past the deadline), a master crash
+  // fences copies addressed to the dead incarnation, and the sequence
+  // number fences whatever stale duplicates still land. OK here only means
+  // the network has it; brain-side bookkeeping (cooldown, best-throughput
+  // reset) proceeds optimistically, which also keeps the brain from
+  // spamming plans into a partition.
+  TrainingJob* job = managed.job;
+  ch->SendReliable(
+      ControlMessageKind::kPlan, ControlChannel::kBrain,
+      ControlChannel::kMaster,
+      [job, config, mode, seq] {
+        (void)job->DeliverPlanFromBrain(config, mode, seq);
+      },
+      /*on_expire=*/nullptr, job->master_channel_handle());
+  return Status::OK();
 }
 
 void ClusterBrain::RecordFinished(ManagedJob& managed) {
@@ -200,7 +228,7 @@ void ClusterBrain::RunRound() {
       }
       ++managed.explore_step;
       if (!(probe == job.config())) {
-        (void)job.ApplyPlan(probe, MigrationMode::kSeamless);
+        (void)DeliverPlan(managed, probe, MigrationMode::kSeamless);
       }
       continue;
     }
@@ -292,8 +320,8 @@ void ClusterBrain::RunRound() {
   const auto selected = GreedySelector::Select(requests, budget);
   for (const auto& [id, plan] : selected) {
     ManagedJob& managed = *by_id[id];
-    const Status status = managed.job->ApplyPlan(
-        plan.config, options_.plan.mode);
+    const Status status = DeliverPlan(
+        managed, plan.config, options_.plan.mode);
     if (status.ok()) {
       ++plans_applied_;
       managed.rounds_since_plan = 0;

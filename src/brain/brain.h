@@ -105,11 +105,21 @@ class ClusterBrain {
     double best_throughput = 0.0;
     int explore_step = 0;
     bool recorded = false;
+    /// Monotone per-job plan sequence for epoch/lease fencing: every plan
+    /// the brain emits for this job carries the next number, so a delayed
+    /// duplicate or reordered stale delivery is rejected at apply time.
+    uint64_t next_plan_seq = 0;
   };
 
   void IngestProfiles(ManagedJob& managed);
   void HandleInstability(ManagedJob& managed);
   void RecordFinished(ManagedJob& managed);
+  /// Routes one plan to the job. Without a control channel this is a
+  /// direct (sequence-tracked) apply, byte-identical to the historical
+  /// call; with one, the plan travels as a reliable channel message pinned
+  /// to the job master's handle, and OK means "handed to the network".
+  Status DeliverPlan(ManagedJob& managed, const JobConfig& config,
+                     MigrationMode mode);
 
   Simulator* sim_;
   BrainOptions options_;

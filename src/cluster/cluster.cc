@@ -464,6 +464,14 @@ void Cluster::ReportStragglerEvidence(PodId id) {
   health_->ObserveStraggler(pod->node, id, sim_->Now());
 }
 
+void Cluster::ReportPsSlowdownEvidence(PodId id, uint64_t source_job) {
+  if (health_ == nullptr) return;
+  const Pod* pod = Resolve(id);
+  if (pod == nullptr || pod->phase != PodPhase::kRunning) return;
+  if (!nodes_[pod->node].healthy) return;
+  health_->ObservePsSlowdown(pod->node, source_job, sim_->Now());
+}
+
 ResourceSpec Cluster::QuarantinedCapacity() const {
   ResourceSpec total = cordoned_capacity_;
   if (health_ != nullptr) {

@@ -18,6 +18,8 @@
 
 namespace dlrover {
 
+class ControlChannel;
+
 /// A physical machine in the simulated cluster.
 struct Node {
   NodeId id = 0;
@@ -185,6 +187,12 @@ class Cluster {
   /// node-health control plane is enabled and the pod is running on a
   /// healthy node.
   void ReportStragglerEvidence(PodId id);
+  /// Evidence hook for the degraded-PS blind spot (DESIGN §14/§15): `id` is
+  /// a parameter-server pod of a job whose whole worker group slowed down
+  /// uniformly (so intra-job median comparison stays blind); charge the PS
+  /// pod's node with a ps-slowdown observation attributed to `source_job`.
+  /// Distinct jobs corroborating the same node is the strong signal.
+  void ReportPsSlowdownEvidence(PodId id, uint64_t source_job);
   bool node_health_enabled() const { return health_ != nullptr; }
   /// Node-health tracker, or null when the control plane is disabled.
   const NodeHealthTracker* health() const { return health_.get(); }
@@ -245,6 +253,14 @@ class Cluster {
   /// from zero reconstructs them exactly. The log must outlive the cluster
   /// (or be detached with nullptr).
   void set_commit_log(ClusterCommitLog* log);
+
+  /// Attaches the control-plane message channel (null detaches). When set,
+  /// job masters and the brain route heartbeats, shard reports, straggler
+  /// verdicts, and scaling plans through it instead of direct calls; when
+  /// null (the default) every control interaction stays an infallible
+  /// in-memory call and traces are byte-identical to pre-channel builds.
+  void set_control_channel(ControlChannel* channel) { control_ = channel; }
+  ControlChannel* control_channel() const { return control_; }
 
   /// Monotonic counter bumped on every pod state mutation (placement,
   /// startup, termination, degradation, node failure). Lets callers cache
@@ -347,6 +363,7 @@ class Cluster {
   uint64_t mutation_version_ = 0;
   bool fleet_scarcity_ = false;
   ClusterCommitLog* commit_log_ = nullptr;
+  ControlChannel* control_ = nullptr;
   /// Running totals (valid when options_.incremental_accounting).
   ResourceSpec capacity_total_;
   ResourceSpec allocated_total_;

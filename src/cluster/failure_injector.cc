@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "cluster/control_channel.h"
+
 namespace dlrover {
 
 std::string FaultKindName(FaultKind kind) {
@@ -19,6 +21,12 @@ std::string FaultKindName(FaultKind kind) {
       return "memory-leak";
     case FaultKind::kCrashLoop:
       return "crash-loop";
+    case FaultKind::kNodePartition:
+      return "node-partition";
+    case FaultKind::kCellPartition:
+      return "cell-partition";
+    case FaultKind::kMasterCrash:
+      return "master-crash";
   }
   return "unknown";
 }
@@ -30,6 +38,9 @@ FailureInjector::FailureInjector(Simulator* sim, Cluster* cluster,
                   options_.daily_node_degraded_rate > 0.0 ||
                   options_.daily_node_leak_rate > 0.0 ||
                   options_.daily_node_crashloop_rate > 0.0;
+  control_enabled_ = options_.daily_node_partition_rate > 0.0 ||
+                     options_.daily_cell_partition_rate > 0.0 ||
+                     options_.daily_master_crash_rate > 0.0;
   task_ = std::make_unique<PeriodicTask>(sim_, options_.sweep_interval,
                                          [this] { Sweep(); });
 }
@@ -86,6 +97,9 @@ void FailureInjector::Sweep() {
   // node rate at 0 no extra RNG is drawn and the sweep above is bit-for-bit
   // the pre-feature sequence.
   if (grey_enabled_) GreySweep(dt_days);
+  // Control-plane faults draw last, behind their own guard, so grey-only
+  // campaigns keep their historical RNG sequences too.
+  if (control_enabled_ && channel_ != nullptr) ControlSweep(dt_days);
 }
 
 bool FailureInjector::NodeHasRunningTarget(NodeId node) const {
@@ -271,6 +285,93 @@ void FailureInjector::GreySweep(double dt_days) {
       // First dose lands immediately; subsequent sweeps keep it going.
       ApplyFault(fault);
       active_faults_.push_back(fault);
+    }
+  }
+}
+
+void FailureInjector::ControlSweep(double dt_days) {
+  const SimTime now = sim_->Now();
+  // 1. Refresh symptom counts from the channel's partition-drop counters
+  // (how many messages the partition actually suppressed) and retire
+  // tracking entries whose window ended. The partition itself heals inside
+  // the channel; this bookkeeping only serves the audit log.
+  size_t keep = 0;
+  for (size_t i = 0; i < active_control_.size(); ++i) {
+    ActiveControlFault& fault = active_control_[i];
+    const uint64_t drops = fault.kind == FaultKind::kCellPartition
+                               ? channel_->cell_partition_drops()
+                               : channel_->node_partition_drops(fault.node);
+    fault_log_[fault.record].symptoms = drops - fault.drops_at_start;
+    if (fault.end <= now) continue;
+    active_control_[keep++] = fault;
+  }
+  active_control_.resize(keep);
+  // 2. Node partitions, node-id order (one at a time per node).
+  if (options_.daily_node_partition_rate > 0.0) {
+    const double p_onset =
+        1.0 - std::exp(-options_.daily_node_partition_rate * dt_days);
+    for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+      if (channel_->NodePartitioned(node)) continue;
+      if (!cluster_->GetNode(node).healthy) continue;
+      if (!NodeHasRunningTarget(node)) continue;
+      if (!rng_.Bernoulli(p_onset)) continue;
+      const Duration duration = rng_.Uniform(options_.partition_min_duration,
+                                             options_.partition_max_duration);
+      ActiveControlFault fault;
+      fault.kind = FaultKind::kNodePartition;
+      fault.node = node;
+      fault.end = now + duration;
+      fault.drops_at_start = channel_->node_partition_drops(node);
+      fault.record = fault_log_.size();
+      fault_log_.push_back(FaultRecord{now, FaultKind::kNodePartition,
+                                       static_cast<uint64_t>(node),
+                                       static_cast<uint64_t>(node), duration,
+                                       0});
+      active_control_.push_back(fault);
+      channel_->PartitionNode(node, duration);
+      ++control_faults_;
+    }
+  }
+  // 3. Cell partition: one hazard draw per sweep, at most one active.
+  if (options_.daily_cell_partition_rate > 0.0 &&
+      !channel_->CellPartitioned()) {
+    const double p_onset =
+        1.0 - std::exp(-options_.daily_cell_partition_rate * dt_days);
+    if (rng_.Bernoulli(p_onset)) {
+      const Duration duration = rng_.Uniform(options_.partition_min_duration,
+                                             options_.partition_max_duration);
+      ActiveControlFault fault;
+      fault.kind = FaultKind::kCellPartition;
+      fault.end = now + duration;
+      fault.drops_at_start = channel_->cell_partition_drops();
+      fault.record = fault_log_.size();
+      fault_log_.push_back(
+          FaultRecord{now, FaultKind::kCellPartition, 0, 0, duration, 0});
+      active_control_.push_back(fault);
+      channel_->PartitionCell(duration);
+      ++control_faults_;
+    }
+  }
+  // 4. Master crashes: per-master hazard, victim chosen uniformly among the
+  // masters currently up. The crash is instantaneous (the channel schedules
+  // the failover restart itself), so no tracking entry is needed; the crash
+  // is its own symptom.
+  if (options_.daily_master_crash_rate > 0.0) {
+    const size_t up = channel_->MastersUp();
+    if (up > 0) {
+      const double p_onset = 1.0 - std::exp(-options_.daily_master_crash_rate *
+                                            static_cast<double>(up) * dt_days);
+      if (rng_.Bernoulli(p_onset)) {
+        const size_t ordinal =
+            static_cast<size_t>(rng_.UniformInt(static_cast<uint64_t>(up)));
+        const int handle = channel_->CrashMasterByOrdinal(ordinal);
+        if (handle >= 0) {
+          fault_log_.push_back(FaultRecord{now, FaultKind::kMasterCrash,
+                                           static_cast<uint64_t>(handle), 0,
+                                           0.0, 1});
+          ++control_faults_;
+        }
+      }
     }
   }
 }

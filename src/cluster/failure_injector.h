@@ -14,12 +14,15 @@ namespace dlrover {
 /// Ground-truth label for one injected fault. Pod-scoped kinds target a
 /// PodId; node-scoped grey kinds target a NodeId.
 enum class FaultKind : int {
-  kPodCrash = 0,      // single running pod crashed
-  kPodStraggler = 1,  // single running pod degraded to straggler speed
-  kFlakyNode = 2,     // intermittent pod crashes on one node
-  kDegradedNode = 3,  // node speed factor applied to every resident pod
-  kMemoryLeak = 4,    // creeping node usage until resident pods OOM
-  kCrashLoop = 5,     // pods (re)launched on the node die within seconds
+  kPodCrash = 0,       // single running pod crashed
+  kPodStraggler = 1,   // single running pod degraded to straggler speed
+  kFlakyNode = 2,      // intermittent pod crashes on one node
+  kDegradedNode = 3,   // node speed factor applied to every resident pod
+  kMemoryLeak = 4,     // creeping node usage until resident pods OOM
+  kCrashLoop = 5,      // pods (re)launched on the node die within seconds
+  kNodePartition = 6,  // node's control traffic severed from its master
+  kCellPartition = 7,  // masters severed from the cluster brain
+  kMasterCrash = 8,    // one job master's process killed (failover path)
 };
 
 std::string FaultKindName(FaultKind kind);
@@ -89,6 +92,21 @@ struct FailureInjectorOptions {
   /// Grey-fault duration, sampled uniformly at onset.
   Duration grey_min_duration = Minutes(20);
   Duration grey_max_duration = Minutes(60);
+
+  // ---- Control-plane faults (require an attached ControlChannel) ----
+  /// Node partition: the node's heartbeats / shard reports to the master are
+  /// dropped for the fault duration (rate per node per day).
+  double daily_node_partition_rate = 0.0;
+  /// Cell partition: every master<->brain message is dropped for the fault
+  /// duration (rate per cell per day).
+  double daily_cell_partition_rate = 0.0;
+  /// Master crash: one live registered job master is killed; the channel's
+  /// failover machinery restarts it with a bumped epoch (rate per master per
+  /// day).
+  double daily_master_crash_rate = 0.0;
+  /// Partition duration, sampled uniformly at onset.
+  Duration partition_min_duration = Minutes(2);
+  Duration partition_max_duration = Minutes(8);
 };
 
 /// Periodically sweeps running pods and injects crashes / stragglers with
@@ -105,9 +123,15 @@ class FailureInjector {
   void Start();
   void Stop();
 
+  /// Attaches the control channel the control-plane fault kinds act on. With
+  /// no channel attached (or every control rate at 0) the control sweep never
+  /// runs and the injector's RNG sequence is unchanged.
+  void set_control_channel(ControlChannel* channel) { channel_ = channel; }
+
   uint64_t crashes_injected() const { return crashes_; }
   uint64_t stragglers_injected() const { return stragglers_; }
   uint64_t node_faults_injected() const { return node_faults_; }
+  uint64_t control_faults_injected() const { return control_faults_; }
   /// Ground-truth audit log, in injection order. Node-fault entries update
   /// their `symptoms` count in place while the fault stays active.
   const std::vector<FaultRecord>& fault_log() const { return fault_log_; }
@@ -123,11 +147,27 @@ class FailureInjector {
     size_t record = 0;
   };
 
+  /// One active control-plane fault being tracked for symptom attribution.
+  /// The partition itself lives inside the channel; this entry only follows
+  /// the channel's partition-drop counters so the audit record's `symptoms`
+  /// reflects messages the partition actually suppressed.
+  struct ActiveControlFault {
+    FaultKind kind = FaultKind::kNodePartition;
+    NodeId node = 0;
+    SimTime end = 0.0;
+    uint64_t drops_at_start = 0;
+    size_t record = 0;
+  };
+
   void Sweep();
   /// Grey-fault pass: expire ended faults, apply active effects, draw new
   /// onsets. Only called when some node rate is > 0, so the base
   /// configuration draws no extra randomness.
   void GreySweep(double dt_days);
+  /// Control-plane pass: partitions and master crashes against the attached
+  /// channel. Only called when a channel is attached and some control rate is
+  /// > 0, so non-control configurations draw no extra randomness.
+  void ControlSweep(double dt_days);
   void ExpireFault(const ActiveFault& fault);
   void ApplyFault(ActiveFault& fault);
   bool NodeHasRunningTarget(NodeId node) const;
@@ -137,13 +177,17 @@ class FailureInjector {
   FailureInjectorOptions options_;
   Rng rng_;
   bool grey_enabled_ = false;
+  bool control_enabled_ = false;
+  ControlChannel* channel_ = nullptr;
   uint64_t crashes_ = 0;
   uint64_t stragglers_ = 0;
   uint64_t node_faults_ = 0;
+  uint64_t control_faults_ = 0;
   /// Victim scratch reused across sweeps (warm sweeps are allocation-free).
   std::vector<PodId> to_crash_;
   std::vector<PodId> to_degrade_;
   std::vector<ActiveFault> active_faults_;
+  std::vector<ActiveControlFault> active_control_;
   /// Per-node "has an active grey fault" flags (at most one fault per node).
   std::vector<uint8_t> node_afflicted_;
   std::vector<FaultRecord> fault_log_;

@@ -63,6 +63,16 @@ void NodeHealthTracker::ObserveStraggler(NodeId node, uint64_t source,
   e.straggler_sources.push_back(source);
 }
 
+void NodeHealthTracker::ObservePsSlowdown(NodeId node, uint64_t source,
+                                          SimTime now) {
+  (void)now;  // folded into the score at the next Tick
+  Entry& e = entries_[node];
+  for (uint64_t s : e.ps_slowdown_sources) {
+    if (s == source) return;
+  }
+  e.ps_slowdown_sources.push_back(source);
+}
+
 void NodeHealthTracker::ObserveNodeMemory(NodeId node, double used_fraction,
                                           SimTime now) {
   Entry& e = entries_[node];
@@ -121,6 +131,17 @@ const std::vector<NodeHealthTracker::Action>& NodeHealthTracker::Tick(
                            : options_.straggler_single_weight,
                   now);
       e.straggler_sources.clear();
+    }
+    if (!e.ps_slowdown_sources.empty()) {
+      // A PS-hosting node slowed a whole job uniformly. Cross-job
+      // corroboration is near-certain; a single job's verdict is already
+      // heavily gated at the source (see TrainingJob) and still counts.
+      const double n = static_cast<double>(e.ps_slowdown_sources.size());
+      AddEvidence(node,
+                  n >= 2.0 ? options_.ps_slowdown_weight * n
+                           : options_.ps_slowdown_single_weight,
+                  now);
+      e.ps_slowdown_sources.clear();
     }
     Decay(e, now);
     switch (e.state) {

@@ -48,6 +48,18 @@ struct NodeHealthOptions {
   /// Suspect but is never cordoned on one pod's word alone.
   double straggler_weight = 0.5;
   double straggler_single_weight = 0.08;
+  /// Degraded-PS evidence (the DESIGN §14 blind spot): a job whose *entire*
+  /// worker group sustains a throughput collapse relative to its own best —
+  /// with no intra-job straggler flagged and no recent rescale to explain it
+  /// — charges the nodes hosting its parameter servers. Tallied per tick by
+  /// distinct reporting job: two or more jobs corroborating one node is
+  /// near-certain node degradation (`ps_slowdown_weight` per job per tick);
+  /// a single job's verdict is already heavily gated on the job side
+  /// (sustained drop vs own best, straggler-free, disruption-free), so it
+  /// carries real weight too — enough to cordon within ~5-6 minutes of
+  /// sustained collapse, unlike the one-straggler case.
+  double ps_slowdown_weight = 0.5;
+  double ps_slowdown_single_weight = 0.4;
   /// Leak evidence works on the node's *unaccounted* memory — the share no
   /// resident pod's cgroup explains. Slopes of total node memory are useless
   /// for this: placement and completion churn swings the used fraction by
@@ -119,6 +131,10 @@ class NodeHealthTracker {
   /// `source` resident on `node`. Reports are tallied by distinct source
   /// and folded into the score at the next Tick.
   void ObserveStraggler(NodeId node, uint64_t source, SimTime now);
+  /// Evidence: job `source` reports a sustained uniform slowdown of its
+  /// whole worker group and `node` hosts one of its parameter servers.
+  /// Tallied by distinct source job and folded in at the next Tick.
+  void ObservePsSlowdown(NodeId node, uint64_t source, SimTime now);
   /// Sample of the node's unaccounted used-memory fraction (node total
   /// minus the pod-attributed sum); leak evidence is derived internally
   /// from the rising-floor signal across consecutive sample windows.
@@ -157,6 +173,8 @@ class NodeHealthTracker {
     int rising_streak = 0;
     // Distinct pods reported as stragglers since the last Tick.
     std::vector<uint64_t> straggler_sources;
+    // Distinct jobs reporting PS-attributed slowdown since the last Tick.
+    std::vector<uint64_t> ps_slowdown_sources;
   };
 
   /// Decays `e.score` to `now` in place.

@@ -856,6 +856,13 @@ struct AsyncPsTrainer::ThreadRuntime {
       vault.CommitCorrupted(std::move(ckpt));
       return;
     }
+    if (chaos != nullptr &&
+        chaos->Take(ChaosFaultKind::kTornCheckpointWrite,
+                    ckpt.committed_batches)) {
+      ++stats.checkpoint_writes_torn;
+      vault.CommitTruncated(std::move(ckpt));
+      return;
+    }
     vault.Commit(std::move(ckpt));
   }
 

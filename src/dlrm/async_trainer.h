@@ -126,7 +126,8 @@ struct EvalPoint {
 /// What the fault-tolerance supervisor did during a threaded run.
 struct FaultToleranceStats {
   uint64_t checkpoints_taken = 0;
-  uint64_t checkpoint_writes_failed = 0;  // torn writes (chaos-injected)
+  uint64_t checkpoint_writes_failed = 0;  // bit-flip corruption (chaos)
+  uint64_t checkpoint_writes_torn = 0;    // truncated mid-stream (chaos)
   uint64_t restores = 0;
   uint64_t batches_rolled_back = 0;  // committed work redone after restores
   uint64_t workers_fenced = 0;

@@ -97,6 +97,24 @@ uint64_t CheckpointVault::CommitCorrupted(ModelCheckpoint ckpt) {
   return Store(std::move(ckpt));
 }
 
+uint64_t CheckpointVault::CommitTruncated(ModelCheckpoint ckpt) {
+  ckpt.checksum = Checksum(ckpt);
+  // Cut the write short after checksumming: drop the tail of the largest
+  // payload stream. The checksum folds vector lengths, so any truncation is
+  // detected. Fall back to the batch counter for fully empty payloads.
+  if (!ckpt.model.sparse.emb_values.empty()) {
+    ckpt.model.sparse.emb_values.resize(ckpt.model.sparse.emb_values.size() /
+                                        2);
+  } else if (!ckpt.model.dense.empty()) {
+    ckpt.model.dense.resize(ckpt.model.dense.size() / 2);
+  } else if (!ckpt.times_trained.empty()) {
+    ckpt.times_trained.resize(ckpt.times_trained.size() / 2);
+  } else {
+    ckpt.committed_batches ^= 1;
+  }
+  return Store(std::move(ckpt));
+}
+
 const ModelCheckpoint* CheckpointVault::LatestValid() const {
   for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
     if (Verify(*it)) return &*it;

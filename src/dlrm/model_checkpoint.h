@@ -60,6 +60,12 @@ class CheckpointVault {
   /// LatestValid will reject it. Returns the assigned generation.
   uint64_t CommitCorrupted(ModelCheckpoint ckpt);
 
+  /// Simulates a write cut short mid-stream: the payload is truncated after
+  /// the checksum was computed (the checksum folds every vector length, so
+  /// the short read fails verification and LatestValid falls back to an
+  /// older generation). Returns the assigned generation.
+  uint64_t CommitTruncated(ModelCheckpoint ckpt);
+
   /// Newest stored checkpoint passing checksum verification, or nullptr
   /// when none does. The pointer stays valid until the next Commit.
   const ModelCheckpoint* LatestValid() const;

@@ -21,6 +21,8 @@ const char* ChaosFaultKindName(ChaosFaultKind kind) {
       return "fail_checkpoint_write";
     case ChaosFaultKind::kPsFailure:
       return "ps_failure";
+    case ChaosFaultKind::kTornCheckpointWrite:
+      return "torn_checkpoint_write";
   }
   return "unknown";
 }
@@ -64,6 +66,9 @@ ChaosInjector ChaosInjector::FromSeed(const ChaosScheduleOptions& options) {
   draw(options.failed_checkpoint_writes, ChaosFaultKind::kFailCheckpointWrite,
        &schedule);
   draw(options.ps_failures, ChaosFaultKind::kPsFailure, &schedule);
+  // Drawn last (and default 0): older seeds keep their exact schedules.
+  draw(options.torn_checkpoint_writes, ChaosFaultKind::kTornCheckpointWrite,
+       &schedule);
   return ChaosInjector(std::move(schedule));
 }
 

@@ -19,10 +19,16 @@ namespace dlrover {
 ///   kLoseShardReport  — a finished shard's completion report is dropped
 ///                       (supervisor must reap it or the queue never
 ///                       drains);
-///   kFailCheckpointWrite — the next checkpoint write is torn (vault must
+///   kFailCheckpointWrite — the next checkpoint write is corrupted (a
+///                       payload bit flips after checksumming; vault must
 ///                       fall back to an older generation on restore);
 ///   kPsFailure        — parameter state is lost; the trainer restores
-///                       from the latest valid checkpoint.
+///                       from the latest valid checkpoint;
+///   kTornCheckpointWrite — the next checkpoint write is cut short
+///                       mid-stream (payload truncated after checksumming
+///                       — the classic torn write, distinct from the
+///                       bit-flip corruption above; the vault must reject
+///                       the short read and fall back).
 enum class ChaosFaultKind : int {
   kCrashBeforePush = 0,
   kCrashAfterPush = 1,
@@ -30,6 +36,7 @@ enum class ChaosFaultKind : int {
   kLoseShardReport = 3,
   kFailCheckpointWrite = 4,
   kPsFailure = 5,
+  kTornCheckpointWrite = 6,
 };
 
 const char* ChaosFaultKindName(ChaosFaultKind kind);
@@ -61,6 +68,10 @@ struct ChaosScheduleOptions {
   int lost_reports = 1;
   int failed_checkpoint_writes = 1;
   int ps_failures = 1;
+  /// Defaults to 0 (unlike the kinds above) so schedules generated from
+  /// pre-existing seeds keep their exact RNG sequence; its draws also come
+  /// last in FromSeed for the same reason.
+  int torn_checkpoint_writes = 0;
   /// Faults land uniformly in [window_begin, window_end) * total_batches:
   /// after warmup (so there is progress to lose) and before the tail (so
   /// recovery has batches left to prove itself on).
@@ -107,7 +118,7 @@ class ChaosInjector {
   std::string Describe() const;
 
  private:
-  static constexpr int kNumKinds = 6;
+  static constexpr int kNumKinds = 7;
 
   std::vector<ChaosFault> schedule_;
   mutable std::mutex mu_;

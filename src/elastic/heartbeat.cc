@@ -9,18 +9,36 @@ void HeartbeatMonitor::AddMember(uint64_t member_id, SimTime now) {
   h.last_heartbeat = now;
   h.first_heartbeat = now;
   members_[member_id] = h;
+  fenced_.erase(member_id);
 }
 
 void HeartbeatMonitor::RemoveMember(uint64_t member_id) {
   members_.erase(member_id);
 }
 
+void HeartbeatMonitor::FenceMember(uint64_t member_id) {
+  members_.erase(member_id);
+  fenced_.insert(member_id);
+}
+
 void HeartbeatMonitor::Heartbeat(uint64_t member_id, SimTime now,
                                  uint64_t progress_offset) {
+  if (fenced_.count(member_id) != 0) {
+    ++fenced_heartbeats_ignored_;
+    return;
+  }
   auto it = members_.find(member_id);
   if (it == members_.end()) {
     AddMember(member_id, now);
     it = members_.find(member_id);
+  }
+  if (now < it->second.last_heartbeat) {
+    // Out-of-order delivery: an older packet carries no new liveness
+    // evidence and must not rewind the silence clock.
+    ++stale_heartbeats_ignored_;
+    it->second.progress_offset =
+        std::max(it->second.progress_offset, progress_offset);
+    return;
   }
   it->second.last_heartbeat = now;
   it->second.progress_offset =

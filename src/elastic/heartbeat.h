@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/units.h"
@@ -38,12 +39,24 @@ class HeartbeatMonitor {
   explicit HeartbeatMonitor(const HeartbeatMonitorOptions& options)
       : options_(options) {}
 
-  /// Registers a member (worker or PS). Progress starts at zero.
+  /// Registers a member (worker or PS). Progress starts at zero. Clears any
+  /// fence on the id: an explicit re-add is a new incarnation.
   void AddMember(uint64_t member_id, SimTime now);
   /// Removes a member (scale-down or confirmed failure).
   void RemoveMember(uint64_t member_id);
+  /// Removes a member AND remembers the id as fenced: late heartbeat packets
+  /// still in flight for a worker the master already gave up on must not
+  /// auto-register a ghost member. Only AddMember lifts the fence.
+  void FenceMember(uint64_t member_id);
+  bool IsFenced(uint64_t member_id) const {
+    return fenced_.count(member_id) != 0;
+  }
 
   /// Records a heartbeat packet with the member's cumulative progress.
+  /// Delivery hardening for a lossy control plane: packets with a timestamp
+  /// older than the member's last accepted one are ignored (out-of-order
+  /// delivery must not rewind liveness), progress only ever moves forward
+  /// (duplicates are harmless), and packets for fenced ids are dropped.
   void Heartbeat(uint64_t member_id, SimTime now, uint64_t progress_offset);
 
   /// Members silent beyond the failure timeout.
@@ -60,9 +73,21 @@ class HeartbeatMonitor {
   size_t member_count() const { return members_.size(); }
   const std::map<uint64_t, MemberHealth>& members() const { return members_; }
 
+  /// Out-of-order packets discarded by the monotonic-timestamp guard.
+  uint64_t stale_heartbeats_ignored() const {
+    return stale_heartbeats_ignored_;
+  }
+  /// Packets for fenced (already given-up-on) members discarded.
+  uint64_t fenced_heartbeats_ignored() const {
+    return fenced_heartbeats_ignored_;
+  }
+
  private:
   HeartbeatMonitorOptions options_;
   std::map<uint64_t, MemberHealth> members_;
+  std::set<uint64_t> fenced_;
+  uint64_t stale_heartbeats_ignored_ = 0;
+  uint64_t fenced_heartbeats_ignored_ = 0;
 };
 
 }  // namespace dlrover

@@ -420,6 +420,15 @@ FleetSimulation::FleetSimulation(Simulator* sim, const FleetScenario& scenario,
       scenario_(scenario),
       trace_(std::move(trace)),
       cluster_(sim_, FleetClusterOptions(scenario)) {
+  if (scenario_.control.enabled) {
+    ControlChannelOptions control_options = scenario_.control;
+    // Per-cell channel stream: sharded runs hand each cell a distinct
+    // scenario seed, so every cell's channel draws are cell-local and the
+    // merged fleet is byte-identical at any lane count.
+    control_options.seed = scenario_.control.seed + scenario_.seed * 131;
+    channel_ = std::make_unique<ControlChannel>(sim_, control_options);
+    cluster_.set_control_channel(channel_.get());
+  }
   if (scenario_.enable_background) {
     BackgroundLoadOptions options = scenario_.background;
     options.seed = scenario_.seed * 7 + 77;
@@ -430,6 +439,7 @@ FleetSimulation::FleetSimulation(Simulator* sim, const FleetScenario& scenario,
     FailureInjectorOptions options = scenario_.failures;
     options.seed = scenario_.seed * 3 + 11;
     injector_ = std::make_unique<FailureInjector>(sim_, &cluster_, options);
+    if (channel_ != nullptr) injector_->set_control_channel(channel_.get());
     injector_->Start();
   }
 
@@ -521,6 +531,7 @@ void FleetSimulation::ScheduleArrivals() {
         meta.max_workers_quota = g.max_workers;
         brain_->Manage(job.get(), meta);
         auto master = std::make_unique<JobMaster>(sim_, job.get());
+        if (channel_ != nullptr) master->AttachChannel(channel_.get());
         master->Start();
         masters_.push_back(std::move(master));
       }
@@ -538,7 +549,12 @@ FleetResult FleetSimulation::Collect() {
     result.crashes_injected = injector_->crashes_injected();
     result.stragglers_injected = injector_->stragglers_injected();
     result.node_faults_injected = injector_->node_faults_injected();
+    result.control_faults_injected = injector_->control_faults_injected();
     result.fault_log = injector_->fault_log();
+  }
+  if (channel_ != nullptr) {
+    result.control_stats = channel_->stats();
+    result.control_log = channel_->log();
   }
   if (cluster_.health() != nullptr) {
     result.health_log = cluster_.health()->log();
@@ -556,6 +572,13 @@ FleetResult FleetSimulation::Collect() {
     }
     outcome.stats = job->stats();
     outcome.batches_done = job->batches_done();
+    result.plans_fenced += static_cast<uint64_t>(outcome.stats.plans_fenced);
+    result.stale_plan_applies +=
+        static_cast<uint64_t>(outcome.stats.stale_plan_applies);
+    result.shard_reports_rejected +=
+        static_cast<uint64_t>(outcome.stats.shard_reports_rejected);
+    result.shard_reports_expired +=
+        static_cast<uint64_t>(outcome.stats.shard_reports_expired);
     outcome.completed = job->state() == JobState::kCompleted;
     outcome.fail_reason = job->state() == JobState::kFailed
                               ? job->stats().fail_reason

@@ -10,6 +10,7 @@
 #include "brain/brain.h"
 #include "cluster/background_load.h"
 #include "cluster/cluster.h"
+#include "cluster/control_channel.h"
 #include "cluster/failure_injector.h"
 #include "common/stats.h"
 #include "ps/training_job.h"
@@ -108,6 +109,10 @@ struct FleetScenario {
   /// is what makes heavy CPU over-provisioning schedulable at all).
   ClusterOptions cluster{/*num_nodes=*/60, {64.0, GiB(384)}};
   FailureInjectorOptions failures;
+  /// Control-plane channel model. Disabled by default: with
+  /// `control.enabled == false` no channel is constructed and every run is
+  /// byte-identical to the direct-call control plane.
+  ControlChannelOptions control;
   BackgroundLoadOptions background;
   bool enable_background = true;
   bool enable_failures = true;
@@ -138,6 +143,17 @@ struct FleetResult {
   std::vector<NodeHealthEvent> health_log;
   uint64_t nodes_cordoned = 0;
   uint64_t nodes_uncordoned = 0;
+  /// Control-plane telemetry; all zero/empty unless the scenario enables the
+  /// channel. Sharded runs sum the stats and append per-cell event logs in
+  /// cell order (independent of lane count).
+  ControlChannelStats control_stats;
+  std::vector<ControlEvent> control_log;
+  uint64_t control_faults_injected = 0;
+  /// Fencing / exactly-once counters aggregated over all jobs.
+  uint64_t plans_fenced = 0;
+  uint64_t stale_plan_applies = 0;
+  uint64_t shard_reports_rejected = 0;
+  uint64_t shard_reports_expired = 0;
   /// Simulator events executed by this scenario (throughput accounting for
   /// sweep benches).
   uint64_t executed_events = 0;
@@ -183,6 +199,7 @@ class FleetSimulation {
   Cluster& cluster() { return cluster_; }
   ClusterBrain& brain() { return *brain_; }
   FailureInjector* injector() { return injector_.get(); }
+  ControlChannel* channel() { return channel_.get(); }
   Simulator* sim() { return sim_; }
   const std::vector<GeneratedJob>& trace() const { return trace_; }
 
@@ -195,6 +212,10 @@ class FleetSimulation {
   Simulator* sim_;
   FleetScenario scenario_;
   std::vector<GeneratedJob> trace_;
+  /// Declared before cluster_ (and therefore destroyed after it, and after
+  /// the masters that unregister from it on destruction). Null unless the
+  /// scenario enables the channel.
+  std::unique_ptr<ControlChannel> channel_;
   Cluster cluster_;
   std::unique_ptr<BackgroundLoad> background_;
   std::unique_ptr<FailureInjector> injector_;

@@ -166,6 +166,17 @@ ShardedFleetResult RunFleetSharded(const FleetScenario& scenario,
                                    cell.health_log.end());
     result.fleet.nodes_cordoned += cell.nodes_cordoned;
     result.fleet.nodes_uncordoned += cell.nodes_uncordoned;
+    // Control-plane telemetry merges the same way: summed counters plus
+    // per-cell event logs appended in cell order.
+    result.fleet.control_stats += cell.control_stats;
+    result.fleet.control_log.insert(result.fleet.control_log.end(),
+                                    cell.control_log.begin(),
+                                    cell.control_log.end());
+    result.fleet.control_faults_injected += cell.control_faults_injected;
+    result.fleet.plans_fenced += cell.plans_fenced;
+    result.fleet.stale_plan_applies += cell.stale_plan_applies;
+    result.fleet.shard_reports_rejected += cell.shard_reports_rejected;
+    result.fleet.shard_reports_expired += cell.shard_reports_expired;
   }
   result.fleet.jobs.reserve(trace.size());
   for (size_t i = 0; i < trace.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "master/job_master.h"
 
+#include <algorithm>
+
 namespace dlrover {
 
 JobMaster::JobMaster(Simulator* sim, TrainingJob* job,
@@ -9,14 +11,83 @@ JobMaster::JobMaster(Simulator* sim, TrainingJob* job,
                                          [this] { Tick(); });
 }
 
-void JobMaster::Start() { task_->Start(); }
-void JobMaster::Stop() { task_->Stop(); }
+JobMaster::~JobMaster() {
+  if (channel_ != nullptr) {
+    job_->set_master_plan_gate(nullptr);
+    job_->set_master_channel_handle(-1);
+    channel_->UnregisterMaster(channel_handle_);
+  }
+}
+
+void JobMaster::Start() {
+  started_ = true;
+  if (up_) task_->Start();
+}
+
+void JobMaster::Stop() {
+  started_ = false;
+  task_->Stop();
+}
+
+void JobMaster::AttachChannel(ControlChannel* channel) {
+  channel_ = channel;
+  channel_handle_ = channel_->RegisterMaster(this);
+  job_->set_master_channel_handle(channel_handle_);
+  job_->set_master_plan_gate(
+      [this](const JobConfig& config, MigrationMode mode, uint64_t seq) {
+        return GatePlan(config, mode, seq);
+      });
+}
+
+void JobMaster::OnMasterCrash() {
+  up_ = false;
+  ++crashes_;
+  // The process died: periodic local policies (straggler mitigation, OOM
+  // guard, reaping, drain migration) stop until failover. Workers keep
+  // processing their current shards under the last-known plan — nothing
+  // about the data plane depends on the master being alive.
+  task_->Stop();
+}
+
+void JobMaster::OnMasterRestart() {
+  up_ = true;
+  ++restarts_;
+  // Deterministic restart from the tick snapshot: anything the dead
+  // incarnation applied after its last snapshot is forgotten here, and the
+  // job-level sequence fence absorbs the resulting replays.
+  volatile_last_plan_seq_ = snapshot_last_plan_seq_;
+  if (started_ && !job_->finished()) task_->Start();
+}
+
+Status JobMaster::GatePlan(const JobConfig& config, MigrationMode mode,
+                           uint64_t seq) {
+  if (!up_) {
+    // Channel epoch fencing normally prevents deliveries to a down master;
+    // this is the defensive backstop for direct callers.
+    return UnavailableError("job master is down");
+  }
+  if (channel_ != nullptr && channel_->fencing_enabled() &&
+      seq <= volatile_last_plan_seq_ && volatile_last_plan_seq_ != 0) {
+    ++plans_gated_stale_;
+    channel_->NotePlanFenced(job_->spec().seed, seq);
+    return FailedPreconditionError("stale plan fenced at master");
+  }
+  const Status status = job_->ApplyPlanFenced(config, mode, seq);
+  if (status.ok()) {
+    volatile_last_plan_seq_ = std::max(volatile_last_plan_seq_, seq);
+  }
+  return status;
+}
 
 void JobMaster::Tick() {
   if (job_->finished()) {
     task_->Stop();
     return;
   }
+  // Persist the master snapshot (what a real master would write to etcd):
+  // everything a replacement needs to take over is the plan watermark; the
+  // rest of the master's working state is rebuilt from the job itself.
+  snapshot_last_plan_seq_ = volatile_last_plan_seq_;
   if (options_.failure_detection) job_->ReapSilentWorkers();
   if (options_.drain_migration) job_->EvacuateDrainingPods();
   if (options_.straggler_mitigation) job_->MitigateStragglers();
@@ -30,17 +101,49 @@ PolicyDriver::PolicyDriver(Simulator* sim, ScalingPolicy* policy,
                                          [this] { Round(); });
 }
 
+void PolicyDriver::AddJob(TrainingJob* job) {
+  jobs_.push_back(job);
+  plan_seqs_.push_back(0);
+}
+
 void PolicyDriver::Start() { task_->Start(); }
 void PolicyDriver::Stop() { task_->Stop(); }
 
+PolicyDriver::Snapshot PolicyDriver::SnapshotState() const {
+  Snapshot snapshot;
+  snapshot.plan_seqs = plan_seqs_;
+  return snapshot;
+}
+
+void PolicyDriver::RestoreState(const Snapshot& snapshot) {
+  for (size_t i = 0; i < plan_seqs_.size(); ++i) {
+    plan_seqs_[i] = i < snapshot.plan_seqs.size() ? snapshot.plan_seqs[i] : 0;
+  }
+}
+
 void PolicyDriver::Round() {
-  for (TrainingJob* job : jobs_) {
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    TrainingJob* job = jobs_[i];
     if (job->finished()) continue;
     auto plan = policy_->Propose(*job);
     if (!plan.has_value()) continue;
-    if (job->ApplyPlan(plan->config, plan->mode).ok()) {
-      ++plans_applied_;
+    if (channel_ == nullptr) {
+      if (job->ApplyPlan(plan->config, plan->mode).ok()) {
+        ++plans_applied_;
+      }
+      continue;
     }
+    const uint64_t seq = ++plan_seqs_[i];
+    const JobConfig config = plan->config;
+    const MigrationMode mode = plan->mode;
+    channel_->SendReliable(
+        ControlMessageKind::kPlan, ControlChannel::kBrain,
+        ControlChannel::kMaster,
+        [job, config, mode, seq] {
+          (void)job->DeliverPlanFromBrain(config, mode, seq);
+        },
+        /*on_expire=*/nullptr, job->master_channel_handle());
+    ++plans_sent_;
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "cluster/control_channel.h"
 #include "common/logging.h"
 
 namespace dlrover {
@@ -354,6 +355,25 @@ void TrainingJob::OnShardComplete(WorkerState& worker) {
   const DataShard shard = *worker.shard;
   worker.shard.reset();
   worker.processing = false;
+  ControlChannel* ch = cluster_->control_channel();
+  if (ch != nullptr && spec_.data_mode == DataMode::kDynamicSharding) {
+    // Channel path: the completion report (which doubles as the liveness
+    // heartbeat) rides the lossy control plane as a reliable at-least-once
+    // send; the worker moves on to its next shard immediately, the way the
+    // real worker does not wait for the master's bookkeeping. If every
+    // copy is lost past the deadline, the sender-side recovery hook
+    // requeues the shard (exactly-once is held by the queue either way).
+    worker.samples_done += shard.batches() * spec_.batch_size;
+    const int wi = worker.index;
+    const uint64_t samples = worker.samples_done;
+    ch->SendReliable(
+        ControlMessageKind::kShardReport, WorkerNodeEndpoint(worker),
+        ControlChannel::kMaster,
+        [this, wi, shard, samples] { DeliverShardReport(wi, shard, samples); },
+        [this, shard] { ReclaimLostShard(shard); });
+    StartNextShard(worker);
+    return;
+  }
   CommitShard(worker, shard);
   worker.samples_done += shard.batches() * spec_.batch_size;
   monitor_.Heartbeat(static_cast<uint64_t>(worker.index), sim_->Now(),
@@ -363,6 +383,42 @@ void TrainingJob::OnShardComplete(WorkerState& worker) {
     return;
   }
   StartNextShard(worker);
+}
+
+void TrainingJob::DeliverShardReport(int worker_index, DataShard shard,
+                                     uint64_t samples_at_send) {
+  if (finished()) return;
+  // Every arriving copy is fresh liveness evidence; the monitor's
+  // monotonic-timestamp and fence guards absorb duplicates and packets for
+  // workers the master already gave up on.
+  monitor_.Heartbeat(static_cast<uint64_t>(worker_index), sim_->Now(),
+                     samples_at_send);
+  if (spec_.data_mode != DataMode::kDynamicSharding) return;
+  const Status status = shard_queue_->ReportCompleted(shard);
+  if (!status.ok()) {
+    // Duplicate copy, or a report for an index the master already retired
+    // (requeued after expiry, restored from checkpoint, ...). The
+    // exactly-once queue rejected it; nothing double-counts.
+    ++stats_.shard_reports_rejected;
+    return;
+  }
+  if (AllDataDone()) Complete();
+}
+
+void TrainingJob::ReclaimLostShard(DataShard shard) {
+  if (finished() || spec_.data_mode != DataMode::kDynamicSharding) return;
+  // The report's retry deadline passed with no acknowledgement. Requeue the
+  // whole shard; if a copy did land (only the acks were lost), the index is
+  // already retired and this is a safe rejected no-op.
+  const Status status = shard_queue_->ReportFailed(shard, 0);
+  if (!status.ok()) return;
+  ++stats_.shard_reports_expired;
+  if (!paused_ && state_ == JobState::kRunning) TryDispatchAll();
+}
+
+int TrainingJob::WorkerNodeEndpoint(const WorkerState& worker) const {
+  const Pod* pod = cluster_->GetPod(worker.pod);
+  return pod != nullptr ? static_cast<int>(pod->node) : 0;
 }
 
 void TrainingJob::CommitShard(WorkerState& worker, const DataShard& shard) {
@@ -451,7 +507,14 @@ void TrainingJob::RepartitionStatic(uint64_t completed_prefix) {
 void TrainingJob::OnWorkerStopped(WorkerState& worker, PodStopReason reason) {
   InterruptWorker(worker);
   worker.pod_running = false;
-  monitor_.RemoveMember(static_cast<uint64_t>(worker.index));
+  if (cluster_->control_channel() != nullptr) {
+    // A lossy control plane can deliver this worker's in-flight heartbeats
+    // after the master gave up on it; fence the id so a late packet cannot
+    // resurrect a ghost member (worker indices are never reused).
+    monitor_.FenceMember(static_cast<uint64_t>(worker.index));
+  } else {
+    monitor_.RemoveMember(static_cast<uint64_t>(worker.index));
+  }
   // An owner-kill on a member we did NOT retire is an *external* deletion
   // (another controller / operator) — handle it like a crash. Every
   // job-initiated kill marks the member retired first.
@@ -653,6 +716,10 @@ Status TrainingJob::ApplyPlan(const JobConfig& new_config,
     }
     config_.num_workers = new_config.num_workers;
     InvalidateIterationCache();
+    // The worker group just changed size: the throughput baseline moves.
+    last_disruption_ = sim_->Now();
+    best_smoothed_ = 0.0;
+    ps_slowdown_streak_ = 0;
     return Status::OK();
   }
 
@@ -662,6 +729,37 @@ Status TrainingJob::ApplyPlan(const JobConfig& new_config,
     BeginSeamless(new_config);
   }
   return Status::OK();
+}
+
+Status TrainingJob::ApplyPlanFenced(const JobConfig& new_config,
+                                    MigrationMode mode, uint64_t plan_seq) {
+  ControlChannel* ch = cluster_->control_channel();
+  if (ch != nullptr && plan_seq <= last_plan_seq_ && last_plan_seq_ != 0) {
+    if (ch->fencing_enabled()) {
+      ++stats_.plans_fenced;
+      ch->NotePlanFenced(spec_.seed, plan_seq);
+      return FailedPreconditionError(
+          "stale plan fenced: seq <= last applied plan");
+    }
+    // Fencing off (the unprotected arm): the stale plan applies like any
+    // other, and each successful stale apply is counted as a hazard.
+    const Status status = ApplyPlan(new_config, mode);
+    if (status.ok()) {
+      ++stats_.stale_plan_applies;
+      ch->NoteStalePlanApplied(spec_.seed, plan_seq);
+    }
+    return status;
+  }
+  const Status status = ApplyPlan(new_config, mode);
+  if (status.ok()) last_plan_seq_ = std::max(last_plan_seq_, plan_seq);
+  return status;
+}
+
+Status TrainingJob::DeliverPlanFromBrain(const JobConfig& new_config,
+                                         MigrationMode mode,
+                                         uint64_t plan_seq) {
+  if (master_plan_gate_) return master_plan_gate_(new_config, mode, plan_seq);
+  return ApplyPlanFenced(new_config, mode, plan_seq);
 }
 
 void TrainingJob::BeginStopAndRestart(const JobConfig& new_config) {
@@ -844,6 +942,12 @@ void TrainingJob::PauseTraining() {
 void TrainingJob::ResumeTraining() {
   if (!paused_) return;
   paused_ = false;
+  // Any pause (migration, recovery, restart) legitimately moves the job's
+  // throughput baseline: re-learn the best rate before trusting the
+  // degraded-PS collapse detector again.
+  last_disruption_ = sim_->Now();
+  best_smoothed_ = 0.0;
+  ps_slowdown_streak_ = 0;
   TryDispatchAll();
 }
 
@@ -884,12 +988,23 @@ int TrainingJob::MitigateStragglers() {
   // node keeps accumulating suspicion until it is cordoned. Gated on the
   // cluster's control plane so the default configuration is untouched.
   if (cluster_->node_health_enabled()) {
+    ControlChannel* ch = cluster_->control_channel();
     for (const auto& [member, health] : monitor_.members()) {
       if (!health.flagged_straggler) continue;
       for (auto& w : workers_) {
         if (static_cast<uint64_t>(w->index) != member) continue;
         if (!w->retired && w->pod_running) {
-          cluster_->ReportStragglerEvidence(w->pod);
+          if (ch != nullptr) {
+            // Verdicts cross the master -> brain hop, so a cell partition
+            // (brain unreachable) delays or loses them; the per-tick
+            // re-report from this loop makes the evidence self-healing.
+            const PodId pod = w->pod;
+            ch->Send(ControlMessageKind::kStragglerVerdict,
+                     ControlChannel::kMaster, ControlChannel::kBrain,
+                     [this, pod] { cluster_->ReportStragglerEvidence(pod); });
+          } else {
+            cluster_->ReportStragglerEvidence(w->pod);
+          }
         }
         break;
       }
@@ -1319,6 +1434,57 @@ void TrainingJob::ProfileTick() {
   window_batches_ = batches;
 
   oom_predictor_.Observe(now, MaxPsMemory());
+
+  if (cluster_->node_health_enabled()) MaybeReportPsSlowdown();
+}
+
+void TrainingJob::MaybeReportPsSlowdown() {
+  // The blind spot this closes (DESIGN §14): a degraded node whose only
+  // residents are parameter servers slows *every* worker of the jobs it
+  // serves uniformly, so the intra-job median straggler comparison never
+  // fires. The uniform collapse itself — against the job's own best
+  // steady-state rate — is the signal, and the PS nodes are the suspects.
+  if (state_ != JobState::kRunning || paused_ ||
+      transition_ != TransitionKind::kNone) {
+    return;
+  }
+  const double smoothed = SmoothedThroughput();
+  if (smoothed <= 0.0) return;
+  if (smoothed > best_smoothed_) best_smoothed_ = smoothed;
+  // Settling window after any rescale/recovery: the baseline is re-learned
+  // and no verdicts are issued, so legitimate plan-driven throughput moves
+  // can never be mistaken for node degradation.
+  if (sim_->Now() - last_disruption_ < 5.0 * spec_.profile_interval ||
+      best_smoothed_ <= 0.0) {
+    return;
+  }
+  // Any flagged straggler means the slowdown is *not* uniform — that is the
+  // ordinary straggler evidence path's job, not this one.
+  for (const auto& [member, health] : monitor_.members()) {
+    if (health.flagged_straggler) {
+      ps_slowdown_streak_ = 0;
+      return;
+    }
+  }
+  if (smoothed >= 0.6 * best_smoothed_) {
+    ps_slowdown_streak_ = 0;
+    return;
+  }
+  if (++ps_slowdown_streak_ < 3) return;
+  ControlChannel* ch = cluster_->control_channel();
+  for (const auto& p : ps_) {
+    if (p->retired || !p->pod_running || p->pod == 0) continue;
+    const PodId pod = p->pod;
+    if (ch != nullptr) {
+      ch->Send(ControlMessageKind::kStragglerVerdict, ControlChannel::kMaster,
+               ControlChannel::kBrain, [this, pod] {
+                 cluster_->ReportPsSlowdownEvidence(pod, spec_.seed);
+               });
+    } else {
+      cluster_->ReportPsSlowdownEvidence(pod, spec_.seed);
+    }
+    ++stats_.ps_slowdown_reports;
+  }
 }
 
 }  // namespace dlrover

@@ -145,6 +145,18 @@ struct JobStats {
   int drain_migrations = 0;
   /// Drains that fell back to stop-and-restart under scarcity.
   int drain_fallbacks = 0;
+  /// Control-plane resilience counters (all zero unless a ControlChannel is
+  /// attached to the cluster). Stale/duplicate plans rejected by sequence
+  /// fencing; stale plans applied anyway (fencing disabled — the hazard the
+  /// unprotected bench arm measures); duplicate/late shard reports the
+  /// exactly-once queue rejected; reliable shard reports that expired
+  /// undelivered and were requeued.
+  int plans_fenced = 0;
+  int stale_plan_applies = 0;
+  int shard_reports_rejected = 0;
+  int shard_reports_expired = 0;
+  /// Degraded-PS evidence reports sent to the node-health tracker.
+  int ps_slowdown_reports = 0;
   std::string fail_reason;
 
   /// Job completion time; only meaningful once finished.
@@ -177,6 +189,39 @@ class TrainingJob {
   /// triggers a migration in the requested mode. Returns
   /// kFailedPrecondition while another transition is in flight.
   Status ApplyPlan(const JobConfig& new_config, MigrationMode mode);
+
+  /// Sequence-fenced plan application for the control-plane channel: every
+  /// plan the brain emits carries a strictly increasing sequence number, and
+  /// a delayed duplicate or reordered stale plan (seq <= the last applied
+  /// one) is rejected here — at apply time, the last line of defence — when
+  /// fencing is enabled. With fencing disabled the stale plan applies anyway
+  /// and is counted as a `stale_plan_applies` hazard. Without a channel
+  /// attached this is exactly ApplyPlan plus sequence tracking.
+  Status ApplyPlanFenced(const JobConfig& new_config, MigrationMode mode,
+                         uint64_t plan_seq);
+
+  /// Plan delivery entry point for the brain's channel messages: routes
+  /// through the job master's plan gate when one is attached (so master-side
+  /// fencing and crash/failover epochs apply), else falls through to
+  /// ApplyPlanFenced directly.
+  Status DeliverPlanFromBrain(const JobConfig& new_config, MigrationMode mode,
+                              uint64_t plan_seq);
+
+  /// Master-side plan gate (set by JobMaster when a control channel is
+  /// live): receives every plan delivery before the job applies it.
+  using PlanGate =
+      std::function<Status(const JobConfig&, MigrationMode, uint64_t)>;
+  void set_master_plan_gate(PlanGate gate) {
+    master_plan_gate_ = std::move(gate);
+  }
+  /// The job master's registration handle with the ControlChannel (or -1):
+  /// the brain pins reliable plan sends to it so deliveries to a crashed or
+  /// re-epoched master are fenced at the channel.
+  void set_master_channel_handle(int handle) {
+    master_channel_handle_ = handle;
+  }
+  int master_channel_handle() const { return master_channel_handle_; }
+  uint64_t last_plan_seq() const { return last_plan_seq_; }
 
   /// Shrinks the shard size served to `worker_index` (straggler mitigation,
   /// paper Section 5.1). 0 restores the default size.
@@ -320,6 +365,18 @@ class TrainingJob {
   StatusOr<DataShard> NextShardFor(WorkerState& worker);
   void CommitShard(WorkerState& worker, const DataShard& shard);
   void ReturnShard(WorkerState& worker, uint64_t processed_batches);
+  // Control-channel shard accounting: a completed shard's report arrives at
+  // the master as an at-least-once message (the exactly-once queue rejects
+  // duplicates); an expired reliable report requeues the shard.
+  void DeliverShardReport(int worker_index, DataShard shard,
+                          uint64_t samples_at_send);
+  void ReclaimLostShard(DataShard shard);
+  /// The worker's node id as a channel endpoint (0 if the pod is gone).
+  int WorkerNodeEndpoint(const WorkerState& worker) const;
+  /// Degraded-PS detector (DESIGN §15): when the whole worker group
+  /// sustains a collapse vs the job's own best smoothed throughput — with
+  /// no straggler flagged and no recent rescale — charge the PS nodes.
+  void MaybeReportPsSlowdown();
   bool AllDataDone() const;
   void RepartitionStatic(uint64_t completed_prefix);
 
@@ -393,6 +450,18 @@ class TrainingJob {
   /// Consecutive seamless drain attempts that did not complete; after two,
   /// EvacuateDrainingPods falls back to stop-and-restart.
   int drain_attempts_ = 0;
+
+  // Control-plane plan fencing + master routing (see ApplyPlanFenced).
+  uint64_t last_plan_seq_ = 0;
+  int master_channel_handle_ = -1;
+  PlanGate master_plan_gate_;
+
+  // Degraded-PS detector state: the job's best smoothed throughput since
+  // the last disruption, and how many consecutive profile ticks the rate
+  // has been collapsed below it (see MaybeReportPsSlowdown).
+  double best_smoothed_ = 0.0;
+  int ps_slowdown_streak_ = 0;
+  SimTime last_disruption_ = 0.0;
 
   // Profiling window.
   uint64_t window_batches_ = 0;

@@ -152,6 +152,85 @@ TEST(ChaosTrainingTest, UnprotectedRunLosesWorkWithoutTheSupervisor) {
   EXPECT_EQ(result.ft.restores, 0u);
 }
 
+TEST(ChaosInjectorTest, TornWritesDefaultOffKeepsLegacySchedules) {
+  // torn_checkpoint_writes defaults to 0 and its draws come last in
+  // FromSeed, so pre-existing seeds keep their exact schedules — the fault
+  // kind is purely additive.
+  const ChaosInjector legacy = ChaosInjector::FromSeed(FullSchedule(9));
+  ChaosScheduleOptions with_torn = FullSchedule(9);
+  with_torn.torn_checkpoint_writes = 2;
+  const ChaosInjector extended = ChaosInjector::FromSeed(with_torn);
+
+  ASSERT_EQ(legacy.schedule().size(), 6u);
+  ASSERT_EQ(extended.schedule().size(), 8u);
+  size_t matched = 0;
+  for (const ChaosFault& fault : legacy.schedule()) {
+    for (const ChaosFault& other : extended.schedule()) {
+      if (other.kind == fault.kind && other.at_batches == fault.at_batches) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, 6u) << "legacy faults must be unchanged by the new kind";
+}
+
+TEST(ChaosTrainingTest, TornCheckpointWriteRecoversFromOlderGeneration) {
+  // A torn write truncates the checkpoint mid-stream; a later PS failure
+  // forces a restore, which must skip the short read and fall back to an
+  // older valid generation — ending with the exactly-once audit intact.
+  MiniDlrm model(SmallModel());
+  CriteoSynth data(31);
+  ChaosScheduleOptions schedule = FullSchedule(21);
+  schedule.torn_checkpoint_writes = 1;
+  ChaosInjector chaos = ChaosInjector::FromSeed(schedule);
+  AsyncTrainerOptions options = ThreadedRun(1);
+  options.fault_tolerance = TestFt();
+  options.chaos = &chaos;
+  AsyncPsTrainer trainer(&model, &data, options);
+  const TrainResult result = trainer.Run();
+
+  EXPECT_EQ(result.batches_committed, 600u);
+  EXPECT_EQ(result.batches_duplicated, 0u);
+  EXPECT_EQ(result.batches_skipped, 0u);
+  for (size_t i = 0; i < result.times_trained.size(); ++i) {
+    EXPECT_EQ(result.times_trained[i], 1) << "batch " << i;
+  }
+  EXPECT_EQ(chaos.remaining(), 0u) << "every scheduled fault must fire";
+  EXPECT_EQ(result.ft.checkpoint_writes_torn, 1u);
+  EXPECT_EQ(result.ft.checkpoint_writes_failed, 1u);
+  EXPECT_GE(result.ft.restores, 1u);
+}
+
+TEST(ChaosTrainingTest, TornWriteRecoveryEquivalence) {
+  // Recovery equivalence for the torn-write fault specifically: a chaos
+  // run with torn checkpoint writes ends within tolerance of the clean run.
+  CriteoSynth data(99);
+  auto run = [&](ChaosInjector* chaos) {
+    MiniDlrm model(SmallModel());
+    AsyncTrainerOptions options = ThreadedRun(17);
+    if (chaos != nullptr) {
+      options.fault_tolerance = TestFt();
+      options.chaos = chaos;
+    }
+    AsyncPsTrainer trainer(&model, &data, options);
+    return trainer.Run();
+  };
+  const TrainResult baseline = run(nullptr);
+  ASSERT_EQ(baseline.batches_committed, 600u);
+
+  ChaosScheduleOptions schedule = FullSchedule(7);
+  schedule.torn_checkpoint_writes = 2;
+  ChaosInjector chaos = ChaosInjector::FromSeed(schedule);
+  const TrainResult result = run(&chaos);
+  EXPECT_EQ(result.batches_committed, 600u);
+  EXPECT_EQ(result.batches_duplicated, 0u);
+  EXPECT_EQ(result.batches_skipped, 0u);
+  EXPECT_EQ(result.ft.checkpoint_writes_torn, 2u);
+  EXPECT_LT(std::fabs(result.final_logloss - baseline.final_logloss), 0.05);
+  EXPECT_LT(std::fabs(result.final_auc - baseline.final_auc), 0.05);
+}
+
 TEST(ChaosTrainingTest, RecoveryEquivalenceAcrossSeeds) {
   // The headline property: for several independently seeded chaos
   // schedules, a fault-tolerant run ends within tolerance of the

@@ -1,0 +1,427 @@
+#include "cluster/control_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dlrover {
+namespace {
+
+ControlChannelOptions CleanOptions() {
+  ControlChannelOptions options;
+  options.enabled = true;
+  options.seed = 7;
+  return options;
+}
+
+// A master endpoint that just records what the channel did to it.
+struct RecordingMaster : ControlMasterEndpoint {
+  int crashes = 0;
+  int restarts = 0;
+  void OnMasterCrash() override { ++crashes; }
+  void OnMasterRestart() override { ++restarts; }
+};
+
+TEST(ControlChannelTest, CleanSendDeliversExactlyOnceWithinLatencyBounds) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  SimTime delivered_at = -1.0;
+  channel.Send(ControlMessageKind::kHeartbeat, 3, ControlChannel::kMaster,
+               [&] {
+                 ++delivered;
+                 delivered_at = sim.Now();
+               });
+  sim.RunToCompletion();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(delivered_at, options.min_latency);
+  EXPECT_LE(delivered_at, options.max_latency);
+  EXPECT_EQ(channel.stats().messages_sent, 1u);
+  EXPECT_EQ(channel.stats().messages_delivered, 1u);
+  EXPECT_EQ(channel.stats().messages_dropped, 0u);
+  EXPECT_EQ(channel.stats().retries, 0u);
+}
+
+TEST(ControlChannelTest, DropProbabilityOneLosesFireAndForget) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.drop_prob = 1.0;
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    channel.Send(ControlMessageKind::kHeartbeat, 0, ControlChannel::kMaster,
+                 [&] { ++delivered; });
+  }
+  sim.RunToCompletion();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(channel.stats().messages_dropped, 10u);
+  EXPECT_EQ(channel.stats().messages_delivered, 0u);
+}
+
+TEST(ControlChannelTest, DuplicateProbabilityOneDeliversTwoCopies) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.duplicate_prob = 1.0;
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  channel.Send(ControlMessageKind::kHeartbeat, 0, ControlChannel::kMaster,
+               [&] { ++delivered; });
+  sim.RunToCompletion();
+
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(channel.stats().messages_duplicated, 1u);
+  EXPECT_EQ(channel.stats().messages_delivered, 2u);
+}
+
+TEST(ControlChannelTest, ReorderedCopyArrivesAfterLaterMessage) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.reorder_prob = 1.0;  // every copy held reorder_delay extra
+  options.min_latency = Seconds(0.1);
+  options.max_latency = Seconds(0.1);
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  SimTime delivered_at = -1.0;
+  channel.Send(ControlMessageKind::kHeartbeat, 0, ControlChannel::kMaster,
+               [&] {
+                 ++delivered;
+                 delivered_at = sim.Now();
+               });
+  sim.RunToCompletion();
+  EXPECT_EQ(channel.stats().messages_reordered, 1u);
+  EXPECT_EQ(delivered, 1);
+  // The held copy landed at latency + reorder_delay — late enough for any
+  // promptly-sent later message to overtake it.
+  EXPECT_GE(delivered_at, options.reorder_delay);
+}
+
+TEST(ControlChannelTest, ReliableSendRetriesThroughLossAndEventuallyLands) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.drop_prob = 0.8;  // most attempts lost; retries must recover
+  options.retry_base = Seconds(0.5);
+  options.retry_cap = Seconds(2);
+  options.retry_deadline = Minutes(30);
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  int expired = 0;
+  channel.SendReliable(ControlMessageKind::kShardReport, 2,
+                       ControlChannel::kMaster, [&] { ++delivered; },
+                       [&] { ++expired; });
+  sim.RunToCompletion();
+
+  EXPECT_GE(delivered, 1);
+  EXPECT_EQ(expired, 0);
+  EXPECT_GE(channel.stats().retries, 1u);
+  EXPECT_EQ(channel.stats().sends_expired, 0u);
+}
+
+TEST(ControlChannelTest, ReliableSendExpiresPastDeadlineAndFiresHookOnce) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.drop_prob = 1.0;  // nothing ever gets through
+  options.retry_base = Seconds(1);
+  options.retry_cap = Seconds(5);
+  options.retry_deadline = Minutes(2);
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  int expired = 0;
+  channel.SendReliable(ControlMessageKind::kShardReport, 2,
+                       ControlChannel::kMaster, [&] { ++delivered; },
+                       [&] { ++expired; });
+  sim.RunToCompletion();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(expired, 1);
+  EXPECT_EQ(channel.stats().sends_expired, 1u);
+  // Expiry is checked at retry time, so it lands after the deadline.
+  EXPECT_GT(sim.Now(), options.retry_deadline);
+}
+
+TEST(ControlChannelTest, RetriesDisabledMeansSingleAttemptAndNoExpiry) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.drop_prob = 1.0;
+  options.retries_enabled = false;
+  options.retry_deadline = Seconds(10);
+  ControlChannel channel(&sim, options);
+
+  int delivered = 0;
+  int expired = 0;
+  channel.SendReliable(ControlMessageKind::kShardReport, 2,
+                       ControlChannel::kMaster, [&] { ++delivered; },
+                       [&] { ++expired; });
+  sim.RunUntil(Minutes(30));
+
+  // The one attempt was dropped; without retries the expiry hook is the
+  // unprotected arm's blind spot — it must never fire.
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(expired, 0);
+  EXPECT_EQ(channel.stats().messages_sent, 1u);
+  EXPECT_EQ(channel.stats().retries, 0u);
+  EXPECT_EQ(channel.stats().sends_expired, 0u);
+}
+
+TEST(ControlChannelTest, NodePartitionSeversOnlyThatNodeThenHeals) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  ControlChannel channel(&sim, options);
+
+  channel.PartitionNode(4, Minutes(5));
+  EXPECT_TRUE(channel.NodePartitioned(4));
+  EXPECT_FALSE(channel.NodePartitioned(3));
+  EXPECT_FALSE(channel.CellPartitioned());
+
+  int from_partitioned = 0;
+  int from_healthy = 0;
+  channel.Send(ControlMessageKind::kHeartbeat, 4, ControlChannel::kMaster,
+               [&] { ++from_partitioned; });
+  channel.Send(ControlMessageKind::kHeartbeat, 3, ControlChannel::kMaster,
+               [&] { ++from_healthy; });
+  sim.RunUntil(Minutes(1));
+  EXPECT_EQ(from_partitioned, 0);
+  EXPECT_EQ(from_healthy, 1);
+  EXPECT_EQ(channel.node_partition_drops(4), 1u);
+  EXPECT_EQ(channel.node_partition_drops(3), 0u);
+
+  // After the heal, traffic flows again.
+  sim.RunUntil(Minutes(6));
+  EXPECT_FALSE(channel.NodePartitioned(4));
+  channel.Send(ControlMessageKind::kHeartbeat, 4, ControlChannel::kMaster,
+               [&] { ++from_partitioned; });
+  sim.RunToCompletion();
+  EXPECT_EQ(from_partitioned, 1);
+}
+
+TEST(ControlChannelTest, CellPartitionSeversBrainTrafficNotWorkerTraffic) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  ControlChannel channel(&sim, options);
+
+  channel.PartitionCell(Minutes(3));
+  EXPECT_TRUE(channel.CellPartitioned());
+
+  int plan_delivered = 0;
+  int heartbeat_delivered = 0;
+  channel.Send(ControlMessageKind::kPlan, ControlChannel::kBrain,
+               ControlChannel::kMaster, [&] { ++plan_delivered; });
+  channel.Send(ControlMessageKind::kHeartbeat, 7, ControlChannel::kMaster,
+               [&] { ++heartbeat_delivered; });
+  sim.RunUntil(Minutes(1));
+
+  EXPECT_EQ(plan_delivered, 0);
+  EXPECT_EQ(heartbeat_delivered, 1);
+  EXPECT_EQ(channel.cell_partition_drops(), 1u);
+  EXPECT_EQ(channel.stats().messages_partition_dropped, 1u);
+
+  sim.RunUntil(Minutes(4));
+  EXPECT_FALSE(channel.CellPartitioned());
+}
+
+TEST(ControlChannelTest, OverlappingPartitionsExtendToTheLaterEnd) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  ControlChannel channel(&sim, options);
+
+  channel.PartitionNode(1, Minutes(4));
+  sim.RunUntil(Minutes(2));
+  channel.PartitionNode(1, Minutes(1));  // shorter overlap must not shrink
+  sim.RunUntil(Minutes(3.5));
+  EXPECT_TRUE(channel.NodePartitioned(1));
+  sim.RunUntil(Minutes(4.5));
+  EXPECT_FALSE(channel.NodePartitioned(1));
+  EXPECT_EQ(channel.stats().node_partitions, 2u);
+}
+
+TEST(ControlChannelTest, ReliableSendRetriesAcrossPartitionHeal) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.retry_base = Seconds(5);
+  options.retry_cap = Seconds(20);
+  options.retry_deadline = Minutes(30);
+  ControlChannel channel(&sim, options);
+
+  channel.PartitionNode(2, Minutes(3));
+  int delivered = 0;
+  channel.SendReliable(ControlMessageKind::kShardReport, 2,
+                       ControlChannel::kMaster, [&] { ++delivered; });
+  sim.RunToCompletion();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(channel.stats().messages_partition_dropped, 1u);
+  EXPECT_GE(channel.stats().retries, 1u);
+  // Delivery happened only after the partition healed.
+  EXPECT_GE(channel.node_partition_drops(2), 1u);
+}
+
+TEST(ControlChannelTest, MasterCrashFencesInFlightDeliveriesAndRestartBumpsEpoch) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.master_restart_delay = Seconds(45);
+  options.min_latency = Seconds(1);
+  options.max_latency = Seconds(1);
+  ControlChannel channel(&sim, options);
+
+  RecordingMaster master;
+  const int handle = channel.RegisterMaster(&master);
+  EXPECT_TRUE(channel.MasterUp(handle));
+  EXPECT_EQ(channel.MasterEpoch(handle), 0u);
+  EXPECT_EQ(channel.MastersUp(), 1u);
+
+  // Fire-and-forget copy in flight when the master dies: it must be fenced,
+  // not delivered into the void.
+  int delivered = 0;
+  channel.SendReliable(ControlMessageKind::kPlan, ControlChannel::kBrain,
+                       ControlChannel::kMaster, [&] { ++delivered; },
+                       /*on_expire=*/nullptr, handle);
+  EXPECT_EQ(channel.CrashMasterByOrdinal(0), handle);
+  EXPECT_EQ(master.crashes, 1);
+  EXPECT_FALSE(channel.MasterUp(handle));
+  EXPECT_EQ(channel.MastersUp(), 0u);
+
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_GE(channel.stats().epoch_fenced, 1u);
+
+  // Failover brings a replacement with a new epoch; the retry loop
+  // re-captures it and the plan finally lands.
+  sim.RunToCompletion();
+  EXPECT_EQ(master.restarts, 1);
+  EXPECT_TRUE(channel.MasterUp(handle));
+  EXPECT_EQ(channel.MasterEpoch(handle), 1u);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(channel.stats().master_crashes, 1u);
+  EXPECT_EQ(channel.stats().master_restarts, 1u);
+}
+
+TEST(ControlChannelTest, FailoverDisabledLeavesMasterDownForGood) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.failover_enabled = false;
+  ControlChannel channel(&sim, options);
+
+  RecordingMaster master;
+  const int handle = channel.RegisterMaster(&master);
+  EXPECT_EQ(channel.CrashMasterByOrdinal(0), handle);
+  sim.RunUntil(Minutes(30));
+
+  EXPECT_EQ(master.restarts, 0);
+  EXPECT_FALSE(channel.MasterUp(handle));
+  EXPECT_EQ(channel.stats().master_restarts, 0u);
+}
+
+TEST(ControlChannelTest, CrashOrdinalSkipsDownAndUnregisteredMasters) {
+  Simulator sim;
+  ControlChannelOptions options = CleanOptions();
+  options.failover_enabled = false;
+  ControlChannel channel(&sim, options);
+
+  RecordingMaster a, b, c;
+  const int ha = channel.RegisterMaster(&a);
+  const int hb = channel.RegisterMaster(&b);
+  const int hc = channel.RegisterMaster(&c);
+  channel.UnregisterMaster(hb);
+
+  // Ordinal 1 among up masters {a, c} is c.
+  EXPECT_EQ(channel.CrashMasterByOrdinal(1), hc);
+  EXPECT_EQ(c.crashes, 1);
+  EXPECT_EQ(a.crashes, 0);
+  // Only a remains up; crashing past the end is a no-op.
+  EXPECT_EQ(channel.CrashMasterByOrdinal(1), -1);
+  EXPECT_EQ(channel.CrashMasterByOrdinal(0), ha);
+  EXPECT_EQ(channel.MastersUp(), 0u);
+}
+
+TEST(ControlChannelTest, ChaoticRunIsByteIdenticalAcrossReruns) {
+  auto run = [](ControlChannelStats* stats, std::vector<ControlEvent>* log) {
+    Simulator sim;
+    ControlChannelOptions options = CleanOptions();
+    options.drop_prob = 0.3;
+    options.duplicate_prob = 0.2;
+    options.reorder_prob = 0.2;
+    options.retry_base = Seconds(0.5);
+    options.retry_cap = Seconds(4);
+    options.retry_deadline = Minutes(5);
+    ControlChannel channel(&sim, options);
+
+    RecordingMaster master;
+    const int handle = channel.RegisterMaster(&master);
+    channel.PartitionNode(3, Minutes(2));
+    int delivered = 0;
+    for (int i = 0; i < 40; ++i) {
+      const ControlEndpoint src = i % 8;
+      if (i % 3 == 0) {
+        channel.SendReliable(ControlMessageKind::kShardReport, src,
+                             ControlChannel::kMaster, [&] { ++delivered; },
+                             nullptr, handle);
+      } else {
+        channel.Send(ControlMessageKind::kHeartbeat, src,
+                     ControlChannel::kMaster, [&] { ++delivered; });
+      }
+    }
+    sim.RunUntil(Minutes(1));
+    channel.CrashMasterByOrdinal(0);
+    channel.PartitionCell(Minutes(1));
+    sim.RunToCompletion();
+    *stats = channel.stats();
+    *log = channel.log();
+  };
+
+  ControlChannelStats stats_a, stats_b;
+  std::vector<ControlEvent> log_a, log_b;
+  run(&stats_a, &log_a);
+  run(&stats_b, &log_b);
+
+  EXPECT_TRUE(stats_a == stats_b);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_TRUE(log_a[i] == log_b[i]) << "log diverges at entry " << i;
+  }
+  EXPECT_FALSE(log_a.empty());
+}
+
+TEST(ControlChannelTest, FencingNotesFeedStatsAndLog) {
+  Simulator sim;
+  ControlChannel channel(&sim, CleanOptions());
+  EXPECT_TRUE(channel.fencing_enabled());
+  channel.NotePlanFenced(12, 7);
+  channel.NoteStalePlanApplied(12, 6);
+  EXPECT_EQ(channel.stats().plans_fenced_stale, 1u);
+  EXPECT_EQ(channel.stats().stale_plan_applies, 1u);
+  ASSERT_EQ(channel.log().size(), 2u);
+  EXPECT_EQ(channel.log()[0].kind, ControlEventKind::kPlanFencedStale);
+  EXPECT_EQ(channel.log()[0].a, 12u);
+  EXPECT_EQ(channel.log()[0].b, 7u);
+  EXPECT_EQ(channel.log()[1].kind, ControlEventKind::kStalePlanApplied);
+}
+
+TEST(ControlChannelTest, StatsMergeIsFieldwiseSum) {
+  ControlChannelStats a;
+  a.messages_sent = 3;
+  a.retries = 1;
+  a.master_crashes = 1;
+  ControlChannelStats b;
+  b.messages_sent = 4;
+  b.epoch_fenced = 2;
+  b.master_restarts = 1;
+  a += b;
+  EXPECT_EQ(a.messages_sent, 7u);
+  EXPECT_EQ(a.retries, 1u);
+  EXPECT_EQ(a.epoch_fenced, 2u);
+  EXPECT_EQ(a.master_crashes, 1u);
+  EXPECT_EQ(a.master_restarts, 1u);
+}
+
+}  // namespace
+}  // namespace dlrover

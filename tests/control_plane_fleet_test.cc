@@ -1,0 +1,127 @@
+// Fleet-level control-plane resilience invariants.
+//
+// The contract under test: with the channel disabled nothing control-plane
+// related exists in the result (the off-by-default byte-identity story);
+// with chaos on and all protections on, the fleet absorbs partitions,
+// duplicate/reordered plans, and master crashes without a single stale plan
+// apply or double-counted batch; with protections off the hazards are real
+// (crashed masters stay down).
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace dlrover {
+namespace {
+
+FleetScenario BaseScenario(uint64_t seed) {
+  FleetScenario scenario;
+  scenario.dlrover_fraction = 1.0;
+  scenario.workload.num_jobs = 12;
+  scenario.workload.arrival_span = Hours(4);
+  scenario.cluster.num_nodes = 16;
+  scenario.failures.daily_pod_failure_rate = 0.5;
+  scenario.horizon = Hours(24);
+  scenario.seed = seed;
+  return scenario;
+}
+
+FleetScenario ChaosScenario(uint64_t seed) {
+  FleetScenario scenario = BaseScenario(seed);
+  scenario.control.enabled = true;
+  scenario.control.drop_prob = 0.02;
+  scenario.control.duplicate_prob = 0.05;
+  scenario.control.reorder_prob = 0.05;
+  scenario.failures.daily_node_partition_rate = 1.5;
+  scenario.failures.daily_cell_partition_rate = 2.0;
+  scenario.failures.daily_master_crash_rate = 0.3;
+  return scenario;
+}
+
+TEST(ControlPlaneFleetTest, DisabledChannelLeavesNoControlPlaneTrace) {
+  const FleetResult result = RunFleet(BaseScenario(11));
+  EXPECT_TRUE(result.control_stats == ControlChannelStats{});
+  EXPECT_TRUE(result.control_log.empty());
+  EXPECT_EQ(result.control_faults_injected, 0u);
+  EXPECT_EQ(result.plans_fenced, 0u);
+  EXPECT_EQ(result.stale_plan_applies, 0u);
+  EXPECT_EQ(result.shard_reports_rejected, 0u);
+  EXPECT_EQ(result.shard_reports_expired, 0u);
+  // And the fleet still trains to completion as before.
+  EXPECT_FALSE(result.jobs.empty());
+}
+
+TEST(ControlPlaneFleetTest, EnabledHealthyChannelStillCompletesJobs) {
+  FleetScenario scenario = BaseScenario(11);
+  scenario.control.enabled = true;  // routed, but zero chaos rates
+  const FleetResult result = RunFleet(scenario);
+
+  EXPECT_GT(result.control_stats.messages_delivered, 0u);
+  EXPECT_EQ(result.control_stats.messages_dropped, 0u);
+  EXPECT_EQ(result.control_stats.node_partitions, 0u);
+  EXPECT_EQ(result.control_stats.master_crashes, 0u);
+  size_t completed = 0;
+  for (const FleetJobOutcome& job : result.jobs) {
+    if (job.completed) ++completed;
+  }
+  EXPECT_EQ(completed, result.jobs.size());
+}
+
+TEST(ControlPlaneFleetTest, ProtectedChaosRunHoldsResilienceInvariants) {
+  const FleetResult result = RunFleet(ChaosScenario(11));
+  const ControlChannelStats& stats = result.control_stats;
+
+  // Chaos actually landed.
+  EXPECT_GT(result.control_faults_injected, 0u);
+  EXPECT_GT(stats.node_partitions + stats.cell_partitions, 0u);
+  EXPECT_GT(stats.master_crashes, 0u);
+  EXPECT_GT(stats.retries, 0u);
+
+  // Failover: every crashed master came back.
+  EXPECT_EQ(stats.master_crashes, stats.master_restarts);
+
+  // Fencing: no stale plan ever applied; something was actually fenced so
+  // the defense is exercised, not vacuous.
+  EXPECT_EQ(stats.stale_plan_applies, 0u);
+  EXPECT_EQ(result.stale_plan_applies, 0u);
+  EXPECT_GT(result.plans_fenced + stats.plans_fenced_stale + stats.epoch_fenced,
+            0u);
+
+  // Exactly-once shard accounting: duplicate reports were rejected (the
+  // duplicate_prob guarantees duplicates arrived) and no job trained more
+  // batches than its spec.
+  EXPECT_GT(result.shard_reports_rejected, 0u);
+  for (const FleetJobOutcome& job : result.jobs) {
+    EXPECT_LE(job.batches_done, job.total_steps) << job.name;
+  }
+}
+
+TEST(ControlPlaneFleetTest, FailoverDisabledLeavesCrashedMastersDown) {
+  FleetScenario scenario = ChaosScenario(11);
+  scenario.control.failover_enabled = false;
+  const FleetResult result = RunFleet(scenario);
+
+  EXPECT_GT(result.control_stats.master_crashes, 0u);
+  EXPECT_EQ(result.control_stats.master_restarts, 0u);
+}
+
+TEST(ControlPlaneFleetTest, ExactlyOnceHoldsEvenWithoutProtections) {
+  // Protections off: retries, fencing, and failover disabled. Goodput
+  // craters (jobs stall behind lost shard reports and dead masters), but
+  // the shard queue's exactly-once accounting must still never overshoot.
+  FleetScenario scenario = ChaosScenario(11);
+  scenario.control.retries_enabled = false;
+  scenario.control.fencing_enabled = false;
+  scenario.control.failover_enabled = false;
+  const FleetResult result = RunFleet(scenario);
+
+  for (const FleetJobOutcome& job : result.jobs) {
+    EXPECT_LE(job.batches_done, job.total_steps) << job.name;
+  }
+  // No retries were ever attempted and nothing expired (no retry loop).
+  EXPECT_EQ(result.control_stats.retries, 0u);
+  EXPECT_EQ(result.control_stats.sends_expired, 0u);
+}
+
+}  // namespace
+}  // namespace dlrover

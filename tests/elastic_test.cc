@@ -418,6 +418,68 @@ TEST(HeartbeatMonitorTest, ReAddedMemberStartsWithCleanSlate) {
       monitor.DetectStragglers(115.0, /*include_flagged=*/true).empty());
 }
 
+TEST(HeartbeatMonitorTest, OutOfOrderHeartbeatDoesNotRewindSilenceClock) {
+  // A reordered control plane can deliver an old heartbeat after a newer
+  // one. The stale packet must not rewind liveness (which would delay
+  // failure detection) but its progress still folds in monotonically.
+  HeartbeatMonitorOptions options;
+  options.failure_timeout = 60.0;
+  HeartbeatMonitor monitor(options);
+  monitor.AddMember(1, 0.0);
+  monitor.Heartbeat(1, 50.0, 500);
+  monitor.Heartbeat(1, 10.0, 800);  // late delivery of an older packet
+  EXPECT_EQ(monitor.stale_heartbeats_ignored(), 1u);
+  EXPECT_EQ(monitor.members().at(1).last_heartbeat, 50.0);
+  EXPECT_EQ(monitor.members().at(1).progress_offset, 800u);
+  // Liveness judged from the newest accepted packet, not the stale one.
+  EXPECT_TRUE(monitor.DetectFailures(100.0).empty());
+  ASSERT_EQ(monitor.DetectFailures(111.0).size(), 1u);
+}
+
+TEST(HeartbeatMonitorTest, DuplicateHeartbeatIsHarmless) {
+  HeartbeatMonitor monitor(HeartbeatMonitorOptions{});
+  monitor.AddMember(1, 0.0);
+  monitor.Heartbeat(1, 10.0, 100);
+  monitor.Heartbeat(1, 10.0, 100);  // duplicated copy, same timestamp
+  EXPECT_EQ(monitor.stale_heartbeats_ignored(), 0u);
+  EXPECT_EQ(monitor.members().at(1).last_heartbeat, 10.0);
+  EXPECT_EQ(monitor.members().at(1).progress_offset, 100u);
+}
+
+TEST(HeartbeatMonitorTest, FencedMemberCannotBeResurrectedByLatePackets) {
+  // Once the master gives up on a worker, heartbeat packets still in flight
+  // must not auto-register a ghost member that would then be "detected" as
+  // failed all over again.
+  HeartbeatMonitor monitor(HeartbeatMonitorOptions{});
+  monitor.AddMember(7, 0.0);
+  monitor.Heartbeat(7, 5.0, 50);
+  monitor.FenceMember(7);
+  EXPECT_TRUE(monitor.IsFenced(7));
+  EXPECT_EQ(monitor.member_count(), 0u);
+
+  monitor.Heartbeat(7, 6.0, 60);  // late in-flight packet
+  EXPECT_EQ(monitor.member_count(), 0u);
+  EXPECT_EQ(monitor.fenced_heartbeats_ignored(), 1u);
+
+  // An unknown-but-unfenced id still auto-registers (first contact).
+  monitor.Heartbeat(8, 6.0, 10);
+  EXPECT_EQ(monitor.member_count(), 1u);
+}
+
+TEST(HeartbeatMonitorTest, ExplicitReAddLiftsFence) {
+  // AddMember is the one path that lifts a fence: a replacement pod
+  // legitimately reusing the id is a new incarnation.
+  HeartbeatMonitor monitor(HeartbeatMonitorOptions{});
+  monitor.AddMember(7, 0.0);
+  monitor.FenceMember(7);
+  monitor.AddMember(7, 10.0);
+  EXPECT_FALSE(monitor.IsFenced(7));
+  monitor.Heartbeat(7, 12.0, 5);
+  EXPECT_EQ(monitor.member_count(), 1u);
+  EXPECT_EQ(monitor.fenced_heartbeats_ignored(), 0u);
+  EXPECT_EQ(monitor.members().at(7).progress_offset, 5u);
+}
+
 TEST(CheckpointStoreTest, FlashIsOrdersOfMagnitudeFasterThanRds) {
   RdsStore rds;
   CacheStore cache;

@@ -93,6 +93,52 @@ TEST(CheckpointVaultTest, AllGenerationsCorruptedMeansNoRestoreTarget) {
   EXPECT_EQ(vault.LatestValid(), nullptr);
 }
 
+TEST(CheckpointVaultTest, TornWriteFallsBackToOlderGeneration) {
+  // A write cut short mid-stream leaves a truncated payload whose lengths
+  // no longer match the checksum; restore must skip it, not trust it.
+  CheckpointVault vault(3);
+  vault.Commit(TinyCheckpoint(10));
+  const uint64_t torn_gen = vault.CommitTruncated(TinyCheckpoint(20));
+  EXPECT_EQ(torn_gen, 1u);  // generations are 0-indexed
+  const ModelCheckpoint* latest = vault.LatestValid();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->committed_batches, 10u)
+      << "the truncated generation-2 write must be skipped";
+  EXPECT_EQ(vault.size(), 2u) << "the torn generation is still stored";
+}
+
+TEST(CheckpointVaultTest, TornWriteIsInvalidForEveryPayloadShape) {
+  // CommitTruncated cuts whichever payload section exists; every shape must
+  // fail verification (the checksum folds all vector lengths).
+  ModelCheckpoint sparse = TinyCheckpoint(10);
+  ModelCheckpoint dense_only = TinyCheckpoint(10);
+  dense_only.model.sparse.emb_values.clear();
+  ModelCheckpoint audit_only = TinyCheckpoint(10);
+  audit_only.model.sparse.emb_values.clear();
+  audit_only.model.dense.clear();
+  ModelCheckpoint bare = TinyCheckpoint(10);
+  bare.model.sparse.emb_values.clear();
+  bare.model.dense.clear();
+  bare.times_trained.clear();
+
+  for (ModelCheckpoint* ckpt :
+       {&sparse, &dense_only, &audit_only, &bare}) {
+    CheckpointVault vault(1);
+    vault.CommitTruncated(std::move(*ckpt));
+    EXPECT_EQ(vault.LatestValid(), nullptr);
+  }
+}
+
+TEST(CheckpointVaultTest, TornThenHealthyWriteRestoresNewest) {
+  CheckpointVault vault(3);
+  vault.Commit(TinyCheckpoint(10));
+  vault.CommitTruncated(TinyCheckpoint(20));
+  vault.Commit(TinyCheckpoint(30));
+  const ModelCheckpoint* latest = vault.LatestValid();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->committed_batches, 30u);
+}
+
 TEST(ModelStateTest, ExportImportRoundTripsPredictions) {
   CriteoSynth data(31);
   const CriteoBatch probe = data.Batch(0, 64);

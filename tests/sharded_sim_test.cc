@@ -215,6 +215,17 @@ void ExpectFleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
     EXPECT_TRUE(a.health_log[i] == b.health_log[i])
         << "health_log[" << i << "]";
   }
+  EXPECT_TRUE(a.control_stats == b.control_stats);
+  EXPECT_EQ(a.control_faults_injected, b.control_faults_injected);
+  EXPECT_EQ(a.plans_fenced, b.plans_fenced);
+  EXPECT_EQ(a.stale_plan_applies, b.stale_plan_applies);
+  EXPECT_EQ(a.shard_reports_rejected, b.shard_reports_rejected);
+  EXPECT_EQ(a.shard_reports_expired, b.shard_reports_expired);
+  ASSERT_EQ(a.control_log.size(), b.control_log.size());
+  for (size_t i = 0; i < a.control_log.size(); ++i) {
+    EXPECT_TRUE(a.control_log[i] == b.control_log[i])
+        << "control_log[" << i << "]";
+  }
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (size_t i = 0; i < a.jobs.size(); ++i) {
     SCOPED_TRACE("job " + std::to_string(i) + " (" + a.jobs[i].name + ")");
@@ -327,6 +338,52 @@ TEST(ShardedFleetTest, MultiCellParityAcrossLanesScarcityShape) {
   options.shards = 0;
   const ShardedFleetResult hw_lanes = RunFleetSharded(scenario, options);
   ExpectFleetResultsIdentical(one_lane.fleet, hw_lanes.fleet);
+}
+
+/// Chaotic control plane turned all the way up: drops, duplicates, reorder,
+/// node and cell partitions, master crashes. The acceptance bar is that
+/// sharded runs stay byte-identical at every lane count with the channel on.
+FleetScenario ControlChaosScenario() {
+  FleetScenario scenario = Fig3ShapedScenario();
+  scenario.dlrover_fraction = 1.0;  // control traffic needs dynamic sharding
+  scenario.control.enabled = true;
+  scenario.control.drop_prob = 0.02;
+  scenario.control.duplicate_prob = 0.05;
+  scenario.control.reorder_prob = 0.05;
+  scenario.failures.daily_node_partition_rate = 1.5;
+  scenario.failures.daily_cell_partition_rate = 2.0;
+  scenario.failures.daily_master_crash_rate = 0.3;
+  return scenario;
+}
+
+TEST(ShardedFleetTest, ControlChannelChaosParityAcrossLanes) {
+  const FleetScenario scenario = ControlChaosScenario();
+  ShardedFleetOptions options;
+  options.cells = 2;
+  options.shards = 1;
+  const ShardedFleetResult one_lane = RunFleetSharded(scenario, options);
+  // The chaos actually ran: control messages flowed and faults landed.
+  EXPECT_GT(one_lane.fleet.control_stats.messages_delivered, 0u);
+  EXPECT_GT(one_lane.fleet.control_faults_injected, 0u);
+  ASSERT_FALSE(one_lane.fleet.control_log.empty());
+
+  options.shards = 2;
+  const ShardedFleetResult two_lanes = RunFleetSharded(scenario, options);
+  ExpectFleetResultsIdentical(one_lane.fleet, two_lanes.fleet);
+
+  options.shards = 0;  // hardware concurrency
+  const ShardedFleetResult hw_lanes = RunFleetSharded(scenario, options);
+  ExpectFleetResultsIdentical(one_lane.fleet, hw_lanes.fleet);
+}
+
+TEST(ShardedFleetTest, ControlChannelChaosRerunIdentity) {
+  const FleetScenario scenario = ControlChaosScenario();
+  ShardedFleetOptions options;
+  options.cells = 2;
+  options.shards = 0;
+  const ShardedFleetResult first = RunFleetSharded(scenario, options);
+  const ShardedFleetResult second = RunFleetSharded(scenario, options);
+  ExpectFleetResultsIdentical(first.fleet, second.fleet);
 }
 
 TEST(ShardedFleetTest, CoupledStormArmDeterministicAcrossLanes) {
